@@ -1,0 +1,86 @@
+"""Simulator wall-clock throughput (not a paper experiment).
+
+Library-health benchmark: how many eBPF instructions per wall-second each
+execution engine simulates.  Useful for users sizing long simulations, and
+it quantifies the §7 design note that the computed-jumptable interpreter
+is "small and fast" relative to the defensive build, in wall time as well
+as in modelled cycles.
+"""
+
+from __future__ import annotations
+
+from conftest import record
+
+from repro.analysis import format_table
+from repro.vm import CertFCInterpreter, Interpreter, compile_program
+from repro.vm.memory import Permission
+from repro.workloads.fletcher32 import (
+    FLETCHER32_INPUT,
+    INPUT_BASE,
+    fletcher32_program,
+    make_context,
+)
+
+_ENGINES = {
+    "interpreter": Interpreter,
+    "certfc (defensive)": CertFCInterpreter,
+    "jit (closures)": compile_program,
+}
+
+
+def _make(factory):
+    vm = factory(fletcher32_program())
+    vm.access_list.grant_bytes("in", INPUT_BASE, FLETCHER32_INPUT,
+                               Permission.READ)
+    context = make_context()
+    return vm, context
+
+
+def _bench(benchmark, factory):
+    vm, context = _make(factory)
+    result = benchmark(lambda: vm.run(context=context))
+    return result.stats.executed
+
+
+def test_simulator_throughput_interpreter(benchmark):
+    executed = _bench(benchmark, Interpreter)
+    assert executed > 1000
+
+
+def test_simulator_throughput_certfc(benchmark):
+    executed = _bench(benchmark, CertFCInterpreter)
+    assert executed > 1000
+
+
+def test_simulator_throughput_jit(benchmark):
+    executed = _bench(benchmark, compile_program)
+    assert executed > 1000
+
+
+def test_relative_wall_speed(benchmark):
+    """One combined row: instructions simulated per wall-second."""
+    import time
+
+    def measure_all():
+        rows = {}
+        for name, factory in _ENGINES.items():
+            vm, context = _make(factory)
+            vm.run(context=context)  # warm up
+            start = time.perf_counter()
+            runs = 0
+            executed = 0
+            while time.perf_counter() - start < 0.05:
+                executed += vm.run(context=context).stats.executed
+                runs += 1
+            elapsed = time.perf_counter() - start
+            rows[name] = executed / elapsed
+        return rows
+
+    rows = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    record("simulator_throughput", format_table(
+        ["Engine", "instructions / wall second"],
+        [[name, f"{rate:,.0f}"] for name, rate in rows.items()],
+        title="Simulator wall-clock throughput (host-dependent)",
+    ))
+    # The JIT must beat the decoding interpreter in wall time too.
+    assert rows["jit (closures)"] > rows["interpreter"]

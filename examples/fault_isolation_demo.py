@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""§3/§9: the threat model, live — a malicious tenant attacks the sandbox.
+
+Six escape attempts, each mapped to an attack class from the paper's
+threat model.  Some are stopped *before* execution by the pre-flight
+checker, the rest abort at runtime via the memory-access checks and the
+finite-execution budget.  The host OS and the co-resident honest tenant
+are never disturbed.
+
+Run with:  python examples/fault_isolation_demo.py
+"""
+
+from repro import FC_HOOK_TIMER, HostingEngine, Kernel, assemble
+from repro.core import AttachError, ContainerContract
+from repro.rtos import Sleep
+from repro.vm.helpers import BPF_PRINTF
+
+ATTACKS = [
+    ("jump outside the program text (escape to another tenant's code)",
+     "ja +1000\n    exit"),
+    ("write to the read-only register r10 (corrupt the stack pointer)",
+     "mov r10, 0\n    exit"),
+    ("forge a pointer and read OS memory",
+     "lddw r1, 0x20000000\n    sub r1, 4096\n    ldxdw r0, [r1]\n    exit"),
+    ("scan past the end of the 512 B stack",
+     "mov r1, r10\n    add r1, 512\n    stb [r1+0], 0x41\n    exit"),
+    ("burn CPU forever (resource-exhaustion denial of service)",
+     "spin:\n    add r1, 1\n    ja spin"),
+    ("divide by zero to crash the interpreter",
+     "mov r1, 0\n    mov r0, 7\n    div r0, r1\n    exit"),
+]
+
+
+def main() -> None:
+    kernel = Kernel()
+    engine = HostingEngine(kernel)
+    malicious = engine.create_tenant("mallory")
+    honest = engine.create_tenant("alice")
+
+    # Alice's well-behaved container keeps a heartbeat in her store.
+    heartbeat = engine.load(assemble("""
+    mov r1, 0x1
+    mov r2, r10
+    call bpf_fetch_tenant
+    ldxw r3, [r10+0]
+    add r3, 1
+    mov r1, 0x1
+    mov r2, r3
+    call bpf_store_tenant
+    mov r0, r3
+    exit
+"""), tenant=honest, name="heartbeat")
+    engine.attach(heartbeat, FC_HOOK_TIMER)
+
+    print("launching Mallory's attacks:\n")
+    for description, source in ATTACKS:
+        program = assemble(source, name="attack")
+        container = engine.load(program, tenant=malicious)
+        try:
+            engine.attach(container, FC_HOOK_TIMER)
+        except AttachError as error:
+            print(f"* {description}\n  -> REJECTED pre-flight: "
+                  f"{str(error).split(': ', 1)[-1]}\n")
+            continue
+        run = engine.execute(container)
+        assert not run.ok
+        print(f"* {description}\n  -> CONTAINED at runtime: "
+              f"{run.fault.kind}: {run.fault.message}\n")
+        engine.detach(container)
+
+    # Contract enforcement: Mallory may only call printf, nothing else.
+    print("* capability abuse: contract grants only bpf_printf, code calls "
+          "the key-value store")
+    greedy = engine.load(
+        assemble("mov r1, 1\n    mov r2, 2\n    call bpf_store_global\n    exit"),
+        tenant=malicious,
+        contract=ContainerContract(helpers=frozenset({BPF_PRINTF})),
+    )
+    try:
+        engine.attach(greedy, FC_HOOK_TIMER)
+    except AttachError as error:
+        print(f"  -> REJECTED pre-flight: {str(error).split(': ', 1)[-1]}\n")
+
+    # Alice never noticed any of it.
+    for _ in range(3):
+        engine.execute(heartbeat)
+    assert honest.store.fetch(0x1) == 3
+
+    def background(thread):
+        yield Sleep(1000)
+
+    kernel.create_thread("os-task", background)
+    kernel.run_until_idle()
+    print(f"Alice's heartbeat count: {honest.store.fetch(0x1)} "
+          "(her tenant store is untouched)")
+    print(f"kernel alive at t={kernel.now_us / 1000:.2f} ms, "
+          f"{kernel.scheduler.switch_count} clean context switches — "
+          "the OS was shielded from every attack.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Use-case 2 (§8.2): hot-path kernel debug code — the thread counter.
+
+Listing 2 of the paper: a container attached to the *scheduler hook* runs
+on every context switch and maintains per-thread activation counters in
+the global key-value store.  This example spins up a small workload of
+RTOS threads, lets the container observe the scheduler, and cross-checks
+its counters against the kernel's own ground truth.
+
+Run with:  python examples/kernel_debug.py
+"""
+
+from repro import FC_HOOK_SCHED, HostingEngine, Kernel
+from repro.rtos import Sleep, YieldCPU
+from repro.workloads import thread_counter_program
+
+
+def sensor_task(thread):
+    """Periodic task: pretend to sample a sensor every 5 ms."""
+    for _ in range(20):
+        thread.charge(2_000)  # ~31 us of CPU work
+        yield Sleep(5_000)
+
+
+def crunch_task(thread):
+    """CPU-bound task yielding cooperatively."""
+    for _ in range(30):
+        thread.charge(8_000)
+        yield YieldCPU()
+
+
+def network_task(thread):
+    """Bursty task."""
+    for _ in range(10):
+        thread.charge(1_000)
+        yield Sleep(11_000)
+
+
+def main() -> None:
+    kernel = Kernel()
+    engine = HostingEngine(kernel)
+
+    # Deploy Listing 2 on the scheduler launchpad — a hot code path.
+    counter = engine.load(thread_counter_program())
+    engine.attach(counter, FC_HOOK_SCHED)
+    print(f"thread-counter attached to {FC_HOOK_SCHED} "
+          f"({counter.program.code_size} B of bytecode)")
+
+    threads = [
+        kernel.create_thread("sensor", sensor_task, priority=4),
+        kernel.create_thread("crunch", crunch_task, priority=6),
+        kernel.create_thread("network", network_task, priority=5),
+    ]
+    kernel.run_until_idle()
+
+    print(f"\nsimulation done at t={kernel.now_us / 1000:.2f} ms, "
+          f"{kernel.scheduler.switch_count} context switches")
+    print(f"the container ran {counter.runs} times "
+          f"(avg {counter.total_cycles / max(counter.runs, 1):.0f} cycles "
+          "per activation)\n")
+
+    print(f"{'thread':10s} {'pid':>4s} {'container count':>16s} "
+          f"{'kernel truth':>13s}")
+    counters = engine.global_store.snapshot()
+    for thread in threads:
+        counted = counters.get(thread.pid, 0)
+        print(f"{thread.name:10s} {thread.pid:4d} {counted:16d} "
+              f"{thread.activations:13d}")
+        assert counted == thread.activations
+    print("\ncontainer counters match the scheduler exactly.")
+
+    # What did this instrumentation cost? (Table 4's question.)
+    board = kernel.board
+    per_switch = counter.total_cycles / max(counter.runs, 1)
+    print(f"instrumentation cost: ~{per_switch:.0f} cycles "
+          f"({board.us(per_switch):.1f} us) per context switch — "
+          "tolerable even on this hot path (paper §10.4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: write, verify, deploy and run your first Femto-Container.
+
+Walks the full happy path on a simulated nRF52840 (Cortex-M4) device:
+assemble an eBPF function, load it into the hosting engine, attach it to a
+launchpad hook (pre-flight verification happens here), execute it, and look
+at the timing/accounting the engine reports.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import FC_HOOK_TIMER, HostingEngine, Kernel, assemble
+
+
+def main() -> None:
+    # A device is a kernel on a board model (default: nRF52840 @ 64 MHz).
+    kernel = Kernel()
+    engine = HostingEngine(kernel)
+
+    # A tiny function: sum the 32-bit integers 1..n, n arriving via the
+    # hook context struct.  Plain eBPF assembly, no toolchain needed.
+    program = assemble(
+        """
+        ; context: { u32 n }
+            ldxw  r2, [r1+0]       ; n
+            mov   r0, 0            ; accumulator
+        loop:
+            jeq   r2, 0, done
+            add   r0, r2
+            sub   r2, 1
+            ja    loop
+        done:
+            exit
+        """,
+        name="sum-to-n",
+    )
+    print(f"program: {program.name}, {len(program.slots)} instructions, "
+          f"{program.code_size} bytes of bytecode")
+
+    # Load the image and attach it to a firmware launchpad.  Attach runs
+    # the pre-flight checker; malformed programs are rejected right here.
+    container = engine.load(program)
+    engine.attach(container, FC_HOOK_TIMER)
+    print(f"attached to {container.hook.name} "
+          f"(per-instance RAM: {container.vm.ram_bytes} B)")
+
+    # Fire it with a context struct, exactly like an OS event would.
+    n = 100
+    run = engine.execute(container, context=n.to_bytes(8, "little"))
+    assert run.ok
+    print(f"sum(1..{n}) = {run.value}")
+    print(f"executed {run.stats.executed} instructions, "
+          f"{run.stats.branches_taken} taken branches")
+    print(f"virtual cost on {kernel.board.cpu}: {run.cycles} cycles "
+          f"= {run.duration_us:.1f} us @ {kernel.board.mhz} MHz")
+
+    # Faults are contained: a bad pointer aborts the container, not the OS.
+    hostile = engine.load(assemble(
+        "lddw r1, 0xdead0000\n    ldxdw r0, [r1]\n    exit", name="hostile"))
+    engine.attach(hostile, FC_HOOK_TIMER)
+    bad_run = engine.execute(hostile)
+    print(f"\nhostile container faulted safely: {bad_run.fault.kind}: "
+          f"{bad_run.fault.message}")
+    print("the kernel is unaffected and keeps scheduling.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Result assembly: paper-style tables and figures for the benchmarks."""
+
+from repro.analysis.figures import bar_chart, pie_breakdown
+from repro.analysis.tables import format_bytes, format_table, format_us
+
+__all__ = [
+    "bar_chart",
+    "format_bytes",
+    "format_table",
+    "format_us",
+    "pie_breakdown",
+]

@@ -1,0 +1,45 @@
+"""ASCII bar charts standing in for the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def bar_chart(
+    title: str,
+    labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    unit: str = "",
+    width: int = 48,
+) -> str:
+    """Grouped horizontal bar chart (one group per label).
+
+    ``series`` maps a series name (e.g. "rBPF") to one value per label.
+    """
+    peak = max(
+        (value for values in series.values() for value in values),
+        default=1.0,
+    ) or 1.0
+    name_width = max((len(name) for name in series), default=4)
+    lines = [title]
+    for index, label in enumerate(labels):
+        lines.append(f"{label}:")
+        for name, values in series.items():
+            value = values[index]
+            bar = "#" * max(1, round(width * value / peak)) if value else ""
+            lines.append(
+                f"  {name.ljust(name_width)} |{bar.ljust(width)}| "
+                f"{value:,.2f} {unit}".rstrip()
+            )
+    return "\n".join(lines)
+
+
+def pie_breakdown(title: str, shares: Mapping[str, float]) -> str:
+    """Textual pie chart: percentage per slice (Fig 2)."""
+    total = sum(shares.values()) or 1.0
+    lines = [title]
+    for name, value in shares.items():
+        percent = 100.0 * value / total
+        bar = "#" * max(1, round(percent / 2))
+        lines.append(f"  {name:24s} {percent:5.1f}%  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""ASCII rendering of paper-style tables for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render a simple aligned table with a separator under the header."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in cells)) if cells
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+
+    def render_row(row: Sequence[str]) -> str:
+        return "  ".join(value.rjust(widths[col]) if col else value.ljust(widths[col])
+                         for col, value in enumerate(row))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def format_bytes(count: int) -> str:
+    """Human-readable byte counts the way the paper writes them."""
+    if count >= 1024 and count % 1024 == 0:
+        return f"{count // 1024} KiB"
+    if count >= 10 * 1024:
+        return f"{count / 1024:.1f} KiB"
+    return f"{count} B"
+
+
+def format_us(value_us: float) -> str:
+    if value_us >= 1000:
+        return f"{value_us / 1000:.2f} ms"
+    if value_us >= 10:
+        return f"{value_us:.0f} us"
+    return f"{value_us:.2f} us"

@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small developer tools around the library:
+
+* ``asm IN.s [-o OUT.bin]``     — assemble eBPF text to bytecode;
+* ``disasm IN.bin``             — disassemble bytecode to text;
+* ``verify IN.bin``             — run the pre-flight checker;
+* ``run IN.s|IN.bin [--ctx HEX] [--board NAME] [--impl NAME]``
+                                — execute a program on a simulated board;
+* ``boards``                    — list board models;
+* ``demo``                      — run the multi-tenant showcase scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.rtos.board import BOARDS, board_by_name
+from repro.vm import (
+    CertFCInterpreter,
+    Interpreter,
+    Program,
+    RbpfInterpreter,
+    VerificationError,
+    VMFault,
+    assemble,
+    compile_program,
+    disassemble,
+    verify,
+)
+
+_VM_FACTORIES = {
+    "femto-containers": Interpreter,
+    "rbpf": RbpfInterpreter,
+    "certfc": CertFCInterpreter,
+    "jit": compile_program,
+}
+
+
+def _load_program(path: Path) -> Program:
+    data = path.read_bytes()
+    if path.suffix in (".s", ".asm", ".txt") or not _looks_binary(data):
+        return assemble(data.decode(), name=path.stem)
+    return Program.from_bytes(data, name=path.stem)
+
+
+def _looks_binary(data: bytes) -> bool:
+    return any(byte < 9 for byte in data[:64])
+
+
+def cmd_asm(args: argparse.Namespace) -> int:
+    program = assemble(Path(args.source).read_text(),
+                       name=Path(args.source).stem)
+    raw = program.to_bytes()
+    if args.output:
+        Path(args.output).write_bytes(raw)
+        print(f"{len(program.slots)} slots, {len(raw)} bytes -> {args.output}")
+    else:
+        sys.stdout.write(raw.hex() + "\n")
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    from repro.femtoc import CompileError, compile_source
+
+    try:
+        program = compile_source(Path(args.source).read_text(),
+                                 name=Path(args.source).stem)
+    except CompileError as error:
+        print(f"compile error: {error}")
+        return 1
+    if args.emit_asm:
+        sys.stdout.write(disassemble(program))
+        return 0
+    raw = program.to_bytes()
+    if args.output:
+        Path(args.output).write_bytes(raw)
+        print(f"{len(program.slots)} slots, {len(raw)} bytes -> {args.output}")
+    else:
+        sys.stdout.write(raw.hex() + "\n")
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    program = _load_program(Path(args.image))
+    sys.stdout.write(disassemble(program))
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    program = _load_program(Path(args.image))
+    try:
+        report = verify(program)
+    except VerificationError as error:
+        print(f"REJECTED: {error}")
+        return 1
+    print(f"OK: {report.instruction_count} instructions, "
+          f"{report.branch_count} branches, "
+          f"helpers: {sorted(hex(h) for h in report.helper_ids) or 'none'}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = _load_program(Path(args.image))
+    board = board_by_name(args.board)
+    factory = _VM_FACTORIES[args.impl]
+    vm = factory(program)
+    context = bytes.fromhex(args.ctx) if args.ctx else None
+    try:
+        result = vm.run(context=context)
+    except VMFault as fault:
+        print(f"FAULT: {type(fault).__name__}: {fault}")
+        return 1
+    cycles = board.vm_execution_cycles(result.stats, vm.implementation)
+    print(f"r0 = {result.value} (0x{result.value:x})")
+    print(f"{result.stats.executed} instructions, "
+          f"{result.stats.branches_taken} taken branches")
+    print(f"{cycles} cycles on {board.name} = {board.us(cycles):.2f} us "
+          f"@ {board.mhz} MHz [{args.impl}]")
+    return 0
+
+
+def cmd_boards(_args: argparse.Namespace) -> int:
+    for name in BOARDS:
+        board = board_by_name(name)
+        print(f"{name:10s} {board.cpu:40s} {board.mhz} MHz  "
+              f"{board.ram_kib} KiB RAM  {board.flash_kib} KiB flash")
+    return 0
+
+
+def cmd_shell(args: argparse.Namespace) -> int:
+    """Run device-shell commands against the showcase scenario."""
+    from repro.rtos.shell import DeviceShell
+    from repro.scenarios import build_multi_tenant_device
+
+    device = build_multi_tenant_device(sensor_period_us=500_000)
+    device.kernel.run(until_us=2_000_000)
+    shell = DeviceShell(device.engine)
+    commands = args.commands or ["uptime", "ps", "hooks", "fc list", "ram"]
+    for command in commands:
+        print(f"> {command}")
+        print(shell.execute(command))
+        print()
+    return 0
+
+
+def cmd_demo(_args: argparse.Namespace) -> int:
+    from repro.net import CoapMessage, coap
+    from repro.scenarios import (
+        COAP_PORT,
+        DEVICE_ADDR,
+        build_multi_tenant_device,
+    )
+
+    device = build_multi_tenant_device(sensor_period_us=500_000)
+    device.kernel.run(until_us=2_000_000)
+    replies = []
+    request = CoapMessage(mtype=coap.CON, code=coap.GET)
+    request.add_uri_path("/sensor/temp")
+    device.client.request(DEVICE_ADDR, COAP_PORT, request, replies.append)
+    device.kernel.run(until_us=device.kernel.now_us + 2_000_000)
+    print(f"containers: {[c.name for c in device.engine.containers()]}")
+    print(f"sensor average over CoAP: {replies[0].payload.decode()} "
+          "centi-degC")
+    print(f"context switches observed by tenant B: "
+          f"{sum(device.engine.global_store.snapshot().values())}")
+    print(f"engine RAM: {device.engine.total_ram_bytes()} B")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Femto-Containers reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_asm = sub.add_parser("asm", help="assemble eBPF text")
+    p_asm.add_argument("source")
+    p_asm.add_argument("-o", "--output")
+    p_asm.set_defaults(fn=cmd_asm)
+
+    p_cc = sub.add_parser("compile", help="compile femtoC source to eBPF")
+    p_cc.add_argument("source")
+    p_cc.add_argument("-o", "--output")
+    p_cc.add_argument("-S", "--emit-asm", action="store_true",
+                      help="emit assembly text instead of bytecode")
+    p_cc.set_defaults(fn=cmd_compile)
+
+    p_dis = sub.add_parser("disasm", help="disassemble bytecode")
+    p_dis.add_argument("image")
+    p_dis.set_defaults(fn=cmd_disasm)
+
+    p_ver = sub.add_parser("verify", help="pre-flight check a program")
+    p_ver.add_argument("image")
+    p_ver.set_defaults(fn=cmd_verify)
+
+    p_run = sub.add_parser("run", help="execute a program on a board model")
+    p_run.add_argument("image")
+    p_run.add_argument("--ctx", help="context struct as hex bytes")
+    p_run.add_argument("--board", default="cortex-m4", choices=sorted(BOARDS))
+    p_run.add_argument("--impl", default="femto-containers",
+                       choices=sorted(_VM_FACTORIES))
+    p_run.set_defaults(fn=cmd_run)
+
+    p_boards = sub.add_parser("boards", help="list board models")
+    p_boards.set_defaults(fn=cmd_boards)
+
+    p_demo = sub.add_parser("demo", help="run the multi-tenant showcase")
+    p_demo.set_defaults(fn=cmd_demo)
+
+    p_shell = sub.add_parser(
+        "shell", help="run device-shell commands on the showcase device")
+    p_shell.add_argument("commands", nargs="*",
+                         help="commands to run (default: a status tour)")
+    p_shell.set_defaults(fn=cmd_shell)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI entry
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Exceptions raised by the Femto-Container middleware layer."""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Invalid hosting-engine operation (unknown hook, double attach...)."""
+
+
+class AttachError(EngineError):
+    """A container could not be attached (verification/policy failure)."""
+
+
+class UnknownHookError(EngineError):
+    """The referenced hook was not compiled into this firmware.
+
+    Per §5, new hooks require a firmware update — the engine cannot invent
+    one at runtime, so SUIT manifests naming unknown storage locations must
+    be rejected.
+    """

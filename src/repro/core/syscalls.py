@@ -1,0 +1,281 @@
+"""Helper (system call) implementations bridging containers to the RTOS.
+
+These are the concrete functions behind the helper ids of
+:mod:`repro.vm.helpers`: key-value store access, timers, SAUL sensor reads,
+CoAP response construction and string formatting — the complete bpfapi
+surface used by the paper's examples (Listing 2, the §8.3 sensor/CoAP
+snippets).
+
+Every pointer argument a container passes is a *virtual* address resolved
+through its access list, so a malicious container cannot use helpers to
+escape its sandbox: reads and writes through helper pointers fault exactly
+like direct load/store instructions would.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.vm import helpers as h
+from repro.vm.errors import HelperFault
+from repro.vm.helpers import HelperRegistry
+from repro.vm.memory import MemoryRegion, Permission
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import HostingEngine
+    from repro.vm.interpreter import Interpreter
+
+#: Virtual address where the CoAP PDU payload buffer is mapped.
+PDU_PAYLOAD_BASE = 0x6800_0000
+
+#: CoAP code constants containers use (subset of RFC 7252).
+COAP_CODE_CONTENT = 0x45  # 2.05
+COAP_CODE_CHANGED = 0x44  # 2.04
+
+_U32 = (1 << 32) - 1
+
+
+@dataclass
+class CoapResponseContext:
+    """The ``bpf_coap_ctx_t`` a CoAP-triggered container manipulates.
+
+    The network stack creates one per request; the hosting engine maps its
+    payload buffer into the container's address space for the duration of
+    the execution.
+    """
+
+    token_length: int = 2
+    payload_capacity: int = 64
+    code: int = 0
+    content_format: int | None = None
+    payload_length: int = 0
+    region: MemoryRegion = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.region is None:
+            self.region = MemoryRegion.zeroed(
+                "coap-pdu", PDU_PAYLOAD_BASE, self.payload_capacity,
+                Permission.READ_WRITE,
+            )
+
+    @property
+    def header_length(self) -> int:
+        """Bytes before the payload: base header, token, options, marker."""
+        options = 0 if self.content_format is None else 2
+        return 4 + self.token_length + options + 1
+
+    def payload_bytes(self) -> bytes:
+        return self.region.read_bytes(PDU_PAYLOAD_BASE, self.payload_length)
+
+
+def _current(engine: "HostingEngine"):
+    container = engine.current_container
+    if container is None:
+        raise HelperFault("helper called outside a container execution")
+    return container
+
+
+def _current_pdu(engine: "HostingEngine") -> CoapResponseContext:
+    pdu = engine.current_pdu
+    if pdu is None:
+        raise HelperFault("CoAP helper called outside a CoAP-triggered run")
+    return pdu
+
+
+def format_s16_dfp(value: int, fp_digits: int) -> str:
+    """RIOT's ``fmt_s16_dfp``: render value * 10^fp_digits as decimal."""
+    if value >= 1 << 15:
+        value -= 1 << 16
+    if fp_digits == 0:
+        return str(value)
+    if fp_digits > 0:
+        return str(value) + "0" * fp_digits
+    divisor = 10 ** (-fp_digits)
+    sign = "-" if value < 0 else ""
+    magnitude = abs(value)
+    return f"{sign}{magnitude // divisor}.{magnitude % divisor:0{-fp_digits}d}"
+
+
+def _format_printf(fmt: bytes, args: list[int]) -> str:
+    """Minimal C-style formatter supporting %d/%u/%x/%c/%%."""
+    out: list[str] = []
+    arg_index = 0
+    i = 0
+    text = fmt.decode("ascii", errors="replace")
+    while i < len(text):
+        ch = text[i]
+        if ch != "%" or i + 1 >= len(text):
+            out.append(ch)
+            i += 1
+            continue
+        spec = text[i + 1]
+        i += 2
+        if spec == "%":
+            out.append("%")
+            continue
+        value = args[arg_index] if arg_index < len(args) else 0
+        arg_index += 1
+        if spec == "d":
+            signed = value - (1 << 64) if value >= 1 << 63 else value
+            out.append(str(signed))
+        elif spec == "u":
+            out.append(str(value))
+        elif spec == "x":
+            out.append(format(value, "x"))
+        elif spec == "c":
+            out.append(chr(value & 0x7F))
+        else:
+            out.append("%" + spec)
+    return "".join(out)
+
+
+def build_helper_registry(engine: "HostingEngine") -> HelperRegistry:
+    """Instantiate the full bpfapi helper set bound to ``engine``."""
+    registry = HelperRegistry()
+
+    # -- tracing / memory -------------------------------------------------
+
+    def bpf_printf(vm: "Interpreter", fmt_ptr, a1, a2, a3, _r5):
+        fmt = vm.access_list.read_cstring(fmt_ptr)
+        engine.trace_log.append(_format_printf(fmt, [a1, a2, a3]))
+        return 0
+
+    def bpf_memcpy(vm: "Interpreter", dst, src, length, _r4, _r5):
+        length &= 0xFFFF
+        payload = vm.access_list.read_bytes(src, length)
+        vm.access_list.write_bytes(dst, payload)
+        return dst
+
+    # -- key-value stores ---------------------------------------------------
+
+    def _store_for(scope: str):
+        container = _current(engine)
+        if scope == "local":
+            return container.local_store
+        if scope == "global":
+            return engine.global_store
+        if container.tenant is None:
+            raise HelperFault("container has no tenant for tenant-store access")
+        return container.tenant.store
+
+    def _make_store(scope: str):
+        def bpf_store(vm: "Interpreter", key, value, _r3, _r4, _r5):
+            _store_for(scope).store(key & _U32, value & _U32)
+            return 0
+
+        return bpf_store
+
+    def _make_fetch(scope: str):
+        def bpf_fetch(vm: "Interpreter", key, value_ptr, _r3, _r4, _r5):
+            value = _store_for(scope).fetch(key & _U32)
+            vm.access_list.store(value_ptr, 4, value)
+            return 0
+
+        return bpf_fetch
+
+    # -- time -------------------------------------------------------------------
+
+    def bpf_now_ms(vm: "Interpreter", _r1, _r2, _r3, _r4, _r5):
+        return int(engine.kernel.clock.time_ms)
+
+    def bpf_ztimer_now(vm: "Interpreter", _r1, _r2, _r3, _r4, _r5):
+        return int(engine.kernel.clock.time_us)
+
+    def bpf_ztimer_periodic_wakeup(vm, _last_ptr, _period, _r3, _r4, _r5):
+        # Containers are event-driven; periodic scheduling is configured on
+        # the hook, so inside the VM this is a no-op acknowledgement.
+        return 0
+
+    # -- SAUL ----------------------------------------------------------------------
+
+    def bpf_saul_reg_find_nth(vm: "Interpreter", index, _r2, _r3, _r4, _r5):
+        device = engine.saul.find_nth(index)
+        return 0 if device is None else index + 1
+
+    def bpf_saul_reg_find_type(vm: "Interpreter", device_class, _2, _3, _4, _5):
+        found = engine.saul.find_type(device_class)
+        return 0 if found is None else found[0] + 1
+
+    def _device(handle: int):
+        device = engine.saul.find_nth(handle - 1) if handle else None
+        if device is None:
+            raise HelperFault(f"invalid SAUL handle {handle}")
+        return device
+
+    def bpf_saul_reg_read(vm: "Interpreter", handle, phydat_ptr, _3, _4, _5):
+        data = _device(handle).read()
+        values = [
+            max(-(1 << 15), min(v, (1 << 15) - 1)) for v in data.values[:3]
+        ]
+        values += [0] * (3 - len(values))
+        packed = struct.pack("<hhhBb", *values, 0, data.scale)
+        vm.access_list.write_bytes(phydat_ptr, packed)
+        return len(data.values)
+
+    def bpf_saul_reg_write(vm: "Interpreter", handle, value, _3, _4, _5):
+        return _device(handle).write(value & _U32)
+
+    # -- CoAP response construction --------------------------------------------------
+
+    def bpf_gcoap_resp_init(vm: "Interpreter", _ctx, code, _3, _4, _5):
+        _current_pdu(engine).code = code & 0xFF
+        return 0
+
+    def bpf_coap_add_format(vm: "Interpreter", _ctx, content_format, _3, _4, _5):
+        _current_pdu(engine).content_format = content_format & 0xFFFF
+        return 0
+
+    def bpf_coap_opt_finish(vm: "Interpreter", _ctx, _flags, _3, _4, _5):
+        return _current_pdu(engine).header_length
+
+    def bpf_coap_get_pdu(vm: "Interpreter", _ctx, _r2, _3, _4, _5):
+        pdu = _current_pdu(engine)
+        if all(region is not pdu.region for region in vm.access_list.regions):
+            vm.access_list.add(pdu.region)
+        return PDU_PAYLOAD_BASE
+
+    # -- formatting ------------------------------------------------------------------
+
+    def bpf_fmt_u32_dec(vm: "Interpreter", buf_ptr, value, _3, _4, _5):
+        text = str(value & _U32).encode("ascii")
+        vm.access_list.write_bytes(buf_ptr, text)
+        return len(text)
+
+    def bpf_fmt_s16_dfp(vm: "Interpreter", buf_ptr, value, fp_digits, _4, _5):
+        fp = fp_digits - (1 << 64) if fp_digits >= 1 << 63 else fp_digits
+        text = format_s16_dfp(value & 0xFFFF, int(fp)).encode("ascii")
+        vm.access_list.write_bytes(buf_ptr, text)
+        return len(text)
+
+    # -- registration -------------------------------------------------------------------
+
+    registry.register(h.BPF_PRINTF, bpf_printf, cost_key="trace")
+    registry.register(h.BPF_MEMCPY, bpf_memcpy, cost_key="mem")
+    registry.register(h.BPF_STORE_LOCAL, _make_store("local"), cost_key="kv")
+    registry.register(h.BPF_STORE_GLOBAL, _make_store("global"), cost_key="kv")
+    registry.register(h.BPF_FETCH_LOCAL, _make_fetch("local"), cost_key="kv")
+    registry.register(h.BPF_FETCH_GLOBAL, _make_fetch("global"), cost_key="kv")
+    registry.register(h.BPF_STORE_TENANT, _make_store("tenant"), cost_key="kv")
+    registry.register(h.BPF_FETCH_TENANT, _make_fetch("tenant"), cost_key="kv")
+    registry.register(h.BPF_NOW_MS, bpf_now_ms, cost_key="time")
+    registry.register(h.BPF_ZTIMER_NOW, bpf_ztimer_now, cost_key="time")
+    registry.register(h.BPF_ZTIMER_PERIODIC_WAKEUP, bpf_ztimer_periodic_wakeup,
+                      cost_key="time")
+    registry.register(h.BPF_SAUL_REG_FIND_NTH, bpf_saul_reg_find_nth,
+                      cost_key="saul")
+    registry.register(h.BPF_SAUL_REG_FIND_TYPE, bpf_saul_reg_find_type,
+                      cost_key="saul")
+    registry.register(h.BPF_SAUL_REG_READ, bpf_saul_reg_read, cost_key="saul")
+    registry.register(h.BPF_SAUL_REG_WRITE, bpf_saul_reg_write, cost_key="saul")
+    registry.register(h.BPF_GCOAP_RESP_INIT, bpf_gcoap_resp_init,
+                      cost_key="coap")
+    registry.register(h.BPF_COAP_ADD_FORMAT, bpf_coap_add_format,
+                      cost_key="coap")
+    registry.register(h.BPF_COAP_OPT_FINISH, bpf_coap_opt_finish,
+                      cost_key="coap")
+    registry.register(h.BPF_COAP_GET_PDU, bpf_coap_get_pdu, cost_key="coap")
+    registry.register(h.BPF_FMT_U32_DEC, bpf_fmt_u32_dec, cost_key="fmt")
+    registry.register(h.BPF_FMT_S16_DFP, bpf_fmt_s16_dfp, cost_key="fmt")
+    return registry

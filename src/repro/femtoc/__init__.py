@@ -1,0 +1,14 @@
+"""femtoC: compile the script language down to eBPF bytecode."""
+
+from repro.femtoc.compiler import Compiler, compile_source
+from repro.femtoc.errors import CompileError
+from repro.femtoc.intrinsics import CTX_ACCESSORS, INTRINSICS, Intrinsic
+
+__all__ = [
+    "CTX_ACCESSORS",
+    "Compiler",
+    "CompileError",
+    "INTRINSICS",
+    "Intrinsic",
+    "compile_source",
+]

@@ -1,0 +1,368 @@
+"""femtoC — a tiny compiler from the script language to eBPF bytecode.
+
+The paper's containers are written in C and compiled with LLVM's eBPF
+backend; this module provides the equivalent authoring experience for the
+reproduction: the same source language the script runtimes interpret
+(§ ``repro.runtimes.script``) compiles down to verifier-clean eBPF that
+runs in a Femto-Container at eBPF speed.
+
+Supported subset:
+
+* ``var`` declarations, assignments, integer arithmetic/bit operations,
+  comparisons (unsigned), ``!``/unary ``-``, short-circuit ``&&``/``||``;
+* ``if``/``else``, ``while``, ``return``;
+* intrinsic calls lowering to bpf helpers (``fetch_global``, ``saul_read``,
+  ``now_ms``... see :mod:`repro.femtoc.intrinsics`) plus ``ctx_u8/16/32/64``
+  context accessors and ``trace(v)`` (bpf_printf with a rodata format);
+* no user-defined functions, strings or heap — exactly the restrictions
+  the eBPF target imposes on real Femto-Container C code.
+
+Lowering model: every variable lives in an 8-byte stack slot addressed
+off r10; expressions evaluate on a small register stack (r6..r9, the
+registers our helpers never clobber); the context pointer is spilled to a
+reserved slot in the prologue so it survives helper calls.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.femtoc.errors import CompileError
+from repro.femtoc.intrinsics import CTX_ACCESSORS, INTRINSICS
+from repro.runtimes.script import nodes
+from repro.runtimes.script.parser import parse
+from repro.vm import helpers as h
+from repro.vm.builder import ProgramBuilder, R
+from repro.vm.program import Program
+
+#: Expression evaluation registers (helpers never clobber r6..r9).
+_EXPR_REGS = (6, 7, 8, 9)
+
+#: Stack layout: [0..7] saved ctx pointer, [8..15] helper scratch,
+#: variables from byte 16 upward.
+_CTX_SLOT = 0
+_SCRATCH_SLOT = 8
+_VARS_BASE = 16
+
+_CMP_OPS = {
+    "==": "jeq", "!=": "jne", "<": "jlt", ">": "jgt",
+    "<=": "jle", ">=": "jge",
+}
+_ALU_OPS = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+    "&": "and", "|": "or", "^": "xor", "<<": "lsh", ">>": "rsh",
+}
+
+_TRACE_FORMAT = b"trace: %d\x00"
+
+
+class Compiler:
+    """One compilation unit (the top-level statement list)."""
+
+    def __init__(self, script: nodes.Script, name: str = "femtoc",
+                 stack_size: int = 512):
+        self.script = script
+        self.builder = ProgramBuilder(name=name, rodata=_TRACE_FORMAT)
+        self.slots: dict[str, int] = {}
+        self.stack_size = stack_size
+        self._labels = itertools.count()
+        self._free_regs = list(_EXPR_REGS)
+
+    # -- register stack ----------------------------------------------------
+
+    def _acquire(self, line: int) -> int:
+        if not self._free_regs:
+            raise CompileError(
+                "expression too deeply nested for the register allocator "
+                "(split it with intermediate variables)", line)
+        return self._free_regs.pop(0)
+
+    def _release(self, reg: int) -> None:
+        self._free_regs.insert(0, reg)
+
+    def _label(self, stem: str) -> str:
+        return f"{stem}_{next(self._labels)}"
+
+    # -- variables ----------------------------------------------------------
+
+    def _slot_of(self, name: str, line: int, declare: bool = False) -> int:
+        if declare:
+            if name in self.slots:
+                raise CompileError(f"variable {name!r} already declared", line)
+            offset = _VARS_BASE + 8 * len(self.slots)
+            if offset + 8 > self.stack_size:
+                raise CompileError(
+                    f"too many variables for the {self.stack_size} B stack",
+                    line)
+            self.slots[name] = offset
+            return offset
+        if name not in self.slots:
+            raise CompileError(f"unknown variable {name!r}", line)
+        return self.slots[name]
+
+    # -- compilation --------------------------------------------------------
+
+    def compile(self) -> Program:
+        b = self.builder
+        # Prologue: spill the context pointer so helper calls can't eat it.
+        b.stxdw(R(10), _CTX_SLOT, R(1))
+        for statement in self.script.body:
+            self._statement(statement)
+        # Implicit `return 0` when control reaches the end.
+        b.mov(R(0), 0)
+        b.exit_()
+        return b.build()
+
+    def _statement(self, node: nodes.Node) -> None:
+        b = self.builder
+        if isinstance(node, nodes.VarDecl):
+            offset = self._slot_of(node.name, node.line, declare=True)
+            reg = self._expression(
+                node.initializer
+                if node.initializer is not None
+                else nodes.Literal(value=0, line=node.line)
+            )
+            b.stxdw(R(10), offset, R(reg))
+            self._release(reg)
+        elif isinstance(node, nodes.Assign):
+            offset = self._slot_of(node.name, node.line)
+            reg = self._expression(node.value)
+            b.stxdw(R(10), offset, R(reg))
+            self._release(reg)
+        elif isinstance(node, nodes.Return):
+            if node.value is not None:
+                reg = self._expression(node.value)
+                b.mov(R(0), R(reg))
+                self._release(reg)
+            else:
+                b.mov(R(0), 0)
+            b.exit_()
+        elif isinstance(node, nodes.If):
+            self._if(node)
+        elif isinstance(node, nodes.While):
+            self._while(node)
+        elif isinstance(node, nodes.ExprStatement):
+            reg = self._expression(node.expression)
+            self._release(reg)
+        elif isinstance(node, nodes.FuncDecl):
+            raise CompileError(
+                "user-defined functions are not supported by the eBPF "
+                "target (inline the logic)", node.line)
+        else:
+            raise CompileError(
+                f"cannot compile {type(node).__name__}", node.line)
+
+    def _if(self, node: nodes.If) -> None:
+        b = self.builder
+        else_label = self._label("else")
+        end_label = self._label("endif")
+        cond = self._expression(node.condition)
+        b.branch("jeq", R(cond), 0, else_label)
+        self._release(cond)
+        for statement in node.then_body:
+            self._statement(statement)
+        b.jump(end_label)
+        b.label(else_label)
+        for statement in node.else_body:
+            self._statement(statement)
+        b.label(end_label)
+
+    def _while(self, node: nodes.While) -> None:
+        b = self.builder
+        head = self._label("while")
+        end = self._label("endwhile")
+        b.label(head)
+        cond = self._expression(node.condition)
+        b.branch("jeq", R(cond), 0, end)
+        self._release(cond)
+        for statement in node.body:
+            self._statement(statement)
+        b.jump(head)
+        b.label(end)
+
+    # -- expressions --------------------------------------------------------------
+
+    def _expression(self, node: nodes.Node) -> int:
+        """Lower an expression; returns the register holding the value."""
+        b = self.builder
+        if isinstance(node, nodes.Literal):
+            reg = self._acquire(node.line)
+            value = node.value
+            if isinstance(value, bool):
+                value = int(value)
+            if not isinstance(value, int):
+                raise CompileError(
+                    f"only integer literals compile to eBPF, got "
+                    f"{type(node.value).__name__}", node.line)
+            if -(1 << 31) <= value < (1 << 31):
+                b.mov(R(reg), value)
+            else:
+                b.lddw(R(reg), value & ((1 << 64) - 1))
+            return reg
+        if isinstance(node, nodes.Name):
+            offset = self._slot_of(node.identifier, node.line)
+            reg = self._acquire(node.line)
+            b.ldxdw(R(reg), R(10), offset)
+            return reg
+        if isinstance(node, nodes.Unary):
+            return self._unary(node)
+        if isinstance(node, nodes.Binary):
+            return self._binary(node)
+        if isinstance(node, nodes.Call):
+            return self._call(node)
+        if isinstance(node, nodes.Index):
+            raise CompileError(
+                "indexing compiles only through ctx_u8/16/32/64 accessors",
+                node.line)
+        raise CompileError(
+            f"cannot compile expression {type(node).__name__}", node.line)
+
+    def _unary(self, node: nodes.Unary) -> int:
+        b = self.builder
+        reg = self._expression(node.operand)
+        if node.operator == "-":
+            b.neg(R(reg))
+        else:  # '!'
+            true_label = self._label("not")
+            end = self._label("endnot")
+            b.branch("jeq", R(reg), 0, true_label)
+            b.mov(R(reg), 0)
+            b.jump(end)
+            b.label(true_label)
+            b.mov(R(reg), 1)
+            b.label(end)
+        return reg
+
+    def _binary(self, node: nodes.Binary) -> int:
+        b = self.builder
+        operator = node.operator
+        if operator in ("&&", "||"):
+            return self._logical(node)
+        left = self._expression(node.left)
+        right = self._expression(node.right)
+        if operator in _ALU_OPS:
+            b.alu(_ALU_OPS[operator], R(left), R(right))
+            self._release(right)
+            return left
+        if operator in _CMP_OPS:
+            true_label = self._label("cmp")
+            end = self._label("endcmp")
+            b.branch(_CMP_OPS[operator], R(left), R(right), true_label)
+            b.mov(R(left), 0)
+            b.jump(end)
+            b.label(true_label)
+            b.mov(R(left), 1)
+            b.label(end)
+            self._release(right)
+            return left
+        raise CompileError(f"operator {operator!r} not supported", node.line)
+
+    def _logical(self, node: nodes.Binary) -> int:
+        """Short-circuit &&/|| producing 0/1."""
+        b = self.builder
+        result = self._expression(node.left)
+        short = self._label("short")
+        end = self._label("endlogic")
+        if node.operator == "&&":
+            b.branch("jeq", R(result), 0, short)
+        else:
+            b.branch("jne", R(result), 0, short)
+        self._release(result)
+        right = self._expression(node.right)
+        if right != result:  # keep the value in one register
+            b.mov(R(result), R(right))
+            self._release(right)
+            self._free_regs.remove(result)
+        # Normalize the surviving operand to 0/1.
+        norm_true = self._label("norm")
+        b.branch("jne", R(result), 0, norm_true)
+        b.mov(R(result), 0)
+        b.jump(end)
+        b.label(norm_true)
+        b.mov(R(result), 1)
+        b.jump(end)
+        b.label(short)
+        b.mov(R(result), 0 if node.operator == "&&" else 1)
+        b.label(end)
+        return result
+
+    # -- calls -------------------------------------------------------------------------
+
+    def _call(self, node: nodes.Call) -> int:
+        b = self.builder
+        name = node.callee
+
+        if name in CTX_ACCESSORS:
+            if len(node.arguments) != 1:
+                raise CompileError(f"{name} takes one offset", node.line)
+            offset_node = node.arguments[0]
+            width = CTX_ACCESSORS[name]
+            if isinstance(offset_node, nodes.Literal) \
+                    and isinstance(offset_node.value, int) \
+                    and 0 <= offset_node.value < (1 << 15):
+                # Constant offset: single load off the reloaded pointer.
+                reg = self._acquire(node.line)
+                b.ldxdw(R(reg), R(10), _CTX_SLOT)
+                b.load(R(reg), R(reg), offset_node.value, size=width)
+                return reg
+            # Computed offset: pointer arithmetic, checked at runtime by
+            # the access list like any other memory access.
+            offset = self._expression(offset_node)
+            base = self._acquire(node.line)
+            b.ldxdw(R(base), R(10), _CTX_SLOT)
+            b.add(R(base), R(offset))
+            self._release(offset)
+            b.load(R(base), R(base), 0, size=width)
+            return base
+
+        if name == "trace":
+            if len(node.arguments) != 1:
+                raise CompileError("trace takes one value", node.line)
+            value = self._expression(node.arguments[0])
+            b.lddwr(R(1), 0)                           # "trace: %d"
+            b.mov(R(2), R(value))
+            b.call(h.BPF_PRINTF)
+            result = self._acquire(node.line)
+            b.mov(R(result), R(value))
+            self._release(value)
+            return result
+
+        intrinsic = INTRINSICS.get(name)
+        if intrinsic is None:
+            raise CompileError(f"unknown function {name!r} (user functions "
+                               "are not compilable)", node.line)
+        if len(node.arguments) != intrinsic.arg_count:
+            raise CompileError(
+                f"{name} expects {intrinsic.arg_count} argument(s)",
+                node.line)
+        arg_regs = [self._expression(arg) for arg in node.arguments]
+        if intrinsic.form == "fetch":
+            b.mov(R(1), R(arg_regs[0]))
+            b.mov(R(2), R(10))
+            b.add(R(2), _SCRATCH_SLOT)
+            b.call(intrinsic.helper_id)
+            result = arg_regs[0]
+            b.ldxw(R(result), R(10), _SCRATCH_SLOT)
+            return result
+        if intrinsic.form == "saul":
+            b.mov(R(1), R(arg_regs[0]))
+            b.mov(R(2), R(10))
+            b.add(R(2), _SCRATCH_SLOT)
+            b.call(intrinsic.helper_id)
+            result = arg_regs[0]
+            b.ldxh(R(result), R(10), _SCRATCH_SLOT)    # phydat val[0]
+            return result
+        for index, reg in enumerate(arg_regs, start=1):
+            b.mov(R(index), R(reg))
+        for reg in arg_regs[1:]:
+            self._release(reg)
+        b.call(intrinsic.helper_id)
+        result = arg_regs[0] if arg_regs else self._acquire(node.line)
+        b.mov(R(result), R(0))
+        return result
+
+
+def compile_source(source: str, name: str = "femtoc",
+                   stack_size: int = 512) -> Program:
+    """Compile femtoC source text into a verifier-ready eBPF program."""
+    return Compiler(parse(source), name=name, stack_size=stack_size).compile()

@@ -1,0 +1,44 @@
+"""Low-power network substrate: lossy link, UDP, CoAP, block-wise transfer."""
+
+from repro.net.block import BlockOption, slice_block
+from repro.net.coap import (
+    ACK,
+    CoapError,
+    CoapMessage,
+    COAP_PORT,
+    CON,
+    CONTENT,
+    GET,
+    NON,
+    NOT_FOUND,
+    POST,
+    code_string,
+)
+from repro.net.gcoap import CoapClient, CoapServer, Resource
+from repro.net.link import Interface, Link, LinkStats
+from repro.net.udp import Datagram, UdpSocket, UdpStack
+
+__all__ = [
+    "ACK",
+    "BlockOption",
+    "COAP_PORT",
+    "CON",
+    "CONTENT",
+    "CoapClient",
+    "CoapError",
+    "CoapMessage",
+    "CoapServer",
+    "Datagram",
+    "GET",
+    "Interface",
+    "Link",
+    "LinkStats",
+    "NON",
+    "NOT_FOUND",
+    "POST",
+    "Resource",
+    "UdpSocket",
+    "UdpStack",
+    "code_string",
+    "slice_block",
+]

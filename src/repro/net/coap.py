@@ -1,0 +1,202 @@
+"""CoAP message codec and reliability (RFC 7252 subset).
+
+Implements what the paper's update and sensor paths need: the 4-byte
+header, tokens, option delta encoding (with the 13/269 extended forms),
+payload marker, CON/ACK exchange with binary exponential backoff, and the
+Block2 option (RFC 7959) used for SUIT payload fetches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+COAP_VERSION = 1
+COAP_PORT = 5683
+
+# Message types.
+CON, NON, ACK, RST = 0, 1, 2, 3
+
+# Method and response codes (class.detail packed as in RFC 7252).
+
+
+def code(class_: int, detail: int) -> int:
+    return (class_ << 5) | detail
+
+
+GET = code(0, 1)
+POST = code(0, 2)
+PUT = code(0, 3)
+DELETE = code(0, 4)
+CREATED = code(2, 1)
+CHANGED = code(2, 4)
+CONTENT = code(2, 5)
+BAD_REQUEST = code(4, 0)
+UNAUTHORIZED = code(4, 1)
+FORBIDDEN = code(4, 3)
+NOT_FOUND = code(4, 4)
+INTERNAL_SERVER_ERROR = code(5, 0)
+
+# Option numbers.
+OPT_URI_PATH = 11
+OPT_CONTENT_FORMAT = 12
+OPT_BLOCK2 = 23
+OPT_BLOCK1 = 27
+
+#: Retransmission parameters (RFC 7252 §4.8, scaled for simulation).
+ACK_TIMEOUT_US = 2_000_000.0
+MAX_RETRANSMIT = 4
+
+
+class CoapError(Exception):
+    """Malformed CoAP message."""
+
+
+def code_string(value: int) -> str:
+    """Render a code as the usual dotted form, e.g. 0x45 -> '2.05'."""
+    return f"{value >> 5}.{value & 0x1F:02d}"
+
+
+@dataclass
+class CoapMessage:
+    """One CoAP PDU."""
+
+    mtype: int = CON
+    code: int = GET
+    message_id: int = 0
+    token: bytes = b""
+    options: list[tuple[int, bytes]] = field(default_factory=list)
+    payload: bytes = b""
+
+    # -- option helpers -----------------------------------------------------
+
+    def add_option(self, number: int, value: bytes) -> "CoapMessage":
+        self.options.append((number, value))
+        return self
+
+    def add_uri_path(self, path: str) -> "CoapMessage":
+        for segment in path.strip("/").split("/"):
+            if segment:
+                self.add_option(OPT_URI_PATH, segment.encode())
+        return self
+
+    def option(self, number: int) -> bytes | None:
+        for num, value in self.options:
+            if num == number:
+                return value
+        return None
+
+    @property
+    def uri_path(self) -> str:
+        return "/" + "/".join(
+            value.decode() for num, value in self.options if num == OPT_URI_PATH
+        )
+
+    # -- codec ------------------------------------------------------------------
+
+    def encode(self) -> bytes:
+        if not 0 <= len(self.token) <= 8:
+            raise CoapError(f"token length {len(self.token)} out of range")
+        out = bytearray()
+        out.append((COAP_VERSION << 6) | (self.mtype << 4) | len(self.token))
+        out.append(self.code & 0xFF)
+        out += self.message_id.to_bytes(2, "big")
+        out += self.token
+        last_number = 0
+        for number, value in sorted(self.options, key=lambda item: item[0]):
+            delta = number - last_number
+            last_number = number
+            out += _encode_option_header(delta, len(value))
+            out += value
+        if self.payload:
+            out.append(0xFF)
+            out += self.payload
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "CoapMessage":
+        if len(raw) < 4:
+            raise CoapError("message shorter than the base header")
+        version = raw[0] >> 6
+        if version != COAP_VERSION:
+            raise CoapError(f"unsupported CoAP version {version}")
+        mtype = (raw[0] >> 4) & 0x3
+        tkl = raw[0] & 0xF
+        if tkl > 8:
+            raise CoapError(f"token length {tkl} is reserved")
+        msg = cls(
+            mtype=mtype,
+            code=raw[1],
+            message_id=int.from_bytes(raw[2:4], "big"),
+        )
+        pos = 4
+        if pos + tkl > len(raw):
+            raise CoapError("truncated token")
+        msg.token = raw[pos : pos + tkl]
+        pos += tkl
+        number = 0
+        while pos < len(raw):
+            if raw[pos] == 0xFF:
+                payload = raw[pos + 1 :]
+                if not payload:
+                    raise CoapError("payload marker with empty payload")
+                msg.payload = payload
+                break
+            delta, length, pos = _decode_option_header(raw, pos)
+            number += delta
+            if pos + length > len(raw):
+                raise CoapError("truncated option value")
+            msg.add_option(number, raw[pos : pos + length])
+            pos += length
+        return msg
+
+    def reply(self, response_code: int, payload: bytes = b"",
+              mtype: int | None = None) -> "CoapMessage":
+        """Build a piggybacked (ACK) response to this request."""
+        return CoapMessage(
+            mtype=ACK if mtype is None else mtype,
+            code=response_code,
+            message_id=self.message_id,
+            token=self.token,
+            payload=payload,
+        )
+
+
+def _encode_option_header(delta: int, length: int) -> bytes:
+    def split(value: int) -> tuple[int, bytes]:
+        if value < 13:
+            return value, b""
+        if value < 269:
+            return 13, bytes([value - 13])
+        return 14, (value - 269).to_bytes(2, "big")
+
+    delta_nibble, delta_ext = split(delta)
+    length_nibble, length_ext = split(length)
+    return bytes([(delta_nibble << 4) | length_nibble]) + delta_ext + length_ext
+
+
+def _decode_option_header(raw: bytes, pos: int) -> tuple[int, int, int]:
+    byte = raw[pos]
+    pos += 1
+    delta, length = byte >> 4, byte & 0xF
+    if delta == 15 or length == 15:
+        raise CoapError("reserved option nibble 15")
+
+    def extend(nibble: int) -> int:
+        nonlocal pos
+        if nibble == 13:
+            if pos + 1 > len(raw):
+                raise CoapError("truncated extended option header")
+            value = raw[pos] + 13
+            pos += 1
+            return value
+        if nibble == 14:
+            if pos + 2 > len(raw):
+                raise CoapError("truncated extended option header")
+            value = int.from_bytes(raw[pos : pos + 2], "big") + 269
+            pos += 2
+            return value
+        return nibble
+
+    delta = extend(delta)
+    length = extend(length)
+    return delta, length, pos

@@ -1,0 +1,103 @@
+"""Simulated IEEE 802.15.4-class radio link with 6LoWPAN-style fragmentation.
+
+One :class:`Link` connects any number of interfaces (a broadcast domain).
+Frames above the 802.15.4 payload MTU are fragmented and reassembled
+transparently, each fragment paying its own airtime and loss dice roll —
+so large transfers (e.g. SUIT payloads) really behave like low-power
+wireless: slower, lossier, retransmitted block by block.
+
+Loss is deterministic given the seed, keeping every experiment repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rtos.kernel import Kernel
+
+#: Usable payload per 802.15.4 frame after MAC/6LoWPAN headers (bytes).
+FRAME_PAYLOAD = 96
+#: Nominal 802.15.4 air bitrate.
+BITRATE_BPS = 250_000
+#: Per-frame MAC/PHY overhead (headers, CSMA, turnaround), microseconds.
+FRAME_OVERHEAD_US = 1_200.0
+
+
+@dataclass
+class LinkStats:
+    frames_sent: int = 0
+    frames_dropped: int = 0
+    bytes_sent: int = 0
+    datagrams_delivered: int = 0
+
+
+@dataclass
+class Interface:
+    """One radio endpoint with an address and a receive callback."""
+
+    addr: str
+    receive: Callable[[bytes, str], None] | None = None
+    link: "Link | None" = None
+
+    def send(self, dst_addr: str, payload: bytes) -> None:
+        if self.link is None:
+            raise RuntimeError(f"interface {self.addr!r} is not attached")
+        self.link.transmit(self, dst_addr, payload)
+
+
+class Link:
+    """A shared lossy medium delivering datagrams with airtime latency."""
+
+    def __init__(self, kernel: "Kernel", loss: float = 0.0, seed: int = 1234,
+                 latency_us: float = FRAME_OVERHEAD_US):
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss probability out of range: {loss}")
+        self.kernel = kernel
+        self.loss = loss
+        self.latency_us = latency_us
+        self._rng = random.Random(seed)
+        self._interfaces: dict[str, Interface] = {}
+        self.stats = LinkStats()
+
+    def attach(self, iface: Interface) -> Interface:
+        if iface.addr in self._interfaces:
+            raise ValueError(f"address {iface.addr!r} already attached")
+        iface.link = self
+        self._interfaces[iface.addr] = iface
+        return iface
+
+    def interface(self, addr: str) -> Interface:
+        return self._interfaces[addr]
+
+    def transmit(self, src: Interface, dst_addr: str, payload: bytes) -> None:
+        """Send one datagram; it arrives fragmented, delayed, or not at all.
+
+        The whole datagram is lost if *any* fragment is lost (link-layer
+        reassembly has no ARQ here; reliability belongs to CoAP CON/ACK).
+        """
+        dst = self._interfaces.get(dst_addr)
+        fragments = max(1, -(-len(payload) // FRAME_PAYLOAD))
+        airtime_us = (
+            fragments * self.latency_us
+            + (len(payload) + fragments * 21) * 8 / BITRATE_BPS * 1e6
+        )
+        self.stats.frames_sent += fragments
+        self.stats.bytes_sent += len(payload)
+        if dst is None:
+            return  # no such destination: the frames vanish into the ether
+        for _ in range(fragments):
+            if self._rng.random() < self.loss:
+                self.stats.frames_dropped += 1
+                return
+        data = bytes(payload)
+        src_addr = src.addr
+
+        def deliver() -> None:
+            self.stats.datagrams_delivered += 1
+            if dst.receive is not None:
+                dst.receive(data, src_addr)
+
+        self.kernel.timers.set(deliver, airtime_us)

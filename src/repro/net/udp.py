@@ -1,0 +1,77 @@
+"""Minimal UDP layer over the simulated link."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.net.link import Interface
+
+_HEADER = struct.Struct("<HH")
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """One received UDP datagram."""
+
+    src_addr: str
+    src_port: int
+    dst_port: int
+    payload: bytes
+
+
+class UdpStack:
+    """Port demultiplexer bound to one interface."""
+
+    def __init__(self, iface: Interface):
+        self.iface = iface
+        self._sockets: dict[int, "UdpSocket"] = {}
+        iface.receive = self._on_frame
+
+    def socket(self, port: int) -> "UdpSocket":
+        if port in self._sockets:
+            raise ValueError(f"port {port} already bound on {self.iface.addr}")
+        sock = UdpSocket(self, port)
+        self._sockets[port] = sock
+        return sock
+
+    def _on_frame(self, frame: bytes, src_addr: str) -> None:
+        if len(frame) < _HEADER.size:
+            return  # runt datagram: dropped silently, like real UDP
+        src_port, dst_port = _HEADER.unpack_from(frame)
+        sock = self._sockets.get(dst_port)
+        if sock is None:
+            return  # no listener: ICMP-less world, silently dropped
+        sock.deliver(
+            Datagram(
+                src_addr=src_addr,
+                src_port=src_port,
+                dst_port=dst_port,
+                payload=frame[_HEADER.size :],
+            )
+        )
+
+    def send(self, src_port: int, dst_addr: str, dst_port: int,
+             payload: bytes) -> None:
+        self.iface.send(dst_addr, _HEADER.pack(src_port, dst_port) + payload)
+
+
+class UdpSocket:
+    """One bound port; delivers datagrams to a callback."""
+
+    def __init__(self, stack: UdpStack, port: int):
+        self.stack = stack
+        self.port = port
+        self.on_datagram: Callable[[Datagram], None] | None = None
+        self.received = 0
+        self.sent = 0
+
+    def send_to(self, dst_addr: str, dst_port: int, payload: bytes) -> None:
+        self.sent += 1
+        self.stack.send(self.port, dst_addr, dst_port, payload)
+
+    def deliver(self, datagram: Datagram) -> None:
+        self.received += 1
+        if self.on_datagram is not None:
+            self.on_datagram(datagram)

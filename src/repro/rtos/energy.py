@@ -1,0 +1,69 @@
+"""Energy accounting (the abstract's "energy consumption" axis).
+
+The meter integrates active vs sleep time from the kernel clock and the
+board's current-draw model.  It also prices network transfers, which is
+what the §11 discussion trades against virtualization overhead: updating a
+small Femto-Container image instead of a full firmware saves radio energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rtos.board import Board
+
+#: Typical 802.15.4 radio energy per transferred byte at 250 kbit/s,
+#: including protocol overhead (µJ/byte, order-of-magnitude model).
+RADIO_UJ_PER_BYTE = 2.0
+
+
+@dataclass
+class EnergyReport:
+    """Energy split of one measured interval."""
+
+    active_uj: float
+    sleep_uj: float
+    radio_uj: float = 0.0
+
+    @property
+    def total_uj(self) -> float:
+        return self.active_uj + self.sleep_uj + self.radio_uj
+
+
+class EnergyMeter:
+    """Integrates energy from cycle counts against a board model."""
+
+    def __init__(self, board: Board):
+        self.board = board
+        self._active_cycles = 0
+        self._sleep_us = 0.0
+        self._radio_bytes = 0
+
+    def add_active_cycles(self, cycles: int) -> None:
+        self._active_cycles += cycles
+
+    def add_sleep_us(self, duration_us: float) -> None:
+        self._sleep_us += duration_us
+
+    def add_radio_bytes(self, count: int) -> None:
+        self._radio_bytes += count
+
+    def report(self) -> EnergyReport:
+        return EnergyReport(
+            active_uj=self.board.active_energy_uj(self._active_cycles),
+            sleep_uj=self.board.sleep_energy_uj(self._sleep_us),
+            radio_uj=self._radio_bytes * RADIO_UJ_PER_BYTE,
+        )
+
+
+def update_energy_uj(board: Board, payload_bytes: int,
+                     install_cycles: int = 0) -> float:
+    """Energy cost of one over-the-air update of ``payload_bytes``.
+
+    Used by the ablation bench to compare "update a 500 B container" vs
+    "update a 50 kB firmware" — the §11 argument that virtualization pays
+    for itself in update energy.
+    """
+    return payload_bytes * RADIO_UJ_PER_BYTE + board.active_energy_uj(
+        install_cycles
+    )

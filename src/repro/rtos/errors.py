@@ -1,0 +1,24 @@
+"""Exceptions raised by the RTOS simulation substrate."""
+
+from __future__ import annotations
+
+
+class RTOSError(Exception):
+    """Base class for kernel-level errors."""
+
+
+class SchedulerError(RTOSError):
+    """Invalid scheduling operation (double-start, unknown thread...)."""
+
+
+class TimerError(RTOSError):
+    """Invalid timer configuration."""
+
+
+class KernelPanic(RTOSError):
+    """A fault escaped into the kernel — this aborts the simulation.
+
+    The Femto-Containers fault-isolation property means hosted containers
+    must never cause this; tests assert it stays unraised under adversarial
+    container code.
+    """

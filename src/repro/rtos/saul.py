@@ -1,0 +1,130 @@
+"""SAUL — the [S]ensor [A]ctuator [U]ber [L]ayer, RIOT's driver registry.
+
+Containers read sensors exclusively through SAUL helper calls
+(``bpf_saul_reg_find_type`` / ``bpf_saul_reg_read``), mirroring the paper's
+networked-sensor example (§8.3).  Physical sensors are replaced by
+deterministic synthetic drivers: a seeded waveform generator per device, so
+experiments are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rtos.kernel import Kernel
+
+# SAUL class ids (subset of RIOT's saul.h).
+SENSE_TEMP = 0x82
+SENSE_HUM = 0x83
+SENSE_LIGHT = 0x84
+ACT_SWITCH = 0x01
+
+
+@dataclass
+class Phydat:
+    """RIOT's ``phydat_t``: up to three values with a decimal scale."""
+
+    values: tuple[int, ...]
+    unit: str = ""
+    scale: int = 0
+
+    @property
+    def value(self) -> int:
+        return self.values[0]
+
+
+@dataclass
+class SaulDevice:
+    """One registered driver."""
+
+    name: str
+    device_class: int
+    read_fn: Callable[[], Phydat]
+    write_fn: Callable[[int], int] | None = None
+    reads: int = 0
+    writes: int = 0
+
+    def read(self) -> Phydat:
+        self.reads += 1
+        return self.read_fn()
+
+    def write(self, value: int) -> int:
+        if self.write_fn is None:
+            return -1
+        self.writes += 1
+        return self.write_fn(value)
+
+
+class SaulRegistry:
+    """The device's driver registry, in registration order."""
+
+    def __init__(self) -> None:
+        self._devices: list[SaulDevice] = []
+
+    def register(self, device: SaulDevice) -> int:
+        """Register a driver; returns its registry index."""
+        self._devices.append(device)
+        return len(self._devices) - 1
+
+    def find_nth(self, index: int) -> SaulDevice | None:
+        if 0 <= index < len(self._devices):
+            return self._devices[index]
+        return None
+
+    def find_type(self, device_class: int) -> tuple[int, SaulDevice] | None:
+        """First device of the class, as (index, device)."""
+        for index, device in enumerate(self._devices):
+            if device.device_class == device_class:
+                return index, device
+        return None
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+
+def synthetic_temperature(
+    kernel: "Kernel",
+    seed: int = 42,
+    base_centi_c: int = 2150,
+    swing_centi_c: int = 350,
+    period_s: float = 120.0,
+    noise_centi_c: int = 15,
+) -> SaulDevice:
+    """A deterministic temperature sensor: slow sine plus seeded noise.
+
+    Values are centi-degrees Celsius (RIOT convention: value 2150 with
+    scale -2 means 21.50 °C).
+    """
+    rng = random.Random(seed)
+
+    def read() -> Phydat:
+        t_seconds = kernel.clock.time_us / 1e6
+        wave = math.sin(2.0 * math.pi * t_seconds / period_s)
+        noise = rng.randint(-noise_centi_c, noise_centi_c)
+        return Phydat(
+            values=(base_centi_c + round(swing_centi_c * wave) + noise,),
+            unit="degC",
+            scale=-2,
+        )
+
+    return SaulDevice(name="nrf_temp", device_class=SENSE_TEMP, read_fn=read)
+
+
+def synthetic_switch() -> SaulDevice:
+    """A write-capable actuator (e.g. an LED) storing its last value."""
+    state = {"value": 0}
+
+    def read() -> Phydat:
+        return Phydat(values=(state["value"],))
+
+    def write(value: int) -> int:
+        state["value"] = value
+        return 1
+
+    return SaulDevice(
+        name="led0", device_class=ACT_SWITCH, read_fn=read, write_fn=write
+    )

@@ -1,0 +1,99 @@
+"""ztimer — RIOT's high-level timer subsystem, simulated.
+
+Timers fire callbacks in "interrupt context": the kernel invokes them at
+the virtual instant they expire, before scheduling the next thread.
+Callbacks must be short; they typically post an event or wake a thread.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.rtos.errors import TimerError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rtos.kernel import Kernel
+
+
+@dataclass(order=True)
+class _TimerEntry:
+    deadline_cycles: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class TimerWheel:
+    """Min-heap of pending one-shot timers, keyed by virtual deadline."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self._heap: list[_TimerEntry] = []
+        self._seq = itertools.count()
+
+    def set(self, callback: Callable[[], None], delay_us: float) -> _TimerEntry:
+        """Arm a one-shot timer ``delay_us`` virtual microseconds from now."""
+        if delay_us < 0:
+            raise TimerError(f"negative timer delay: {delay_us}")
+        deadline = self.kernel.clock.cycles + self.kernel.clock.us_to_cycles(
+            delay_us
+        )
+        entry = _TimerEntry(deadline, next(self._seq), callback)
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def set_periodic(
+        self, callback: Callable[[], None], period_us: float
+    ) -> Callable[[], None]:
+        """Arm a repeating timer; returns a function that cancels it."""
+        if period_us <= 0:
+            raise TimerError(f"non-positive timer period: {period_us}")
+        state = {"entry": None, "stopped": False}
+
+        def fire() -> None:
+            if state["stopped"]:
+                return
+            callback()
+            if not state["stopped"]:
+                state["entry"] = self.set(fire, period_us)
+
+        state["entry"] = self.set(fire, period_us)
+
+        def cancel() -> None:
+            state["stopped"] = True
+            entry = state["entry"]
+            if entry is not None:
+                entry.cancelled = True
+
+        return cancel
+
+    def cancel(self, entry: _TimerEntry) -> None:
+        entry.cancelled = True
+
+    def next_deadline(self) -> int | None:
+        """Earliest pending deadline in cycles, or None when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].deadline_cycles
+
+    def fire_due(self) -> int:
+        """Run every callback whose deadline has passed; returns the count."""
+        fired = 0
+        now = self.kernel.clock.cycles
+        while self._heap and self._heap[0].deadline_cycles <= now:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            entry.callback()
+            fired += 1
+            now = self.kernel.clock.cycles
+        return fired
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for entry in self._heap if not entry.cancelled)

@@ -1,0 +1,34 @@
+"""Baseline ultra-lightweight virtualization runtimes (paper §6)."""
+
+from repro.runtimes.base import RuntimeMetrics, VirtualizationCandidate
+from repro.runtimes.profiles import (
+    MICROPYTHON_PROFILE,
+    NativeCandidate,
+    RIOTJS_PROFILE,
+    RbpfCandidate,
+    ScriptCandidate,
+    ScriptProfile,
+    WASM3_PROFILE,
+    WasmCandidate,
+    WasmProfile,
+    all_candidates,
+    host_os_ram_bytes,
+    host_os_rom_bytes,
+)
+
+__all__ = [
+    "MICROPYTHON_PROFILE",
+    "NativeCandidate",
+    "RIOTJS_PROFILE",
+    "RbpfCandidate",
+    "RuntimeMetrics",
+    "ScriptCandidate",
+    "ScriptProfile",
+    "VirtualizationCandidate",
+    "WASM3_PROFILE",
+    "WasmCandidate",
+    "WasmProfile",
+    "all_candidates",
+    "host_os_ram_bytes",
+    "host_os_rom_bytes",
+]

@@ -1,0 +1,43 @@
+"""Common surface for the §6 virtualization candidates.
+
+Each candidate (native, rBPF, WASM-class, MicroPython-class, RIOTjs-class)
+loads the fletcher32 workload, runs it, and reports the five quantities the
+paper compares: runtime ROM, runtime RAM, application code size, cold-start
+time and run time (Tables 1 and 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.rtos.board import Board
+
+
+@dataclass
+class RuntimeMetrics:
+    """One row of Tables 1/2 for one virtualization technique."""
+
+    name: str
+    rom_bytes: int
+    ram_bytes: int
+    code_size: int
+    cold_start_us: float
+    run_us: float
+    result: int
+
+    def slowdown_vs(self, native_run_us: float) -> float:
+        """Execution-speed penalty vs native (the §6 '600x/77x/37x')."""
+        if native_run_us <= 0:
+            raise ValueError("native run time must be positive")
+        return self.run_us / native_run_us
+
+
+class VirtualizationCandidate(Protocol):
+    """A runtime that can execute the fletcher32 benchmark."""
+
+    name: str
+
+    def fletcher32_metrics(self, board: Board) -> RuntimeMetrics:
+        """Load + run fletcher32 over the canonical 360 B input."""
+        ...

@@ -1,0 +1,21 @@
+"""Mini scripting language (the MicroPython/RIOTjs-class §6 candidates)."""
+
+from repro.runtimes.script.interp import (
+    Interpreter,
+    ScriptRuntimeError,
+    ScriptStats,
+    run_source,
+)
+from repro.runtimes.script.lexer import ScriptSyntaxError, Token, tokenize
+from repro.runtimes.script.parser import parse
+
+__all__ = [
+    "Interpreter",
+    "ScriptRuntimeError",
+    "ScriptStats",
+    "ScriptSyntaxError",
+    "Token",
+    "parse",
+    "run_source",
+    "tokenize",
+]

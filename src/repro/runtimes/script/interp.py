@@ -1,0 +1,283 @@
+"""Tree-walking evaluator for the mini scripting language.
+
+Counts node visits per class and tracks a heap-allocation model, which the
+§6 profiles translate into cycles and RAM — startup cost comes from the
+real tokenizer/parser (per token), run cost from the real tree walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtimes.script import nodes
+from repro.runtimes.script.parser import parse
+
+_M64 = (1 << 64) - 1
+
+
+class ScriptRuntimeError(Exception):
+    """Raised for type errors, unknown names, division by zero..."""
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: object):
+        self.value = value
+
+
+@dataclass
+class ScriptStats:
+    """Node-visit counts per class plus allocation accounting."""
+
+    visits: int = 0
+    class_counts: dict[str, int] = field(default_factory=dict)
+    allocations: int = 0
+
+    def count(self, node_class: str) -> None:
+        self.visits += 1
+        self.class_counts[node_class] = (
+            self.class_counts.get(node_class, 0) + 1
+        )
+
+
+@dataclass
+class _Function:
+    declaration: nodes.FuncDecl
+
+
+class Interpreter:
+    """One script execution context with a global environment."""
+
+    MAX_LOOP_ITERATIONS = 10_000_000
+
+    def __init__(self, script: nodes.Script,
+                 builtins: dict[str, object] | None = None):
+        self.script = script
+        self.globals: dict[str, object] = dict(builtins or {})
+        self.stats = ScriptStats()
+
+    @classmethod
+    def from_source(cls, source: str,
+                    builtins: dict[str, object] | None = None) -> "Interpreter":
+        return cls(parse(source), builtins)
+
+    # -- public -----------------------------------------------------------
+
+    def run(self) -> object:
+        """Execute the top-level statement list; `return` yields a value."""
+        try:
+            self._exec_block(self.script.body, self.globals)
+        except _ReturnSignal as signal:
+            return signal.value
+        return None
+
+    # -- statements -----------------------------------------------------------
+
+    def _exec_block(self, body: list[nodes.Node],
+                    env: dict[str, object]) -> None:
+        for statement in body:
+            self._exec(statement, env)
+
+    def _exec(self, node: nodes.Node, env: dict[str, object]) -> None:
+        if isinstance(node, nodes.VarDecl):
+            self.stats.count("assign")
+            self.stats.allocations += 1
+            env[node.name] = (
+                self._eval(node.initializer, env)
+                if node.initializer is not None else None
+            )
+        elif isinstance(node, nodes.Assign):
+            self.stats.count("assign")
+            value = self._eval(node.value, env)
+            scope = self._scope_of(node.name, env)
+            scope[node.name] = value
+        elif isinstance(node, nodes.If):
+            self.stats.count("control")
+            if self._truthy(self._eval(node.condition, env)):
+                self._exec_block(node.then_body, env)
+            else:
+                self._exec_block(node.else_body, env)
+        elif isinstance(node, nodes.While):
+            iterations = 0
+            while True:
+                self.stats.count("control")
+                if not self._truthy(self._eval(node.condition, env)):
+                    break
+                self._exec_block(node.body, env)
+                iterations += 1
+                if iterations > self.MAX_LOOP_ITERATIONS:
+                    raise ScriptRuntimeError(
+                        f"line {node.line}: loop iteration limit exceeded"
+                    )
+        elif isinstance(node, nodes.FuncDecl):
+            self.stats.count("assign")
+            self.stats.allocations += 1
+            env[node.name] = _Function(node)
+        elif isinstance(node, nodes.Return):
+            self.stats.count("control")
+            value = (
+                self._eval(node.value, env) if node.value is not None else None
+            )
+            raise _ReturnSignal(value)
+        elif isinstance(node, nodes.ExprStatement):
+            self._eval(node.expression, env)
+        else:
+            raise ScriptRuntimeError(
+                f"line {node.line}: cannot execute {type(node).__name__}"
+            )
+
+    def _scope_of(self, name: str, env: dict[str, object]) -> dict[str, object]:
+        if name in env:
+            return env
+        if name in self.globals:
+            return self.globals
+        raise ScriptRuntimeError(f"assignment to undeclared name {name!r}")
+
+    # -- expressions ------------------------------------------------------------
+
+    def _eval(self, node: nodes.Node, env: dict[str, object]) -> object:
+        if isinstance(node, nodes.Literal):
+            self.stats.count("literal")
+            return node.value
+        if isinstance(node, nodes.Name):
+            self.stats.count("name")
+            if node.identifier in env:
+                return env[node.identifier]
+            if node.identifier in self.globals:
+                return self.globals[node.identifier]
+            raise ScriptRuntimeError(
+                f"line {node.line}: unknown name {node.identifier!r}"
+            )
+        if isinstance(node, nodes.Unary):
+            self.stats.count("binop")
+            operand = self._eval(node.operand, env)
+            if node.operator == "-":
+                return -self._int(operand, node)
+            return not self._truthy(operand)
+        if isinstance(node, nodes.Binary):
+            self.stats.count("binop")
+            return self._binary(node, env)
+        if isinstance(node, nodes.Index):
+            self.stats.count("index")
+            subject = self._eval(node.subject, env)
+            index = self._int(self._eval(node.index, env), node)
+            if isinstance(subject, (bytes, bytearray)):
+                if not 0 <= index < len(subject):
+                    raise ScriptRuntimeError(
+                        f"line {node.line}: index {index} out of range"
+                    )
+                return subject[index]
+            if isinstance(subject, str):
+                return subject[index]
+            raise ScriptRuntimeError(
+                f"line {node.line}: {type(subject).__name__} not indexable"
+            )
+        if isinstance(node, nodes.Call):
+            self.stats.count("call")
+            return self._call(node, env)
+        raise ScriptRuntimeError(
+            f"line {node.line}: cannot evaluate {type(node).__name__}"
+        )
+
+    def _binary(self, node: nodes.Binary, env: dict[str, object]) -> object:
+        operator = node.operator
+        if operator == "&&":
+            return (
+                self._truthy(self._eval(node.left, env))
+                and self._truthy(self._eval(node.right, env))
+            )
+        if operator == "||":
+            return (
+                self._truthy(self._eval(node.left, env))
+                or self._truthy(self._eval(node.right, env))
+            )
+        left = self._eval(node.left, env)
+        right = self._eval(node.right, env)
+        if operator == "==":
+            return left == right
+        if operator == "!=":
+            return left != right
+        if operator == "+" and isinstance(left, str) and isinstance(right, str):
+            self.stats.allocations += 1
+            return left + right
+        lhs, rhs = self._int(left, node), self._int(right, node)
+        if operator == "+":
+            return lhs + rhs
+        if operator == "-":
+            return lhs - rhs
+        if operator == "*":
+            return lhs * rhs
+        if operator in ("/", "%"):
+            if rhs == 0:
+                raise ScriptRuntimeError(
+                    f"line {node.line}: division by zero"
+                )
+            return lhs // rhs if operator == "/" else lhs % rhs
+        if operator == "<<":
+            return (lhs << (rhs & 63)) & _M64
+        if operator == ">>":
+            return lhs >> (rhs & 63)
+        if operator == "&":
+            return lhs & rhs
+        if operator == "|":
+            return lhs | rhs
+        if operator == "^":
+            return lhs ^ rhs
+        if operator == "<":
+            return lhs < rhs
+        if operator == ">":
+            return lhs > rhs
+        if operator == "<=":
+            return lhs <= rhs
+        if operator == ">=":
+            return lhs >= rhs
+        raise ScriptRuntimeError(
+            f"line {node.line}: unknown operator {operator!r}"
+        )
+
+    def _call(self, node: nodes.Call, env: dict[str, object]) -> object:
+        arguments = [self._eval(arg, env) for arg in node.arguments]
+        target = env.get(node.callee, self.globals.get(node.callee))
+        if isinstance(target, _Function):
+            declaration = target.declaration
+            if len(arguments) != len(declaration.parameters):
+                raise ScriptRuntimeError(
+                    f"line {node.line}: {node.callee} expects "
+                    f"{len(declaration.parameters)} args"
+                )
+            frame = dict(zip(declaration.parameters, arguments))
+            self.stats.allocations += 1 + len(frame)
+            try:
+                self._exec_block(declaration.body, frame)
+            except _ReturnSignal as signal:
+                return signal.value
+            return None
+        if callable(target):
+            return target(*arguments)
+        if node.callee == "len":
+            return len(arguments[0])  # type: ignore[arg-type]
+        raise ScriptRuntimeError(
+            f"line {node.line}: unknown function {node.callee!r}"
+        )
+
+    # -- helpers -------------------------------------------------------------------
+
+    @staticmethod
+    def _truthy(value: object) -> bool:
+        return bool(value)
+
+    def _int(self, value: object, node: nodes.Node) -> int:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        raise ScriptRuntimeError(
+            f"line {node.line}: expected integer, got {type(value).__name__}"
+        )
+
+
+def run_source(source: str,
+               builtins: dict[str, object] | None = None) -> tuple[object, ScriptStats]:
+    """Parse and execute; returns (result, stats)."""
+    interpreter = Interpreter.from_source(source, builtins)
+    result = interpreter.run()
+    return result, interpreter.stats

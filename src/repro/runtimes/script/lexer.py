@@ -1,0 +1,103 @@
+"""Tokenizer for the mini scripting language ("mscript").
+
+One small imperative language serves as the stand-in for both script-
+interpreter candidates of §6 (MicroPython-class and RIOTjs-class); the two
+differ in their runtime cost profiles, not in language machinery — which
+matches the paper's observation that both are tree-walking interpreters
+with similar run-time behaviour and differing startup/footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = frozenset(
+    {"var", "func", "if", "else", "while", "return", "true", "false"}
+)
+
+#: Multi-character operators, longest first.
+_OPERATORS = (
+    "<<", ">>", "==", "!=", "<=", ">=", "&&", "||",
+    "+", "-", "*", "/", "%", "&", "|", "^", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+)
+
+
+class ScriptSyntaxError(Exception):
+    """Lexical or syntactic error, with a line number."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "int" | "string" | "name" | "keyword" | "op" | "eof"
+    text: str
+    line: int
+    value: int = 0
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn source text into a token list ending with an EOF token."""
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    length = len(source)
+    while pos < length:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if ch == "#":
+            while pos < length and source[pos] != "\n":
+                pos += 1
+            continue
+        if ch.isdigit():
+            start = pos
+            if source.startswith("0x", pos) or source.startswith("0X", pos):
+                pos += 2
+                while pos < length and source[pos] in "0123456789abcdefABCDEF":
+                    pos += 1
+                text = source[start:pos]
+                tokens.append(Token("int", text, line, int(text, 16)))
+            else:
+                while pos < length and source[pos].isdigit():
+                    pos += 1
+                text = source[start:pos]
+                tokens.append(Token("int", text, line, int(text)))
+            continue
+        if ch == '"':
+            start = pos + 1
+            pos += 1
+            while pos < length and source[pos] != '"':
+                if source[pos] == "\n":
+                    raise ScriptSyntaxError("unterminated string", line)
+                pos += 1
+            if pos >= length:
+                raise ScriptSyntaxError("unterminated string", line)
+            tokens.append(Token("string", source[start:pos], line))
+            pos += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < length and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            kind = "keyword" if text in KEYWORDS else "name"
+            tokens.append(Token(kind, text, line))
+            continue
+        for operator in _OPERATORS:
+            if source.startswith(operator, pos):
+                tokens.append(Token("op", operator, line))
+                pos += len(operator)
+                break
+        else:
+            raise ScriptSyntaxError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,222 @@
+"""Recursive-descent / Pratt parser for the mini scripting language."""
+
+from __future__ import annotations
+
+from repro.runtimes.script import nodes
+from repro.runtimes.script.lexer import ScriptSyntaxError, Token, tokenize
+
+#: Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3, "!=": 3,
+    "<": 4, ">": 4, "<=": 4, ">=": 4,
+    "|": 5,
+    "^": 6,
+    "&": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.source_bytes = len(source.encode())
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def match(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.match(kind, text)
+        if token is None:
+            wanted = text or kind
+            raise ScriptSyntaxError(
+                f"expected {wanted!r}, found {self.current.text!r}",
+                self.current.line,
+            )
+        return token
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self) -> nodes.Script:
+        body: list[nodes.Node] = []
+        while not self.check("eof"):
+            body.append(self.statement())
+        return nodes.Script(
+            body=body,
+            token_count=len(self.tokens),
+            source_bytes=self.source_bytes,
+        )
+
+    def block(self) -> list[nodes.Node]:
+        self.expect("op", "{")
+        body: list[nodes.Node] = []
+        while not self.check("op", "}"):
+            if self.check("eof"):
+                raise ScriptSyntaxError("unterminated block", self.current.line)
+            body.append(self.statement())
+        self.expect("op", "}")
+        return body
+
+    def statement(self) -> nodes.Node:
+        token = self.current
+        if token.kind == "keyword":
+            if token.text == "var":
+                return self.var_decl()
+            if token.text == "func":
+                return self.func_decl()
+            if token.text == "if":
+                return self.if_statement()
+            if token.text == "while":
+                return self.while_statement()
+            if token.text == "return":
+                self.advance()
+                value = None
+                if not self.check("op", ";"):
+                    value = self.expression()
+                self.expect("op", ";")
+                return nodes.Return(value=value, line=token.line)
+        if token.kind == "name" and self.tokens[self.pos + 1].text == "=":
+            self.advance()
+            self.advance()
+            value = self.expression()
+            self.expect("op", ";")
+            return nodes.Assign(name=token.text, value=value, line=token.line)
+        expression = self.expression()
+        self.expect("op", ";")
+        return nodes.ExprStatement(expression=expression, line=token.line)
+
+    def var_decl(self) -> nodes.VarDecl:
+        keyword = self.expect("keyword", "var")
+        name = self.expect("name").text
+        initializer = None
+        if self.match("op", "="):
+            initializer = self.expression()
+        self.expect("op", ";")
+        return nodes.VarDecl(name=name, initializer=initializer,
+                             line=keyword.line)
+
+    def func_decl(self) -> nodes.FuncDecl:
+        keyword = self.expect("keyword", "func")
+        name = self.expect("name").text
+        self.expect("op", "(")
+        parameters: list[str] = []
+        while not self.check("op", ")"):
+            parameters.append(self.expect("name").text)
+            if not self.match("op", ","):
+                break
+        self.expect("op", ")")
+        return nodes.FuncDecl(name=name, parameters=parameters,
+                              body=self.block(), line=keyword.line)
+
+    def if_statement(self) -> nodes.If:
+        keyword = self.expect("keyword", "if")
+        self.expect("op", "(")
+        condition = self.expression()
+        self.expect("op", ")")
+        then_body = self.block()
+        else_body: list[nodes.Node] = []
+        if self.match("keyword", "else"):
+            if self.check("keyword", "if"):
+                else_body = [self.if_statement()]
+            else:
+                else_body = self.block()
+        return nodes.If(condition=condition, then_body=then_body,
+                        else_body=else_body, line=keyword.line)
+
+    def while_statement(self) -> nodes.While:
+        keyword = self.expect("keyword", "while")
+        self.expect("op", "(")
+        condition = self.expression()
+        self.expect("op", ")")
+        return nodes.While(condition=condition, body=self.block(),
+                           line=keyword.line)
+
+    # -- expressions (Pratt) --------------------------------------------------------
+
+    def expression(self, min_precedence: int = 0) -> nodes.Node:
+        left = self.unary()
+        while True:
+            token = self.current
+            precedence = _PRECEDENCE.get(token.text, 0) \
+                if token.kind == "op" else 0
+            if precedence <= min_precedence:
+                return left
+            self.advance()
+            right = self.expression(precedence)
+            left = nodes.Binary(operator=token.text, left=left, right=right,
+                                line=token.line)
+
+    def unary(self) -> nodes.Node:
+        token = self.current
+        if token.kind == "op" and token.text in ("-", "!"):
+            self.advance()
+            return nodes.Unary(operator=token.text, operand=self.unary(),
+                               line=token.line)
+        return self.postfix()
+
+    def postfix(self) -> nodes.Node:
+        node = self.primary()
+        while True:
+            if self.check("op", "["):
+                bracket = self.advance()
+                index = self.expression()
+                self.expect("op", "]")
+                node = nodes.Index(subject=node, index=index,
+                                   line=bracket.line)
+            else:
+                return node
+
+    def primary(self) -> nodes.Node:
+        token = self.advance()
+        if token.kind == "int":
+            return nodes.Literal(value=token.value, line=token.line)
+        if token.kind == "string":
+            return nodes.Literal(value=token.text, line=token.line)
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            return nodes.Literal(value=token.text == "true", line=token.line)
+        if token.kind == "op" and token.text == "(":
+            inner = self.expression()
+            self.expect("op", ")")
+            return inner
+        if token.kind == "name":
+            if self.check("op", "("):
+                self.advance()
+                arguments: list[nodes.Node] = []
+                while not self.check("op", ")"):
+                    arguments.append(self.expression())
+                    if not self.match("op", ","):
+                        break
+                self.expect("op", ")")
+                return nodes.Call(callee=token.text, arguments=arguments,
+                                  line=token.line)
+            return nodes.Name(identifier=token.text, line=token.line)
+        raise ScriptSyntaxError(
+            f"unexpected token {token.text!r}", token.line
+        )
+
+
+def parse(source: str) -> nodes.Script:
+    """Parse source into a :class:`~repro.runtimes.script.nodes.Script`."""
+    return Parser(source).parse()

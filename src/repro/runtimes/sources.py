@@ -1,0 +1,168 @@
+"""Fletcher32 sources for each §6 virtualization candidate.
+
+The eBPF assembly lives in :mod:`repro.workloads.fletcher32`; this module
+holds the mini-wasm text and the script source (shipped to devices as-is,
+which is why script 'code size' is source size in Table 2).
+"""
+
+from __future__ import annotations
+
+#: wat-lite source; linear memory holds the input at offset 0,
+#: main(n_bytes) returns the checksum.
+WASM_FLETCHER32 = """
+module pages=1
+func main params=1 locals=5
+    ; locals: 0=n_bytes 1=sum1 2=sum2 3=words 4=tlen 5=i
+    i32.const 65535
+    local.set 1
+    i32.const 65535
+    local.set 2
+    local.get 0
+    i32.const 1
+    i32.shr_u
+    local.set 3
+    block
+    loop
+        local.get 3
+        i32.eqz
+        br_if 1
+        local.get 3
+        local.set 4
+        local.get 4
+        i32.const 359
+        i32.gt_u
+        if
+            i32.const 359
+            local.set 4
+        end
+        local.get 3
+        local.get 4
+        i32.sub
+        local.set 3
+        loop
+            local.get 1
+            local.get 5
+            i32.load8_u 0
+            local.get 5
+            i32.load8_u 1
+            i32.const 8
+            i32.shl
+            i32.or
+            i32.add
+            local.set 1
+            local.get 2
+            local.get 1
+            i32.add
+            local.set 2
+            local.get 5
+            i32.const 2
+            i32.add
+            local.set 5
+            local.get 4
+            i32.const 1
+            i32.sub
+            local.tee 4
+            i32.const 0
+            i32.ne
+            br_if 0
+        end
+        local.get 1
+        i32.const 65535
+        i32.and
+        local.get 1
+        i32.const 16
+        i32.shr_u
+        i32.add
+        local.set 1
+        local.get 2
+        i32.const 65535
+        i32.and
+        local.get 2
+        i32.const 16
+        i32.shr_u
+        i32.add
+        local.set 2
+        br 0
+    end
+    end
+    local.get 1
+    i32.const 65535
+    i32.and
+    local.get 1
+    i32.const 16
+    i32.shr_u
+    i32.add
+    local.set 1
+    local.get 2
+    i32.const 65535
+    i32.and
+    local.get 2
+    i32.const 16
+    i32.shr_u
+    i32.add
+    local.set 2
+    local.get 2
+    i32.const 16
+    i32.shl
+    local.get 1
+    i32.or
+    return
+end
+"""
+
+#: Script source, MicroPython-candidate formatting (compact).
+SCRIPT_FLETCHER32_PY = """\
+func fletcher32(d, n) {
+  var s1 = 65535;
+  var s2 = 65535;
+  var w = n / 2;
+  var i = 0;
+  while (w > 0) {
+    var t = w;
+    if (t > 359) { t = 359; }
+    w = w - t;
+    while (t > 0) {
+      s1 = s1 + (d[i] | (d[i + 1] << 8));
+      s2 = s2 + s1;
+      i = i + 2;
+      t = t - 1;
+    }
+    s1 = (s1 & 65535) + (s1 >> 16);
+    s2 = (s2 & 65535) + (s2 >> 16);
+  }
+  s1 = (s1 & 65535) + (s1 >> 16);
+  s2 = (s2 & 65535) + (s2 >> 16);
+  return (s2 << 16) | s1;
+}
+return fletcher32(input, len(input));
+"""
+
+#: Same algorithm, RIOTjs-candidate formatting (JS programs carry more
+#: ceremony; the paper measures 593 B vs MicroPython's 497 B).
+SCRIPT_FLETCHER32_JS = """\
+# fletcher32 checksum module (RIOT.js style)
+# Computes the 32-bit Fletcher checksum over the byte buffer `input`.
+func fletcher32(data, nbytes) {
+  var sum1 = 65535;
+  var sum2 = 65535;
+  var words = nbytes / 2;
+  var index = 0;
+  while (words > 0) {
+    var tlen = words;
+    if (tlen > 359) { tlen = 359; }
+    words = words - tlen;
+    while (tlen > 0) {
+      sum1 = sum1 + (data[index] | (data[index + 1] << 8));
+      sum2 = sum2 + sum1;
+      index = index + 2;
+      tlen = tlen - 1;
+    }
+    sum1 = (sum1 & 65535) + (sum1 >> 16);
+    sum2 = (sum2 & 65535) + (sum2 >> 16);
+  }
+  sum1 = (sum1 & 65535) + (sum1 >> 16);
+  sum2 = (sum2 & 65535) + (sum2 >> 16);
+  return (sum2 << 16) | sum1;
+}
+return fletcher32(input, len(input));
+"""

@@ -1,0 +1,18 @@
+"""Mini-WebAssembly VM (the WASM3-class §6 candidate)."""
+
+from repro.runtimes.wasm.asm import assemble
+from repro.runtimes.wasm.interpreter import WasmInstance, WasmStats, WasmTrap
+from repro.runtimes.wasm.module import Function, Module, PAGE_SIZE, WasmError
+from repro.runtimes.wasm.validator import validate
+
+__all__ = [
+    "Function",
+    "Module",
+    "PAGE_SIZE",
+    "WasmError",
+    "WasmInstance",
+    "WasmStats",
+    "WasmTrap",
+    "assemble",
+    "validate",
+]

@@ -1,0 +1,105 @@
+"""Opcode set of the mini-WebAssembly VM (WASM3-class candidate).
+
+A compact structured stack machine: 32-bit integers, one linear memory,
+structured control flow (block/loop/end/br/br_if), locals and calls — the
+subset the fletcher32 workload and the §6 comparison need.  Opcode numbers
+follow the real WebAssembly encoding where the instruction exists there.
+"""
+
+from __future__ import annotations
+
+# Control.
+UNREACHABLE = 0x00
+NOP = 0x01
+BLOCK = 0x02
+LOOP = 0x03
+IF = 0x04
+ELSE = 0x05
+END = 0x0B
+BR = 0x0C
+BR_IF = 0x0D
+RETURN = 0x0F
+CALL = 0x10
+DROP = 0x1A
+
+# Variables.
+LOCAL_GET = 0x20
+LOCAL_SET = 0x21
+LOCAL_TEE = 0x22
+
+# Memory (i32, natural alignment; 16-bit offset immediate).
+I32_LOAD = 0x28
+I32_LOAD8_U = 0x2D
+I32_LOAD16_U = 0x2F
+I32_STORE = 0x36
+I32_STORE8 = 0x3A
+I32_STORE16 = 0x3B
+
+# Constants.
+I32_CONST = 0x41
+
+# Comparison (result 0/1).
+I32_EQZ = 0x45
+I32_EQ = 0x46
+I32_NE = 0x47
+I32_LT_U = 0x49
+I32_GT_U = 0x4B
+I32_LE_U = 0x4D
+I32_GE_U = 0x4F
+
+# Arithmetic and bit ops.
+I32_ADD = 0x6A
+I32_SUB = 0x6B
+I32_MUL = 0x6C
+I32_DIV_U = 0x6E
+I32_REM_U = 0x70
+I32_AND = 0x71
+I32_OR = 0x72
+I32_XOR = 0x73
+I32_SHL = 0x74
+I32_SHR_U = 0x76
+
+NAMES = {
+    UNREACHABLE: "unreachable", NOP: "nop", BLOCK: "block", LOOP: "loop",
+    IF: "if", ELSE: "else", END: "end", BR: "br", BR_IF: "br_if",
+    RETURN: "return", CALL: "call", DROP: "drop",
+    LOCAL_GET: "local.get", LOCAL_SET: "local.set", LOCAL_TEE: "local.tee",
+    I32_LOAD: "i32.load", I32_LOAD8_U: "i32.load8_u",
+    I32_LOAD16_U: "i32.load16_u", I32_STORE: "i32.store",
+    I32_STORE8: "i32.store8", I32_STORE16: "i32.store16",
+    I32_CONST: "i32.const",
+    I32_EQZ: "i32.eqz", I32_EQ: "i32.eq", I32_NE: "i32.ne",
+    I32_LT_U: "i32.lt_u", I32_GT_U: "i32.gt_u", I32_LE_U: "i32.le_u",
+    I32_GE_U: "i32.ge_u",
+    I32_ADD: "i32.add", I32_SUB: "i32.sub", I32_MUL: "i32.mul",
+    I32_DIV_U: "i32.div_u", I32_REM_U: "i32.rem_u",
+    I32_AND: "i32.and", I32_OR: "i32.or", I32_XOR: "i32.xor",
+    I32_SHL: "i32.shl", I32_SHR_U: "i32.shr_u",
+}
+
+#: name -> opcode (assembler lookup).
+OPCODES = {name: op for op, name in NAMES.items()}
+
+#: Opcodes carrying a varint immediate.
+WITH_IMMEDIATE = frozenset({
+    I32_CONST, LOCAL_GET, LOCAL_SET, LOCAL_TEE, BR, BR_IF, CALL,
+    I32_LOAD, I32_LOAD8_U, I32_LOAD16_U, I32_STORE, I32_STORE8, I32_STORE16,
+})
+
+#: Cost classes for the per-platform wasm cycle model.
+COST_CLASS = {}
+for _op in (I32_ADD, I32_SUB, I32_AND, I32_OR, I32_XOR, I32_SHL, I32_SHR_U,
+            I32_EQZ, I32_EQ, I32_NE, I32_LT_U, I32_GT_U, I32_LE_U, I32_GE_U,
+            DROP, NOP):
+    COST_CLASS[_op] = "alu"
+COST_CLASS[I32_MUL] = "mul"
+COST_CLASS[I32_DIV_U] = "div"
+COST_CLASS[I32_REM_U] = "div"
+for _op in (I32_LOAD, I32_LOAD8_U, I32_LOAD16_U, I32_STORE, I32_STORE8,
+            I32_STORE16):
+    COST_CLASS[_op] = "mem"
+for _op in (LOCAL_GET, LOCAL_SET, LOCAL_TEE, I32_CONST):
+    COST_CLASS[_op] = "local"
+for _op in (BLOCK, LOOP, IF, ELSE, END, BR, BR_IF, RETURN, CALL,
+            UNREACHABLE):
+    COST_CLASS[_op] = "control"

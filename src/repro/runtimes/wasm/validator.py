@@ -1,0 +1,91 @@
+"""Structural validation of mini-wasm modules (stack discipline).
+
+Runs once at load time, mirroring WASM3's compile/validate pass.  Checks
+that every path keeps the operand stack balanced, branch depths reference
+enclosing blocks, locals exist and calls name real functions — so the
+interpreter can trust the bytecode the way the paper's pre-flight checker
+lets the rBPF interpreter trust eBPF programs.
+"""
+
+from __future__ import annotations
+
+from repro.runtimes.wasm import isa
+from repro.runtimes.wasm.module import Function, Module, WasmError
+
+#: stack effect per opcode: (pops, pushes) for the simple cases.
+_EFFECT = {
+    isa.I32_CONST: (0, 1),
+    isa.LOCAL_GET: (0, 1),
+    isa.LOCAL_SET: (1, 0),
+    isa.LOCAL_TEE: (1, 1),
+    isa.DROP: (1, 0),
+    isa.I32_EQZ: (1, 1),
+    isa.I32_LOAD: (1, 1),
+    isa.I32_LOAD8_U: (1, 1),
+    isa.I32_LOAD16_U: (1, 1),
+    isa.I32_STORE: (2, 0),
+    isa.I32_STORE8: (2, 0),
+    isa.I32_STORE16: (2, 0),
+    isa.NOP: (0, 0),
+}
+for _binop in (isa.I32_ADD, isa.I32_SUB, isa.I32_MUL, isa.I32_DIV_U,
+               isa.I32_REM_U, isa.I32_AND, isa.I32_OR, isa.I32_XOR,
+               isa.I32_SHL, isa.I32_SHR_U, isa.I32_EQ, isa.I32_NE,
+               isa.I32_LT_U, isa.I32_GT_U, isa.I32_LE_U, isa.I32_GE_U):
+    _EFFECT[_binop] = (2, 1)
+
+
+def validate(module: Module) -> None:
+    """Raise :class:`WasmError` if the module is malformed."""
+    if module.memory_pages < 1:
+        raise WasmError("module must declare at least one memory page")
+    if not 0 <= module.start < len(module.functions):
+        raise WasmError(f"start function {module.start} out of range")
+    for function in module.functions:
+        _validate_function(module, function)
+
+
+def _validate_function(module: Module, function: Function) -> None:
+    stack_low = 0  # conservative lower bound of stack height
+    depth = 0
+    for position, (opcode, immediate) in enumerate(function.body):
+        where = f"{function.name}@{position}"
+        if opcode in (isa.BLOCK, isa.LOOP, isa.IF):
+            if opcode == isa.IF:
+                stack_low -= 1
+            depth += 1
+        elif opcode == isa.ELSE:
+            if depth == 0:
+                raise WasmError(f"{where}: else outside if")
+        elif opcode == isa.END:
+            if depth == 0:
+                raise WasmError(f"{where}: unbalanced end")
+            depth -= 1
+        elif opcode in (isa.BR, isa.BR_IF):
+            if immediate < 0 or immediate >= depth:
+                raise WasmError(
+                    f"{where}: branch depth {immediate} exceeds nesting {depth}"
+                )
+            if opcode == isa.BR_IF:
+                stack_low -= 1
+        elif opcode == isa.CALL:
+            if not 0 <= immediate < len(module.functions):
+                raise WasmError(f"{where}: call to unknown function {immediate}")
+            stack_low -= module.functions[immediate].n_params
+            stack_low += 1
+        elif opcode in (isa.LOCAL_GET, isa.LOCAL_SET, isa.LOCAL_TEE):
+            if not 0 <= immediate < function.frame_slots:
+                raise WasmError(f"{where}: local {immediate} out of range")
+            pops, pushes = _EFFECT[opcode]
+            stack_low += pushes - pops
+        elif opcode in (isa.RETURN, isa.UNREACHABLE):
+            pass
+        elif opcode in _EFFECT:
+            pops, pushes = _EFFECT[opcode]
+            stack_low += pushes - pops
+        else:
+            raise WasmError(f"{where}: unhandled opcode 0x{opcode:02x}")
+        if stack_low < -function.frame_slots - 64:
+            raise WasmError(f"{where}: operand stack underflows")
+    if depth != 0:
+        raise WasmError(f"{function.name}: unclosed block")

@@ -1,0 +1,106 @@
+"""Pre-wired end-to-end scenarios from the paper, reused by examples,
+integration tests and benchmarks.
+
+:func:`build_multi_tenant_device` constructs the §8.3 / Fig 5 system: one
+device hosting three containers from two tenants —
+
+* **Tenant A**: a timer-triggered sensor container (read temperature via
+  SAUL, keep a moving average in the tenant store) and a CoAP-triggered
+  response formatter exposing the average at ``/sensor/temp``;
+* **Tenant B**: the Listing 2 thread-counter attached to the scheduler
+  hook, counting every context switch in the global store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import (
+    FC_HOOK_COAP,
+    FC_HOOK_SCHED,
+    FemtoContainer,
+    HostingEngine,
+    Tenant,
+)
+from repro.net import CoapClient, CoapServer, Interface, Link, UdpStack
+from repro.rtos import Board, Kernel, nrf52840, synthetic_temperature
+from repro.workloads import (
+    coap_handler_program,
+    sensor_program,
+    thread_counter_program,
+)
+
+DEVICE_ADDR = "2001:db8::dev"
+HOST_ADDR = "2001:db8::host"
+COAP_PORT = 5683
+
+
+@dataclass
+class MultiTenantDevice:
+    """The assembled Fig 5 system plus a host-side client to poke it."""
+
+    kernel: Kernel
+    engine: HostingEngine
+    link: Link
+    server: CoapServer
+    client: CoapClient
+    tenant_a: Tenant
+    tenant_b: Tenant
+    sensor: FemtoContainer
+    coap_responder: FemtoContainer
+    thread_counter: FemtoContainer
+    cancel_sensor_timer: object
+
+    def container_count(self) -> int:
+        return len(self.engine.containers())
+
+
+def build_multi_tenant_device(
+    board: Board | None = None,
+    sensor_period_us: float = 1_000_000.0,
+    link_loss: float = 0.0,
+    seed: int = 1234,
+    implementation: str = "femto-containers",
+) -> MultiTenantDevice:
+    """Build the complete two-tenant, three-container device of §8.3."""
+    kernel = Kernel(board or nrf52840())
+    engine = HostingEngine(kernel, implementation=implementation)
+    engine.saul.register(synthetic_temperature(kernel, seed=seed))
+
+    # Network plumbing: device plus a host-side endpoint.
+    link = Link(kernel, loss=link_loss, seed=seed)
+    device_if = link.attach(Interface(DEVICE_ADDR))
+    host_if = link.attach(Interface(HOST_ADDR))
+    device_udp = UdpStack(device_if)
+    host_udp = UdpStack(host_if)
+    server = CoapServer(kernel, device_udp.socket(COAP_PORT))
+    client = CoapClient(kernel, host_udp.socket(49000))
+
+    # Tenant A: sensor pipeline (Fig 5, Femto-Containers 1 and 2, Store A).
+    tenant_a = engine.create_tenant("tenant-a")
+    sensor = engine.load(sensor_program(), tenant=tenant_a, name="sensor")
+    cancel = engine.attach_periodic(sensor, sensor_period_us)
+    responder = engine.load(coap_handler_program(), tenant=tenant_a,
+                            name="coap-responder")
+    engine.attach(responder, FC_HOOK_COAP)
+    server.register_container("/sensor/temp", engine, responder)
+
+    # Tenant B: kernel-debug thread counter (Fig 5, Femto-Container 3).
+    tenant_b = engine.create_tenant("tenant-b")
+    counter = engine.load(thread_counter_program(), tenant=tenant_b,
+                          name="thread-counter")
+    engine.attach(counter, FC_HOOK_SCHED)
+
+    return MultiTenantDevice(
+        kernel=kernel,
+        engine=engine,
+        link=link,
+        server=server,
+        client=client,
+        tenant_a=tenant_a,
+        tenant_b=tenant_b,
+        sensor=sensor,
+        coap_responder=responder,
+        thread_counter=counter,
+        cancel_sensor_timer=cancel,
+    )

@@ -1,0 +1,28 @@
+"""SUIT secure software updates: CBOR, COSE/Ed25519, manifests, worker."""
+
+from repro.suit import cbor, ed25519
+from repro.suit.cose import CoseSign1, CoseError
+from repro.suit.manifest import (
+    ManifestError,
+    SuitEnvelope,
+    SuitManifest,
+    payload_digest,
+)
+from repro.suit.storage import StorageRegistry, StorageSlot
+from repro.suit.worker import SuitUpdateWorker, UpdateResult, UpdateStatus
+
+__all__ = [
+    "CoseError",
+    "CoseSign1",
+    "ManifestError",
+    "StorageRegistry",
+    "StorageSlot",
+    "SuitEnvelope",
+    "SuitManifest",
+    "SuitUpdateWorker",
+    "UpdateResult",
+    "UpdateStatus",
+    "cbor",
+    "ed25519",
+    "payload_digest",
+]

@@ -1,0 +1,193 @@
+"""CBOR codec (RFC 8949 subset) written from scratch for SUIT manifests.
+
+Supports the types SUIT (and COSE) serialization needs: unsigned/negative
+integers, byte strings, text strings, arrays, maps, tags, booleans, null
+and 64-bit floats.  Encoding is *canonical/deterministic*: shortest integer
+heads, definite lengths, and map keys sorted by their encoded bytes — so
+signatures over encoded manifests are stable.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+from typing import Any
+
+# Major types.
+_UNSIGNED = 0
+_NEGATIVE = 1
+_BYTES = 2
+_TEXT = 3
+_ARRAY = 4
+_MAP = 5
+_TAG = 6
+_SIMPLE = 7
+
+_FALSE, _TRUE, _NULL = 20, 21, 22
+_FLOAT64 = 27
+
+
+class CBORError(Exception):
+    """Malformed or unsupported CBOR data."""
+
+
+@dataclass(frozen=True)
+class Tag:
+    """A tagged value (major type 6)."""
+
+    number: int
+    value: Any
+
+
+def _encode_head(major: int, argument: int) -> bytes:
+    if argument < 0:
+        raise CBORError(f"negative head argument {argument}")
+    if argument < 24:
+        return bytes([(major << 5) | argument])
+    for additional, fmt, limit in (
+        (24, ">B", 1 << 8),
+        (25, ">H", 1 << 16),
+        (26, ">I", 1 << 32),
+        (27, ">Q", 1 << 64),
+    ):
+        if argument < limit:
+            return bytes([(major << 5) | additional]) + struct.pack(
+                fmt, argument
+            )
+    raise CBORError(f"argument {argument} exceeds 64 bits")
+
+
+def encode(value: Any) -> bytes:
+    """Encode a Python value into canonical CBOR."""
+    if value is False:
+        return bytes([(_SIMPLE << 5) | _FALSE])
+    if value is True:
+        return bytes([(_SIMPLE << 5) | _TRUE])
+    if value is None:
+        return bytes([(_SIMPLE << 5) | _NULL])
+    if isinstance(value, int):
+        if value >= 0:
+            return _encode_head(_UNSIGNED, value)
+        return _encode_head(_NEGATIVE, -1 - value)
+    if isinstance(value, float):
+        return bytes([(_SIMPLE << 5) | _FLOAT64]) + struct.pack(">d", value)
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+        return _encode_head(_BYTES, len(data)) + data
+    if isinstance(value, str):
+        data = value.encode("utf-8")
+        return _encode_head(_TEXT, len(data)) + data
+    if isinstance(value, (list, tuple)):
+        return _encode_head(_ARRAY, len(value)) + b"".join(
+            encode(item) for item in value
+        )
+    if isinstance(value, dict):
+        encoded_items = sorted(
+            (encode(key), encode(val)) for key, val in value.items()
+        )
+        return _encode_head(_MAP, len(value)) + b"".join(
+            key + val for key, val in encoded_items
+        )
+    if isinstance(value, Tag):
+        return _encode_head(_TAG, value.number) + encode(value.value)
+    raise CBORError(f"cannot encode {type(value).__name__}")
+
+
+class _Decoder:
+    def __init__(self, raw: bytes):
+        self.raw = raw
+        self.pos = 0
+
+    def take(self, count: int) -> bytes:
+        if self.pos + count > len(self.raw):
+            raise CBORError("truncated CBOR input")
+        chunk = self.raw[self.pos : self.pos + count]
+        self.pos += count
+        return chunk
+
+    def head(self) -> tuple[int, int]:
+        byte = self.take(1)[0]
+        major, additional = byte >> 5, byte & 0x1F
+        if additional < 24:
+            return major, additional
+        if additional == 24:
+            return major, self.take(1)[0]
+        if additional == 25:
+            return major, struct.unpack(">H", self.take(2))[0]
+        if additional == 26:
+            return major, struct.unpack(">I", self.take(4))[0]
+        if additional == 27:
+            return major, struct.unpack(">Q", self.take(8))[0]
+        raise CBORError(
+            f"indefinite/reserved additional info {additional} unsupported"
+        )
+
+    def item(self) -> Any:
+        start = self.pos
+        byte = self.raw[self.pos] if self.pos < len(self.raw) else None
+        if byte is None:
+            raise CBORError("empty CBOR input")
+        major = byte >> 5
+        additional = byte & 0x1F
+        if major == _SIMPLE:
+            self.pos += 1
+            if additional == _FALSE:
+                return False
+            if additional == _TRUE:
+                return True
+            if additional == _NULL:
+                return None
+            if additional == _FLOAT64:
+                return struct.unpack(">d", self.take(8))[0]
+            if additional == 25:  # float16, decode-only
+                return _decode_half(self.take(2))
+            if additional == 26:  # float32, decode-only
+                return struct.unpack(">f", self.take(4))[0]
+            raise CBORError(f"unsupported simple value {additional}")
+        self.pos = start
+        major, argument = self.head()
+        if major == _UNSIGNED:
+            return argument
+        if major == _NEGATIVE:
+            return -1 - argument
+        if major == _BYTES:
+            return self.take(argument)
+        if major == _TEXT:
+            return self.take(argument).decode("utf-8")
+        if major == _ARRAY:
+            return [self.item() for _ in range(argument)]
+        if major == _MAP:
+            result: dict[Any, Any] = {}
+            for _ in range(argument):
+                key = self.item()
+                if isinstance(key, list):
+                    key = tuple(key)
+                result[key] = self.item()
+            return result
+        if major == _TAG:
+            return Tag(argument, self.item())
+        raise CBORError(f"unhandled major type {major}")
+
+
+def _decode_half(raw: bytes) -> float:
+    half = struct.unpack(">H", raw)[0]
+    sign = -1.0 if half & 0x8000 else 1.0
+    exponent = (half >> 10) & 0x1F
+    mantissa = half & 0x3FF
+    if exponent == 0:
+        return sign * mantissa * 2.0**-24
+    if exponent == 31:
+        return sign * (math.inf if mantissa == 0 else math.nan)
+    return sign * (1 + mantissa / 1024.0) * 2.0 ** (exponent - 15)
+
+
+def decode(raw: bytes) -> Any:
+    """Decode one CBOR item; trailing bytes are an error."""
+    decoder = _Decoder(raw)
+    value = decoder.item()
+    if decoder.pos != len(raw):
+        raise CBORError(
+            f"{len(raw) - decoder.pos} trailing bytes after CBOR item"
+        )
+    return value

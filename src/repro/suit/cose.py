@@ -1,0 +1,69 @@
+"""COSE_Sign1 (RFC 9052 subset) over Ed25519, for SUIT authentication."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.suit import cbor, ed25519
+
+#: COSE header parameter and algorithm identifiers.
+HEADER_ALG = 1
+ALG_EDDSA = -8
+#: CBOR tag for COSE_Sign1.
+TAG_SIGN1 = 18
+
+
+class CoseError(Exception):
+    """Malformed or unverifiable COSE structure."""
+
+
+@dataclass(frozen=True)
+class CoseSign1:
+    """A COSE_Sign1 message: [protected, unprotected, payload, signature]."""
+
+    protected: bytes
+    payload: bytes
+    signature: bytes
+
+    @staticmethod
+    def _sig_structure(protected: bytes, payload: bytes) -> bytes:
+        return cbor.encode(["Signature1", protected, b"", payload])
+
+    @classmethod
+    def sign(cls, payload: bytes, seed: bytes) -> "CoseSign1":
+        """Sign ``payload`` with an Ed25519 seed key."""
+        protected = cbor.encode({HEADER_ALG: ALG_EDDSA})
+        signature = ed25519.sign(cls._sig_structure(protected, payload), seed)
+        return cls(protected=protected, payload=payload, signature=signature)
+
+    def verify(self, public_key: bytes) -> bool:
+        """True when the signature validates under ``public_key``."""
+        header = cbor.decode(self.protected)
+        if not isinstance(header, dict) or header.get(HEADER_ALG) != ALG_EDDSA:
+            return False
+        return ed25519.verify(
+            self._sig_structure(self.protected, self.payload),
+            self.signature,
+            public_key,
+        )
+
+    def encode(self) -> bytes:
+        return cbor.encode(
+            cbor.Tag(TAG_SIGN1,
+                     [self.protected, {}, self.payload, self.signature])
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "CoseSign1":
+        item = cbor.decode(raw)
+        if isinstance(item, cbor.Tag):
+            if item.number != TAG_SIGN1:
+                raise CoseError(f"unexpected CBOR tag {item.number}")
+            item = item.value
+        if not isinstance(item, list) or len(item) != 4:
+            raise CoseError("COSE_Sign1 must be a 4-element array")
+        protected, _unprotected, payload, signature = item
+        if not isinstance(protected, bytes) or not isinstance(payload, bytes) \
+                or not isinstance(signature, bytes):
+            raise CoseError("COSE_Sign1 fields have wrong types")
+        return cls(protected=protected, payload=payload, signature=signature)

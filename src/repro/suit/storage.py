@@ -1,0 +1,52 @@
+"""Device-side storage slots for container images, keyed by hook UUID.
+
+The paper stores deployed applications in RAM, addressed by the SUIT
+storage-location identifier (the hook UUID).  A slot remembers the image
+and the sequence number that installed it — the anti-rollback state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StorageSlot:
+    """One hook's application image slot."""
+
+    location: str
+    image: bytes = b""
+    sequence_number: int = -1
+    installs: int = 0
+
+    @property
+    def occupied(self) -> bool:
+        return bool(self.image)
+
+
+@dataclass
+class StorageRegistry:
+    """All slots of one device."""
+
+    slots: dict[str, StorageSlot] = field(default_factory=dict)
+
+    def slot(self, location: str) -> StorageSlot:
+        if location not in self.slots:
+            self.slots[location] = StorageSlot(location=location)
+        return self.slots[location]
+
+    def install(self, location: str, image: bytes,
+                sequence_number: int) -> StorageSlot:
+        slot = self.slot(location)
+        slot.image = bytes(image)
+        slot.sequence_number = sequence_number
+        slot.installs += 1
+        return slot
+
+    def highest_sequence(self, location: str) -> int:
+        return self.slot(location).sequence_number
+
+    @property
+    def ram_bytes(self) -> int:
+        """RAM pinned by stored images."""
+        return sum(len(slot.image) for slot in self.slots.values())

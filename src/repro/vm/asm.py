@@ -1,0 +1,248 @@
+"""Two-pass text assembler for the eBPF/rBPF instruction set.
+
+The paper's applications are written in C and compiled with LLVM's eBPF
+backend; without a C toolchain this assembler is how programs are authored
+in the reproduction (see :mod:`repro.workloads` for the paper's example
+applications written in this syntax).
+
+Syntax summary::
+
+    ; comment                         # comment and // comment also work
+    entry:                            ; labels end with ':'
+        mov   r0, 0                   ; ALU: dst, reg-or-imm
+        add32 r1, 42
+        neg   r2
+        le    r3, 16                  ; byteswap: dst, width
+        ldxh  r4, [r1+4]              ; loads: dst, [src+/-offset]
+        stxdw [r10+8], r4             ; reg stores: [dst+offset], src
+        stw   [r10+16], 7             ; imm stores: [dst+offset], imm
+        lddw  r5, 0x1122334455667788  ; wide load (two slots)
+        lddwr r6, 0                   ; address of .rodata + imm
+        lddwd r7, 8                   ; address of .data + imm
+        jeq   r1, 0, done             ; branches: dst, reg-or-imm, target
+        ja    entry                   ; targets are labels or +N/-N slots
+        call  bpf_fetch_global        ; helpers by name or numeric id
+    done:
+        exit
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.vm import isa
+from repro.vm.errors import AssemblerError
+from repro.vm.helpers import HELPER_IDS
+from repro.vm.instruction import Instruction, make_wide
+from repro.vm.program import Program
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_MEM_RE = re.compile(r"^\[\s*(r\d+)\s*(?:([+-])\s*(\w+)\s*)?\]$")
+
+_ALU_NAMES = {
+    "add", "sub", "mul", "div", "or", "and", "lsh", "rsh", "mod", "xor",
+    "mov", "arsh",
+}
+_JMP_NAMES = {
+    "jeq", "jgt", "jge", "jset", "jne", "jsgt", "jsge", "jlt", "jle",
+    "jslt", "jsle",
+}
+_LD_SIZES = {"w": isa.SZ_W, "h": isa.SZ_H, "b": isa.SZ_B, "dw": isa.SZ_DW}
+
+_ALU_OPS = {
+    "add": isa.ALU_ADD, "sub": isa.ALU_SUB, "mul": isa.ALU_MUL,
+    "div": isa.ALU_DIV, "or": isa.ALU_OR, "and": isa.ALU_AND,
+    "lsh": isa.ALU_LSH, "rsh": isa.ALU_RSH, "mod": isa.ALU_MOD,
+    "xor": isa.ALU_XOR, "mov": isa.ALU_MOV, "arsh": isa.ALU_ARSH,
+}
+_JMP_OPS = {
+    "jeq": isa.JMP_JEQ, "jgt": isa.JMP_JGT, "jge": isa.JMP_JGE,
+    "jset": isa.JMP_JSET, "jne": isa.JMP_JNE, "jsgt": isa.JMP_JSGT,
+    "jsge": isa.JMP_JSGE, "jlt": isa.JMP_JLT, "jle": isa.JMP_JLE,
+    "jslt": isa.JMP_JSLT, "jsle": isa.JMP_JSLE,
+}
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "#", "//"):
+        idx = line.find(marker)
+        if idx >= 0:
+            line = line[:idx]
+    return line.strip()
+
+
+def _parse_int(text: str, line_no: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(f"line {line_no}: expected integer, got {text!r}")
+
+
+def _parse_reg(text: str, line_no: int) -> int:
+    if not text.startswith("r") or not text[1:].isdigit():
+        raise AssemblerError(f"line {line_no}: expected register, got {text!r}")
+    reg = int(text[1:])
+    if reg >= 16:
+        raise AssemblerError(f"line {line_no}: register field overflow {text!r}")
+    return reg
+
+
+def _parse_mem(text: str, line_no: int) -> tuple[int, int]:
+    match = _MEM_RE.match(text)
+    if not match:
+        raise AssemblerError(
+            f"line {line_no}: expected memory operand [rN+off], got {text!r}"
+        )
+    reg = _parse_reg(match.group(1), line_no)
+    offset = 0
+    if match.group(3) is not None:
+        offset = _parse_int(match.group(3), line_no)
+        if match.group(2) == "-":
+            offset = -offset
+    return reg, offset
+
+
+class _Statement:
+    """One instruction statement with its source position and slot index."""
+
+    __slots__ = ("mnemonic", "operands", "line_no", "slot")
+
+    def __init__(self, mnemonic: str, operands: list[str], line_no: int, slot: int):
+        self.mnemonic = mnemonic
+        self.operands = operands
+        self.line_no = line_no
+        self.slot = slot
+
+
+def assemble(
+    source: str,
+    rodata: bytes = b"",
+    data: bytes = b"",
+    name: str = "app",
+) -> Program:
+    """Assemble eBPF text into a :class:`~repro.vm.program.Program`."""
+    statements: list[_Statement] = []
+    labels: dict[str, int] = {}
+    slot = 0
+
+    for line_no, raw_line in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw_line)
+        if not line:
+            continue
+        while line.endswith(":") or ":" in line.split()[0]:
+            head, _, rest = line.partition(":")
+            head = head.strip()
+            if not _LABEL_RE.match(head):
+                raise AssemblerError(f"line {line_no}: bad label {head!r}")
+            if head in labels:
+                raise AssemblerError(f"line {line_no}: duplicate label {head!r}")
+            labels[head] = slot
+            line = rest.strip()
+            if not line:
+                break
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = (
+            [op.strip() for op in parts[1].split(",")] if len(parts) > 1 else []
+        )
+        statements.append(_Statement(mnemonic, operands, line_no, slot))
+        slot += 2 if mnemonic in ("lddw", "lddwd", "lddwr") else 1
+
+    slots: list[Instruction] = []
+    for stmt in statements:
+        slots.extend(_emit(stmt, labels))
+    return Program(slots=slots, rodata=rodata, data=data, name=name,
+                   symbols=dict(labels))
+
+
+def _emit(stmt: _Statement, labels: dict[str, int]) -> list[Instruction]:
+    m, ops, ln = stmt.mnemonic, stmt.operands, stmt.line_no
+
+    def need(count: int) -> None:
+        if len(ops) != count:
+            raise AssemblerError(
+                f"line {ln}: {m} expects {count} operand(s), got {len(ops)}"
+            )
+
+    def branch_offset(text: str) -> int:
+        if text in labels:
+            return labels[text] - (stmt.slot + 1)
+        if text.startswith(("+", "-")) or text.lstrip("-").isdigit():
+            return _parse_int(text, ln)
+        raise AssemblerError(f"line {ln}: unknown branch target {text!r}")
+
+    # ALU (64 and 32 bit)
+    base = m[:-2] if m.endswith("32") else m
+    if base in _ALU_NAMES and (m == base or m == base + "32"):
+        cls = isa.CLS_ALU if m.endswith("32") else isa.CLS_ALU64
+        need(2)
+        dst = _parse_reg(ops[0], ln)
+        if ops[1].startswith("r") and ops[1][1:].isdigit():
+            src = _parse_reg(ops[1], ln)
+            return [Instruction(cls | isa.SRC_X | _ALU_OPS[base], dst=dst, src=src)]
+        return [Instruction(cls | isa.SRC_K | _ALU_OPS[base], dst=dst,
+                            imm=_parse_int(ops[1], ln))]
+    if m in ("neg", "neg32"):
+        need(1)
+        cls = isa.CLS_ALU if m == "neg32" else isa.CLS_ALU64
+        return [Instruction(cls | isa.SRC_K | isa.ALU_NEG,
+                            dst=_parse_reg(ops[0], ln))]
+    if m in ("le", "be"):
+        need(2)
+        return [Instruction(isa.LE if m == "le" else isa.BE,
+                            dst=_parse_reg(ops[0], ln),
+                            imm=_parse_int(ops[1], ln))]
+
+    # Loads and stores
+    if m.startswith("ldx") and m[3:] in _LD_SIZES:
+        need(2)
+        dst = _parse_reg(ops[0], ln)
+        src, offset = _parse_mem(ops[1], ln)
+        return [Instruction(isa.CLS_LDX | _LD_SIZES[m[3:]] | isa.MODE_MEM,
+                            dst=dst, src=src, offset=offset)]
+    if m.startswith("stx") and m[3:] in _LD_SIZES:
+        need(2)
+        dst, offset = _parse_mem(ops[0], ln)
+        src = _parse_reg(ops[1], ln)
+        return [Instruction(isa.CLS_STX | _LD_SIZES[m[3:]] | isa.MODE_MEM,
+                            dst=dst, src=src, offset=offset)]
+    if m.startswith("st") and m[2:] in _LD_SIZES:
+        need(2)
+        dst, offset = _parse_mem(ops[0], ln)
+        return [Instruction(isa.CLS_ST | _LD_SIZES[m[2:]] | isa.MODE_MEM,
+                            dst=dst, offset=offset, imm=_parse_int(ops[1], ln))]
+    if m in ("lddw", "lddwd", "lddwr"):
+        need(2)
+        opcode = {"lddw": isa.LDDW, "lddwd": isa.LDDWD, "lddwr": isa.LDDWR}[m]
+        imm = _parse_int(ops[1], ln)
+        return list(make_wide(opcode, dst=_parse_reg(ops[0], ln), imm64=imm))
+
+    # Jumps, call, exit
+    if m == "ja":
+        need(1)
+        return [Instruction(isa.JA, offset=branch_offset(ops[0]))]
+    jbase = m[:-2] if m.endswith("32") else m
+    if jbase in _JMP_NAMES and (m == jbase or m == jbase + "32"):
+        cls = isa.CLS_JMP32 if m.endswith("32") else isa.CLS_JMP
+        need(3)
+        dst = _parse_reg(ops[0], ln)
+        offset = branch_offset(ops[2])
+        if ops[1].startswith("r") and ops[1][1:].isdigit():
+            return [Instruction(cls | isa.SRC_X | _JMP_OPS[jbase], dst=dst,
+                                src=_parse_reg(ops[1], ln), offset=offset)]
+        return [Instruction(cls | isa.SRC_K | _JMP_OPS[jbase], dst=dst,
+                            offset=offset, imm=_parse_int(ops[1], ln))]
+    if m == "call":
+        need(1)
+        target = ops[0]
+        helper_id = HELPER_IDS.get(target)
+        if helper_id is None:
+            helper_id = _parse_int(target, ln)
+        return [Instruction(isa.CALL, imm=helper_id)]
+    if m == "exit":
+        need(0)
+        return [Instruction(isa.EXIT)]
+
+    raise AssemblerError(f"line {ln}: unknown mnemonic {m!r}")

@@ -1,0 +1,208 @@
+"""Fluent programmatic builder for eBPF programs.
+
+An alternative to the text assembler for tests and generated code::
+
+    from repro.vm.builder import ProgramBuilder, R
+
+    b = ProgramBuilder("double_input")
+    b.ldxw(R(0), R(1), 0)       # r0 = *(u32 *)(r1 + 0)
+    b.alu("add", R(0), R(0))    # r0 += r0
+    b.exit_()
+    program = b.build()
+
+Registers are wrapped in :class:`R` so integer operands unambiguously mean
+immediates.  Branch targets are labels created with :meth:`ProgramBuilder.label`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vm import isa
+from repro.vm.errors import AssemblerError
+from repro.vm.instruction import Instruction, make_wide
+from repro.vm.program import Program
+
+
+@dataclass(frozen=True)
+class R:
+    """A register operand (``R(3)`` is r3)."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < 16:
+            raise AssemblerError(f"register index out of range: {self.index}")
+
+
+_ALU_OPS = {
+    "add": isa.ALU_ADD, "sub": isa.ALU_SUB, "mul": isa.ALU_MUL,
+    "div": isa.ALU_DIV, "or": isa.ALU_OR, "and": isa.ALU_AND,
+    "lsh": isa.ALU_LSH, "rsh": isa.ALU_RSH, "mod": isa.ALU_MOD,
+    "xor": isa.ALU_XOR, "mov": isa.ALU_MOV, "arsh": isa.ALU_ARSH,
+}
+_JMP_OPS = {
+    "jeq": isa.JMP_JEQ, "jgt": isa.JMP_JGT, "jge": isa.JMP_JGE,
+    "jset": isa.JMP_JSET, "jne": isa.JMP_JNE, "jsgt": isa.JMP_JSGT,
+    "jsge": isa.JMP_JSGE, "jlt": isa.JMP_JLT, "jle": isa.JMP_JLE,
+    "jslt": isa.JMP_JSLT, "jsle": isa.JMP_JSLE,
+}
+_SIZES = {1: isa.SZ_B, 2: isa.SZ_H, 4: isa.SZ_W, 8: isa.SZ_DW}
+
+
+class _Fixup:
+    __slots__ = ("slot_index", "label")
+
+    def __init__(self, slot_index: int, label: str):
+        self.slot_index = slot_index
+        self.label = label
+
+
+class ProgramBuilder:
+    """Accumulates instruction slots and resolves labels at build time."""
+
+    def __init__(self, name: str = "app", rodata: bytes = b"", data: bytes = b""):
+        self.name = name
+        self.rodata = rodata
+        self.data = data
+        self._slots: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._fixups: list[_Fixup] = []
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def pc(self) -> int:
+        """Current slot index (where the next instruction lands)."""
+        return len(self._slots)
+
+    def label(self, name: str) -> "ProgramBuilder":
+        """Define ``name`` at the current position."""
+        if name in self._labels:
+            raise AssemblerError(f"duplicate label {name!r}")
+        self._labels[name] = self.pc
+        return self
+
+    def raw(self, ins: Instruction) -> "ProgramBuilder":
+        self._slots.append(ins)
+        return self
+
+    # -- instructions ----------------------------------------------------------
+
+    def alu(self, op: str, dst: R, operand: R | int,
+            width: int = 64) -> "ProgramBuilder":
+        if op not in _ALU_OPS:
+            raise AssemblerError(f"unknown ALU op {op!r}")
+        cls = isa.CLS_ALU64 if width == 64 else isa.CLS_ALU
+        if isinstance(operand, R):
+            self._slots.append(Instruction(cls | isa.SRC_X | _ALU_OPS[op],
+                                           dst=dst.index, src=operand.index))
+        else:
+            self._slots.append(Instruction(cls | isa.SRC_K | _ALU_OPS[op],
+                                           dst=dst.index, imm=operand))
+        return self
+
+    def mov(self, dst: R, operand: R | int, width: int = 64) -> "ProgramBuilder":
+        return self.alu("mov", dst, operand, width)
+
+    def add(self, dst: R, operand: R | int, width: int = 64) -> "ProgramBuilder":
+        return self.alu("add", dst, operand, width)
+
+    def sub(self, dst: R, operand: R | int, width: int = 64) -> "ProgramBuilder":
+        return self.alu("sub", dst, operand, width)
+
+    def neg(self, dst: R, width: int = 64) -> "ProgramBuilder":
+        cls = isa.CLS_ALU64 if width == 64 else isa.CLS_ALU
+        self._slots.append(Instruction(cls | isa.SRC_K | isa.ALU_NEG,
+                                       dst=dst.index))
+        return self
+
+    def endian(self, kind: str, dst: R, width_bits: int) -> "ProgramBuilder":
+        opcode = isa.LE if kind == "le" else isa.BE
+        self._slots.append(Instruction(opcode, dst=dst.index, imm=width_bits))
+        return self
+
+    def lddw(self, dst: R, imm64: int) -> "ProgramBuilder":
+        self._slots.extend(make_wide(isa.LDDW, dst.index, imm64))
+        return self
+
+    def lddwd(self, dst: R, offset: int = 0) -> "ProgramBuilder":
+        self._slots.extend(make_wide(isa.LDDWD, dst.index, offset))
+        return self
+
+    def lddwr(self, dst: R, offset: int = 0) -> "ProgramBuilder":
+        self._slots.extend(make_wide(isa.LDDWR, dst.index, offset))
+        return self
+
+    def load(self, dst: R, base: R, offset: int = 0, size: int = 8) -> "ProgramBuilder":
+        self._slots.append(Instruction(isa.CLS_LDX | _SIZES[size] | isa.MODE_MEM,
+                                       dst=dst.index, src=base.index,
+                                       offset=offset))
+        return self
+
+    # Convenience width-specific loads/stores.
+    def ldxb(self, dst: R, base: R, offset: int = 0): return self.load(dst, base, offset, 1)
+    def ldxh(self, dst: R, base: R, offset: int = 0): return self.load(dst, base, offset, 2)
+    def ldxw(self, dst: R, base: R, offset: int = 0): return self.load(dst, base, offset, 4)
+    def ldxdw(self, dst: R, base: R, offset: int = 0): return self.load(dst, base, offset, 8)
+
+    def store(self, base: R, offset: int, value: R | int,
+              size: int = 8) -> "ProgramBuilder":
+        if isinstance(value, R):
+            self._slots.append(
+                Instruction(isa.CLS_STX | _SIZES[size] | isa.MODE_MEM,
+                            dst=base.index, src=value.index, offset=offset))
+        else:
+            self._slots.append(
+                Instruction(isa.CLS_ST | _SIZES[size] | isa.MODE_MEM,
+                            dst=base.index, offset=offset, imm=value))
+        return self
+
+    def stxb(self, base: R, offset: int, src: R): return self.store(base, offset, src, 1)
+    def stxh(self, base: R, offset: int, src: R): return self.store(base, offset, src, 2)
+    def stxw(self, base: R, offset: int, src: R): return self.store(base, offset, src, 4)
+    def stxdw(self, base: R, offset: int, src: R): return self.store(base, offset, src, 8)
+
+    def jump(self, label: str) -> "ProgramBuilder":
+        self._fixups.append(_Fixup(self.pc, label))
+        self._slots.append(Instruction(isa.JA))
+        return self
+
+    def branch(self, op: str, dst: R, operand: R | int, label: str,
+               width: int = 64) -> "ProgramBuilder":
+        if op not in _JMP_OPS:
+            raise AssemblerError(f"unknown branch op {op!r}")
+        cls = isa.CLS_JMP if width == 64 else isa.CLS_JMP32
+        self._fixups.append(_Fixup(self.pc, label))
+        if isinstance(operand, R):
+            self._slots.append(Instruction(cls | isa.SRC_X | _JMP_OPS[op],
+                                           dst=dst.index, src=operand.index))
+        else:
+            self._slots.append(Instruction(cls | isa.SRC_K | _JMP_OPS[op],
+                                           dst=dst.index, imm=operand))
+        return self
+
+    def call(self, helper_id: int) -> "ProgramBuilder":
+        self._slots.append(Instruction(isa.CALL, imm=helper_id))
+        return self
+
+    def exit_(self) -> "ProgramBuilder":
+        self._slots.append(Instruction(isa.EXIT))
+        return self
+
+    # -- assembly ---------------------------------------------------------------
+
+    def build(self) -> Program:
+        """Resolve labels and produce the program."""
+        slots = list(self._slots)
+        for fixup in self._fixups:
+            target = self._labels.get(fixup.label)
+            if target is None:
+                raise AssemblerError(f"undefined label {fixup.label!r}")
+            ins = slots[fixup.slot_index]
+            slots[fixup.slot_index] = Instruction(
+                opcode=ins.opcode, dst=ins.dst, src=ins.src,
+                offset=target - (fixup.slot_index + 1), imm=ins.imm,
+            )
+        return Program(slots=slots, rodata=self.rodata, data=self.data,
+                       name=self.name, symbols=dict(self._labels))

@@ -1,0 +1,157 @@
+"""Variable-length instruction encoding (paper §11, "Fixed- vs
+Variable-length Instructions").
+
+The discussion section observes that the fixed 64-bit eBPF encoding wastes
+space — "most of the instructions have bit fields that are fixed at zero"
+and "the immediate field is not used with half of the instructions and
+would reduce the instructions to 32 bits in size when removed".  This
+module implements that proposal so its benefit can be measured:
+
+Encoding per instruction::
+
+    +--------+--------+-----------------+------------------+
+    | opcode | header | offset (0/1/2B) | immediate (0/1/4B)|
+    +--------+--------+-----------------+------------------+
+
+The header byte packs the register nibbles *when they fit* alongside field
+presence flags; instructions that use neither offset nor immediate shrink
+from 8 to 2 bytes, the common reg-reg ALU forms to 2 bytes, imm8 ALU forms
+to 3 bytes.  ``lddw`` keeps a full 8-byte immediate (10 bytes total).
+
+The scheme is lossless: ``decompress(compress(p))`` restores the exact
+slot list, which the test suite verifies property-based.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vm import isa
+from repro.vm.errors import EncodingError
+from repro.vm.instruction import Instruction
+from repro.vm.program import Program
+
+# Header flag bits.
+_F_OFFSET16 = 0x01  # 2-byte offset follows
+_F_OFFSET8 = 0x02  # 1-byte signed offset follows
+_F_IMM32 = 0x04  # 4-byte immediate follows
+_F_IMM8 = 0x08  # 1-byte signed immediate follows
+_F_WIDE = 0x10  # 8-byte immediate follows (lddw family)
+# Bits 5-7 are reserved; the register nibbles live in a second byte.
+
+
+def _fits_i8(value: int) -> bool:
+    return -128 <= value <= 127
+
+
+@dataclass
+class CompressionStats:
+    """Size accounting for one compressed program."""
+
+    original_bytes: int
+    compressed_bytes: int
+    instruction_count: int
+
+    @property
+    def ratio(self) -> float:
+        """Compressed size as a fraction of the original."""
+        if self.original_bytes == 0:
+            return 1.0
+        return self.compressed_bytes / self.original_bytes
+
+    @property
+    def saving_percent(self) -> float:
+        return 100.0 * (1.0 - self.ratio)
+
+
+def compress(program: Program) -> bytes:
+    """Encode ``program`` into the variable-length stream."""
+    out = bytearray()
+    pc = 0
+    slots = program.slots
+    while pc < len(slots):
+        ins = slots[pc]
+        if ins.opcode in isa.WIDE_OPCODES:
+            if pc + 1 >= len(slots):
+                raise EncodingError("truncated wide instruction")
+            imm64 = ((slots[pc + 1].imm & 0xFFFFFFFF) << 32) | (
+                ins.imm & 0xFFFFFFFF
+            )
+            out.append(ins.opcode)
+            out.append(_F_WIDE)
+            out.append((ins.src << 4) | ins.dst)
+            out.extend(imm64.to_bytes(8, "little"))
+            pc += 2
+            continue
+        flags = 0
+        tail = bytearray()
+        if ins.offset:
+            if _fits_i8(ins.offset):
+                flags |= _F_OFFSET8
+                tail.extend(ins.offset.to_bytes(1, "little", signed=True))
+            else:
+                flags |= _F_OFFSET16
+                tail.extend(ins.offset.to_bytes(2, "little", signed=True))
+        if ins.imm:
+            if _fits_i8(ins.imm):
+                flags |= _F_IMM8
+                tail.extend(ins.imm.to_bytes(1, "little", signed=True))
+            else:
+                flags |= _F_IMM32
+                tail.extend(ins.imm.to_bytes(4, "little", signed=True))
+        out.append(ins.opcode)
+        out.append(flags)
+        out.append((ins.src << 4) | ins.dst)
+        out.extend(tail)
+        pc += 1
+    return bytes(out)
+
+
+def decompress(raw: bytes) -> list[Instruction]:
+    """Decode a variable-length stream back to the exact slot list."""
+    slots: list[Instruction] = []
+    view = memoryview(raw)
+    pos = 0
+
+    def take(count: int) -> memoryview:
+        nonlocal pos
+        if pos + count > len(view):
+            raise EncodingError("truncated compressed stream")
+        chunk = view[pos : pos + count]
+        pos += count
+        return chunk
+
+    while pos < len(view):
+        opcode = take(1)[0]
+        flags = take(1)[0]
+        regs = take(1)[0]
+        dst, src = regs & 0xF, regs >> 4
+        if flags & _F_WIDE:
+            imm64 = int.from_bytes(take(8), "little")
+            slots.append(Instruction(opcode=opcode, dst=dst, src=src,
+                                     imm=imm64 & 0xFFFFFFFF))
+            slots.append(Instruction(opcode=0, imm=(imm64 >> 32) & 0xFFFFFFFF))
+            continue
+        offset = 0
+        if flags & _F_OFFSET8:
+            offset = int.from_bytes(take(1), "little", signed=True)
+        elif flags & _F_OFFSET16:
+            offset = int.from_bytes(take(2), "little", signed=True)
+        imm = 0
+        if flags & _F_IMM8:
+            imm = int.from_bytes(take(1), "little", signed=True)
+        elif flags & _F_IMM32:
+            imm = int.from_bytes(take(4), "little", signed=True)
+        slots.append(Instruction(opcode=opcode, dst=dst, src=src,
+                                 offset=offset, imm=imm))
+    return slots
+
+
+def analyze(program: Program) -> CompressionStats:
+    """Measure how much the variable-length encoding saves for ``program``."""
+    compressed = compress(program)
+    return CompressionStats(
+        original_bytes=program.code_size,
+        compressed_bytes=len(compressed),
+        instruction_count=sum(1 for _ in program.iter_logical()),
+    )

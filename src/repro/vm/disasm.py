@@ -1,0 +1,97 @@
+"""Disassembler: binary eBPF back to the assembler's textual syntax.
+
+``disassemble(program)`` produces text that :func:`repro.vm.asm.assemble`
+accepts and that round-trips to the identical bytecode — a property the
+test suite checks exhaustively with hypothesis.
+"""
+
+from __future__ import annotations
+
+from repro.vm import isa
+from repro.vm.errors import EncodingError
+from repro.vm.helpers import HELPER_NAMES
+from repro.vm.instruction import Instruction, wide_imm64
+from repro.vm.program import Program
+
+
+def _mem_operand(reg: int, offset: int) -> str:
+    if offset == 0:
+        return f"[r{reg}]"
+    sign = "+" if offset >= 0 else "-"
+    return f"[r{reg}{sign}{abs(offset)}]"
+
+
+def _collect_labels(program: Program) -> dict[int, str]:
+    """Assign a label to every branch target slot."""
+    targets: set[int] = set()
+    for pc, ins in program.iter_logical():
+        if ins.opcode in isa.BRANCH_OPCODES:
+            targets.add(pc + 1 + ins.offset)
+    return {slot: f"L{index}" for index, slot in enumerate(sorted(targets))}
+
+
+def disassemble_instruction(
+    ins: Instruction,
+    pc: int = 0,
+    labels: dict[int, str] | None = None,
+    second: Instruction | None = None,
+) -> str:
+    """Render one logical instruction (pass ``second`` for wide pairs)."""
+    labels = labels or {}
+    op = ins.opcode
+    name = isa.OPCODE_NAMES.get(op)
+    if name is None:
+        raise EncodingError(f"cannot disassemble opcode 0x{op:02x}")
+    cls = op & isa.CLS_MASK
+
+    if op in isa.WIDE_OPCODES:
+        if second is None:
+            raise EncodingError("wide instruction requires its second slot")
+        imm64 = wide_imm64(ins, second)
+        return f"{name} r{ins.dst}, 0x{imm64:x}"
+    if cls in (isa.CLS_ALU, isa.CLS_ALU64):
+        if (op & isa.OP_MASK) == isa.ALU_NEG:
+            return f"{name} r{ins.dst}"
+        if (op & isa.OP_MASK) == isa.ALU_END:
+            return f"{name} r{ins.dst}, {ins.imm}"
+        if op & isa.SRC_X:
+            return f"{name} r{ins.dst}, r{ins.src}"
+        return f"{name} r{ins.dst}, {ins.imm}"
+    if cls == isa.CLS_LDX:
+        return f"{name} r{ins.dst}, {_mem_operand(ins.src, ins.offset)}"
+    if cls == isa.CLS_STX:
+        return f"{name} {_mem_operand(ins.dst, ins.offset)}, r{ins.src}"
+    if cls == isa.CLS_ST:
+        return f"{name} {_mem_operand(ins.dst, ins.offset)}, {ins.imm}"
+    if op == isa.CALL:
+        helper = HELPER_NAMES.get(ins.imm)
+        return f"call {helper}" if helper else f"call 0x{ins.imm:x}"
+    if op == isa.EXIT:
+        return "exit"
+    # Branches
+    target = pc + 1 + ins.offset
+    where = labels.get(target, f"{ins.offset:+d}")
+    if op == isa.JA:
+        return f"ja {where}"
+    if op & isa.SRC_X:
+        return f"{name} r{ins.dst}, r{ins.src}, {where}"
+    return f"{name} r{ins.dst}, {ins.imm}, {where}"
+
+
+def disassemble(program: Program) -> str:
+    """Disassemble a whole program into assembler-compatible text."""
+    labels = _collect_labels(program)
+    lines: list[str] = []
+    for pc, ins in program.iter_logical():
+        if pc in labels:
+            lines.append(f"{labels[pc]}:")
+        second = program.slots[pc + 1] if ins.opcode in isa.WIDE_OPCODES else None
+        lines.append(
+            "    " + disassemble_instruction(ins, pc, labels, second)
+        )
+    # A trailing label (jump just past a wide pair cannot occur — verified
+    # programs end with exit — but unverified round-trips may target the end).
+    end = len(program.slots)
+    if end in labels:
+        lines.append(f"{labels[end]}:")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the Femto-Container virtual machine.
+
+Faults raised while a container runs are *contained*: the hosting engine
+catches :class:`VMFault` subclasses, aborts the single container execution
+and reports the fault without ever propagating it into the host RTOS — this
+is the fault-isolation contract the paper verifies formally.
+"""
+
+from __future__ import annotations
+
+
+class VMError(Exception):
+    """Base class for everything the VM subsystem raises."""
+
+
+class EncodingError(VMError):
+    """Malformed binary or textual instruction encoding."""
+
+
+class AssemblerError(VMError):
+    """Error while assembling eBPF text source."""
+
+
+class VerificationError(VMError):
+    """The pre-flight checker rejected the application.
+
+    Carries the slot index of the offending instruction when applicable.
+    """
+
+    def __init__(self, message: str, pc: int | None = None):
+        super().__init__(message if pc is None else f"[pc={pc}] {message}")
+        self.pc = pc
+
+
+class VMFault(VMError):
+    """Base class for runtime faults that abort a container execution."""
+
+    def __init__(self, message: str, pc: int | None = None):
+        super().__init__(message if pc is None else f"[pc={pc}] {message}")
+        self.pc = pc
+
+
+class MemoryFault(VMFault):
+    """Load/store outside the regions granted by the access list (Fig. 4)."""
+
+
+class DivisionFault(VMFault):
+    """Division or modulo by zero at runtime."""
+
+
+class IllegalInstructionFault(VMFault):
+    """Opcode not handled at runtime (defense in depth after verification)."""
+
+
+class BranchLimitFault(VMFault):
+    """The N_b taken-branch budget was exhausted (finite-execution bound)."""
+
+
+class HelperFault(VMFault):
+    """A helper call failed or referenced an unknown/forbidden helper id."""

@@ -1,0 +1,431 @@
+"""The rBPF / Femto-Container bytecode interpreter.
+
+The interpreter mirrors the C implementation described in the paper §7:
+
+* a register machine with eleven 64-bit registers; ``r10`` is a read-only
+  pointer to the *beginning* of a 512-byte stack provided by the hosting
+  engine;
+* a computed-dispatch main loop that decodes each slot and jumps straight
+  to the instruction-specific code;
+* runtime memory-access checks of every computed load/store address against
+  the access list (Fig. 4) — illegal access aborts execution;
+* finite execution enforced by the N_b taken-branch budget (the program
+  length itself is bounded by the verifier's N_i budget, so any execution
+  runs at most N_i * N_b instructions).
+
+Instruction accounting: the interpreter counts executed instructions per
+:class:`~repro.vm.isa.InstructionKind` and helper invocations per id.  The
+per-platform cycle models in :mod:`repro.rtos.board` translate those counts
+into virtual clock ticks; the interpreter itself is time-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.vm import isa
+from repro.vm.errors import (
+    BranchLimitFault,
+    DivisionFault,
+    HelperFault,
+    IllegalInstructionFault,
+    VMFault,
+)
+from repro.vm.helpers import HelperRegistry
+from repro.vm.memory import (
+    CONTEXT_BASE,
+    DATA_BASE,
+    RODATA_BASE,
+    STACK_BASE,
+    AccessList,
+    MemoryRegion,
+    Permission,
+)
+from repro.vm.program import Program
+
+_M64 = (1 << 64) - 1
+_M32 = (1 << 32) - 1
+
+#: opcode -> InstructionKind, precomputed for the accounting fast path.
+_KIND_OF = {op: isa.classify(op) for op in isa.VALID_OPCODES}
+
+
+def _s64(value: int) -> int:
+    """Reinterpret an unsigned 64-bit value as signed."""
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def _s32(value: int) -> int:
+    """Reinterpret an unsigned 32-bit value as signed."""
+    value &= _M32
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def _byteswap(value: int, width_bits: int) -> int:
+    width_bytes = width_bits // 8
+    return int.from_bytes(
+        (value & ((1 << width_bits) - 1)).to_bytes(width_bytes, "little"), "big"
+    )
+
+
+@dataclass(frozen=True)
+class VMConfig:
+    """Runtime limits of one container execution."""
+
+    #: N_b — taken branches allowed before the execution is aborted.
+    branch_limit: int = 10_000
+    #: Optional absolute cap on executed instructions (defense in depth;
+    #: N_i * N_b already bounds execution when None).
+    total_limit: int | None = None
+    #: Size of the engine-provided stack (the eBPF spec mandates 512 B).
+    stack_size: int = isa.STACK_SIZE
+
+
+@dataclass
+class ExecutionStats:
+    """What one execution did, in platform-independent units."""
+
+    executed: int = 0
+    branches_taken: int = 0
+    kind_counts: dict[str, int] = field(default_factory=dict)
+    helper_calls: dict[int, int] = field(default_factory=dict)
+
+    def merge(self, other: "ExecutionStats") -> None:
+        self.executed += other.executed
+        self.branches_taken += other.branches_taken
+        for key, count in other.kind_counts.items():
+            self.kind_counts[key] = self.kind_counts.get(key, 0) + count
+        for key, count in other.helper_calls.items():
+            self.helper_calls[key] = self.helper_calls.get(key, 0) + count
+
+
+@dataclass
+class ExecutionResult:
+    """Return value and accounting of one container execution."""
+
+    value: int
+    stats: ExecutionStats
+
+    @property
+    def signed_value(self) -> int:
+        return _s64(self.value)
+
+
+class Interpreter:
+    """Baseline interpreter; also the base class for the CertFC variant.
+
+    ``implementation`` tags which engine build this models ("rbpf" or
+    "femto-containers"); the per-platform cost tables key on it.
+    """
+
+    implementation = "femto-containers"
+    #: Extra per-instance RAM beyond registers+stack (housekeeping structs).
+    housekeeping_bytes = 24
+
+    def __init__(
+        self,
+        program: Program,
+        helpers: HelperRegistry | None = None,
+        config: VMConfig | None = None,
+        access_list: AccessList | None = None,
+    ) -> None:
+        self.program = program
+        self.helpers = helpers or HelperRegistry()
+        self.config = config or VMConfig()
+        self.access_list = access_list or AccessList()
+        self.stack = MemoryRegion.zeroed(
+            "stack", STACK_BASE, self.config.stack_size, Permission.READ_WRITE
+        )
+        self.access_list.add(self.stack)
+        if program.rodata:
+            self.access_list.grant_bytes(
+                ".rodata", RODATA_BASE, program.rodata, Permission.READ
+            )
+        self.data_region: MemoryRegion | None = None
+        if program.data:
+            self.data_region = self.access_list.grant_bytes(
+                ".data", DATA_BASE, program.data, Permission.READ_WRITE
+            )
+        self._context_region: MemoryRegion | None = None
+        #: Opaque service object (the hosting engine) helpers may use.
+        self.services = None
+
+    # -- engine-facing surface ---------------------------------------------
+
+    @property
+    def ram_bytes(self) -> int:
+        """Per-instance RAM: registers + stack + housekeeping structs.
+
+        11 registers x 8 B + 512 B stack + 24 B housekeeping = 624 B,
+        matching the paper's per-instance figure (§10.3, Table 3).
+        """
+        return isa.REG_COUNT * 8 + self.config.stack_size + self.housekeeping_bytes
+
+    def bind_context(
+        self, content: bytes, perms: Permission = Permission.READ_WRITE
+    ) -> MemoryRegion:
+        """Map the hook context struct at the conventional address."""
+        if self._context_region is not None:
+            self.access_list.regions.remove(self._context_region)
+        self._context_region = self.access_list.grant_bytes(
+            "context", CONTEXT_BASE, content, perms
+        )
+        return self._context_region
+
+    def context_bytes(self) -> bytes:
+        """Snapshot of the (possibly VM-modified) context struct."""
+        if self._context_region is None:
+            return b""
+        return bytes(self._context_region.data)
+
+    # -- execution ----------------------------------------------------------
+
+    def run(
+        self, context: bytes | None = None,
+        context_perms: Permission = Permission.READ_WRITE,
+    ) -> ExecutionResult:
+        """Execute the program once, from slot 0 until ``exit``.
+
+        ``context`` (when given) is copied into the context region and its
+        address passed in r1, mirroring the launchpad calling convention of
+        Listing 1.  Faults propagate as :class:`VMFault` subclasses; the
+        hosting engine is responsible for catching them.
+        """
+        if context is not None:
+            self.bind_context(context, context_perms)
+        # Fresh stack for each run: the engine hands out a zeroed stack.
+        stack_data = self.stack.data
+        for i in range(len(stack_data)):
+            stack_data[i] = 0
+
+        regs = [0] * isa.REG_COUNT
+        regs[isa.REG_STACK] = STACK_BASE
+        if self._context_region is not None:
+            regs[isa.REG_CTX] = CONTEXT_BASE
+
+        stats = ExecutionStats(
+            kind_counts={kind: 0 for kind in isa.InstructionKind.ALL}
+        )
+        value = self._dispatch_loop(regs, stats)
+        return ExecutionResult(value=value, stats=stats)
+
+    # Hook for the CertFC defensive variant.
+    def _pre_execute_check(self, ins, regs: list[int], pc: int) -> None:
+        """Per-instruction defensive check; no-op in the optimized build."""
+
+    def _dispatch_loop(self, regs: list[int], stats: ExecutionStats) -> int:
+        slots = self.program.slots
+        n_slots = len(slots)
+        access = self.access_list
+        kind_counts = stats.kind_counts
+        branch_limit = self.config.branch_limit
+        total_limit = self.config.total_limit
+
+        try:
+            return self._execute(regs, stats, slots, n_slots, access,
+                                 kind_counts, branch_limit, total_limit)
+        finally:
+            # kind_counts is live-updated; derive the totals so that even a
+            # faulted execution carries exact accounting (the engine charges
+            # cycles for aborted runs too).
+            stats.executed = sum(kind_counts.values())
+
+    def _execute(self, regs, stats, slots, n_slots, access, kind_counts,
+                 branch_limit, total_limit) -> int:
+        pc = 0
+        executed = 0
+        branches = 0
+
+        while True:
+            if pc >= n_slots or pc < 0:
+                raise VMFault("program counter escaped program text", pc)
+            ins = slots[pc]
+            op = ins.opcode
+            kind = _KIND_OF.get(op)
+            if kind is None:
+                raise IllegalInstructionFault(f"illegal opcode 0x{op:02x}", pc)
+            self._pre_execute_check(ins, regs, pc)
+            executed += 1
+            kind_counts[kind] += 1
+            if total_limit is not None and executed > total_limit:
+                raise BranchLimitFault(
+                    f"execution exceeded the total budget of {total_limit} "
+                    "instructions",
+                    pc,
+                )
+
+            cls = op & isa.CLS_MASK
+
+            if cls == isa.CLS_ALU64:
+                regs[ins.dst] = self._alu(op, regs[ins.dst],
+                                          regs[ins.src] if op & isa.SRC_X else ins.imm & _M64,
+                                          ins, pc, width64=True)
+                pc += 1
+            elif cls == isa.CLS_ALU:
+                if (op & isa.OP_MASK) == isa.ALU_END:
+                    regs[ins.dst] = self._endian(op, regs[ins.dst], ins.imm, pc)
+                else:
+                    operand = regs[ins.src] if op & isa.SRC_X else ins.imm
+                    regs[ins.dst] = self._alu(op, regs[ins.dst] & _M32,
+                                              operand & _M32, ins, pc,
+                                              width64=False)
+                pc += 1
+            elif cls == isa.CLS_LDX:
+                size = isa.SIZE_BYTES[op & isa.SZ_MASK]
+                addr = (regs[ins.src] + ins.offset) & _M64
+                regs[ins.dst] = access.load(addr, size)
+                pc += 1
+            elif cls == isa.CLS_STX:
+                size = isa.SIZE_BYTES[op & isa.SZ_MASK]
+                addr = (regs[ins.dst] + ins.offset) & _M64
+                access.store(addr, size, regs[ins.src])
+                pc += 1
+            elif cls == isa.CLS_ST:
+                size = isa.SIZE_BYTES[op & isa.SZ_MASK]
+                addr = (regs[ins.dst] + ins.offset) & _M64
+                access.store(addr, size, ins.imm & _M64)
+                pc += 1
+            elif cls == isa.CLS_LD:
+                pc = self._wide(op, ins, slots, regs, pc)
+            elif op == isa.CALL:
+                helper_id = ins.imm
+                stats.helper_calls[helper_id] = (
+                    stats.helper_calls.get(helper_id, 0) + 1
+                )
+                try:
+                    regs[0] = self.helpers.call(
+                        self, helper_id,
+                        regs[1], regs[2], regs[3], regs[4], regs[5],
+                    )
+                except VMFault:
+                    raise
+                except Exception as exc:  # contain helper implementation bugs
+                    raise HelperFault(
+                        f"helper 0x{helper_id:02x} failed: {exc}", pc
+                    ) from exc
+                pc += 1
+            elif op == isa.EXIT:
+                return regs[0]
+            elif cls in (isa.CLS_JMP, isa.CLS_JMP32):
+                taken = self._branch_taken(op, regs, ins)
+                if taken:
+                    branches += 1
+                    stats.branches_taken = branches
+                    if branches > branch_limit:
+                        raise BranchLimitFault(
+                            f"taken-branch budget N_b={branch_limit} exhausted",
+                            pc,
+                        )
+                    pc = pc + 1 + ins.offset
+                else:
+                    pc += 1
+            else:  # pragma: no cover - excluded by _KIND_OF lookup
+                raise IllegalInstructionFault(f"unhandled opcode 0x{op:02x}", pc)
+
+    # -- instruction groups ---------------------------------------------------
+
+    def _alu(self, op: int, dst: int, operand: int, ins, pc: int,
+             width64: bool) -> int:
+        mask = _M64 if width64 else _M32
+        kind = op & isa.OP_MASK
+        if kind == isa.ALU_ADD:
+            result = dst + operand
+        elif kind == isa.ALU_SUB:
+            result = dst - operand
+        elif kind == isa.ALU_MUL:
+            result = dst * operand
+        elif kind == isa.ALU_DIV:
+            if operand & mask == 0:
+                raise DivisionFault("division by zero", pc)
+            result = (dst & mask) // (operand & mask)
+        elif kind == isa.ALU_MOD:
+            if operand & mask == 0:
+                raise DivisionFault("modulo by zero", pc)
+            result = (dst & mask) % (operand & mask)
+        elif kind == isa.ALU_OR:
+            result = dst | operand
+        elif kind == isa.ALU_AND:
+            result = dst & operand
+        elif kind == isa.ALU_XOR:
+            result = dst ^ operand
+        elif kind == isa.ALU_LSH:
+            result = dst << (operand & (63 if width64 else 31))
+        elif kind == isa.ALU_RSH:
+            result = (dst & mask) >> (operand & (63 if width64 else 31))
+        elif kind == isa.ALU_ARSH:
+            shift = operand & (63 if width64 else 31)
+            signed = _s64(dst & _M64) if width64 else _s32(dst)
+            result = signed >> shift
+        elif kind == isa.ALU_NEG:
+            result = -dst
+        elif kind == isa.ALU_MOV:
+            result = operand
+        else:  # pragma: no cover - full opcode table handled above
+            raise IllegalInstructionFault(f"unhandled ALU op 0x{op:02x}", pc)
+        return result & mask
+
+    def _endian(self, op: int, dst: int, width: int, pc: int) -> int:
+        if width not in (16, 32, 64):
+            raise IllegalInstructionFault(f"byteswap width {width}", pc)
+        if op == isa.LE:
+            # Host byte order in eBPF is little endian: `le` truncates.
+            return dst & ((1 << width) - 1)
+        return _byteswap(dst, width)
+
+    def _wide(self, op: int, ins, slots, regs: list[int], pc: int) -> int:
+        if op not in isa.WIDE_OPCODES:
+            raise IllegalInstructionFault(f"illegal LD-class opcode 0x{op:02x}", pc)
+        if pc + 1 >= len(slots):
+            raise IllegalInstructionFault("truncated wide instruction", pc)
+        imm64 = ((slots[pc + 1].imm & _M32) << 32) | (ins.imm & _M32)
+        if op == isa.LDDW:
+            regs[ins.dst] = imm64
+        elif op == isa.LDDWD:
+            regs[ins.dst] = (DATA_BASE + imm64) & _M64
+        else:  # LDDWR
+            regs[ins.dst] = (RODATA_BASE + imm64) & _M64
+        return pc + 2
+
+    def _branch_taken(self, op: int, regs: list[int], ins) -> bool:
+        if op == isa.JA:
+            return True
+        wide = (op & isa.CLS_MASK) == isa.CLS_JMP
+        lhs = regs[ins.dst]
+        rhs = regs[ins.src] if op & isa.SRC_X else ins.imm & _M64
+        if not wide:
+            lhs &= _M32
+            rhs &= _M32
+        kind = op & isa.OP_MASK
+        if kind == isa.JMP_JEQ:
+            return lhs == rhs
+        if kind == isa.JMP_JNE:
+            return lhs != rhs
+        if kind == isa.JMP_JGT:
+            return lhs > rhs
+        if kind == isa.JMP_JGE:
+            return lhs >= rhs
+        if kind == isa.JMP_JLT:
+            return lhs < rhs
+        if kind == isa.JMP_JLE:
+            return lhs <= rhs
+        if kind == isa.JMP_JSET:
+            return bool(lhs & rhs)
+        signed = (_s64, _s32)[0 if wide else 1]
+        slhs, srhs = signed(lhs), signed(rhs)
+        if kind == isa.JMP_JSGT:
+            return slhs > srhs
+        if kind == isa.JMP_JSGE:
+            return slhs >= srhs
+        if kind == isa.JMP_JSLT:
+            return slhs < srhs
+        if kind == isa.JMP_JSLE:
+            return slhs <= srhs
+        raise IllegalInstructionFault(f"unhandled jump op 0x{op:02x}")
+
+
+class RbpfInterpreter(Interpreter):
+    """The original single-VM rBPF build (PEMWN'20 baseline)."""
+
+    implementation = "rbpf"
+    # rBPF keeps slightly less housekeeping (no hook/tenant bookkeeping).
+    housekeeping_bytes = 20

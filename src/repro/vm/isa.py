@@ -1,0 +1,400 @@
+"""eBPF instruction-set definitions used by the Femto-Container VM.
+
+This module is the single source of truth for the instruction encoding used
+throughout the reproduction.  It follows the classic Linux eBPF opcode space
+(the one rBPF implements on microcontrollers) plus the two rBPF extension
+opcodes for position-independent data access (``LDDWD``/``LDDWR``), which is
+exactly the extension the Femto-Containers paper builds on.
+
+Encoding recap (64 bits per slot, little endian)::
+
+    +--------+--------+----------------+--------------------------------+
+    | opcode | regs   | offset (i16)   | immediate (i32)                |
+    | 8 bit  | 8 bit  | 16 bit         | 32 bit                         |
+    +--------+--------+----------------+--------------------------------+
+
+``regs`` packs the destination register in the low nibble and the source
+register in the high nibble.  ``LDDW`` (and the rBPF data-relocation
+variants) occupy two consecutive slots; the second slot carries the upper 32
+bits of the 64-bit immediate in its immediate field.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Instruction classes (opcode bits 0-2)
+# --------------------------------------------------------------------------
+
+CLS_LD = 0x00
+CLS_LDX = 0x01
+CLS_ST = 0x02
+CLS_STX = 0x03
+CLS_ALU = 0x04
+CLS_JMP = 0x05
+CLS_JMP32 = 0x06
+CLS_ALU64 = 0x07
+
+CLS_MASK = 0x07
+
+# --------------------------------------------------------------------------
+# Source operand bit (opcode bit 3) for ALU/JMP classes
+# --------------------------------------------------------------------------
+
+SRC_K = 0x00  # use 32-bit immediate as operand
+SRC_X = 0x08  # use source register as operand
+
+# --------------------------------------------------------------------------
+# ALU / JMP operation field (opcode bits 4-7)
+# --------------------------------------------------------------------------
+
+ALU_ADD = 0x00
+ALU_SUB = 0x10
+ALU_MUL = 0x20
+ALU_DIV = 0x30
+ALU_OR = 0x40
+ALU_AND = 0x50
+ALU_LSH = 0x60
+ALU_RSH = 0x70
+ALU_NEG = 0x80
+ALU_MOD = 0x90
+ALU_XOR = 0xA0
+ALU_MOV = 0xB0
+ALU_ARSH = 0xC0
+ALU_END = 0xD0
+
+JMP_JA = 0x00
+JMP_JEQ = 0x10
+JMP_JGT = 0x20
+JMP_JGE = 0x30
+JMP_JSET = 0x40
+JMP_JNE = 0x50
+JMP_JSGT = 0x60
+JMP_JSGE = 0x70
+JMP_CALL = 0x80
+JMP_EXIT = 0x90
+JMP_JLT = 0xA0
+JMP_JLE = 0xB0
+JMP_JSLT = 0xC0
+JMP_JSLE = 0xD0
+
+OP_MASK = 0xF0
+
+# --------------------------------------------------------------------------
+# Memory access size (opcode bits 3-4) and mode (bits 5-7)
+# --------------------------------------------------------------------------
+
+SZ_W = 0x00  # 4 bytes
+SZ_H = 0x08  # 2 bytes
+SZ_B = 0x10  # 1 byte
+SZ_DW = 0x18  # 8 bytes
+
+SZ_MASK = 0x18
+
+MODE_IMM = 0x00
+MODE_ABS = 0x20
+MODE_IND = 0x40
+MODE_MEM = 0x60
+
+MODE_MASK = 0xE0
+
+#: Size field value -> access width in bytes.
+SIZE_BYTES = {SZ_W: 4, SZ_H: 2, SZ_B: 1, SZ_DW: 8}
+
+# --------------------------------------------------------------------------
+# Registers
+# --------------------------------------------------------------------------
+
+#: Number of architectural registers (r0..r10).
+REG_COUNT = 11
+#: Return-value / scratch register.
+REG_RET = 0
+#: First argument register (hook context pointer arrives here).
+REG_CTX = 1
+#: Read-only stack base pointer.  Per the paper (and unlike Linux eBPF,
+#: where r10 points at the *end* of the frame), rBPF's r10 points at the
+#: *beginning* of the 512-byte stack, so stack slots use positive offsets.
+REG_STACK = 10
+
+#: Size of the per-instance VM stack mandated by the eBPF spec (bytes).
+STACK_SIZE = 512
+
+# --------------------------------------------------------------------------
+# Fully-assembled opcodes
+# --------------------------------------------------------------------------
+
+# 64-bit ALU
+ADD64_IMM = CLS_ALU64 | SRC_K | ALU_ADD  # 0x07
+ADD64_REG = CLS_ALU64 | SRC_X | ALU_ADD  # 0x0f
+SUB64_IMM = CLS_ALU64 | SRC_K | ALU_SUB
+SUB64_REG = CLS_ALU64 | SRC_X | ALU_SUB
+MUL64_IMM = CLS_ALU64 | SRC_K | ALU_MUL
+MUL64_REG = CLS_ALU64 | SRC_X | ALU_MUL
+DIV64_IMM = CLS_ALU64 | SRC_K | ALU_DIV
+DIV64_REG = CLS_ALU64 | SRC_X | ALU_DIV
+OR64_IMM = CLS_ALU64 | SRC_K | ALU_OR
+OR64_REG = CLS_ALU64 | SRC_X | ALU_OR
+AND64_IMM = CLS_ALU64 | SRC_K | ALU_AND
+AND64_REG = CLS_ALU64 | SRC_X | ALU_AND
+LSH64_IMM = CLS_ALU64 | SRC_K | ALU_LSH
+LSH64_REG = CLS_ALU64 | SRC_X | ALU_LSH
+RSH64_IMM = CLS_ALU64 | SRC_K | ALU_RSH
+RSH64_REG = CLS_ALU64 | SRC_X | ALU_RSH
+NEG64 = CLS_ALU64 | SRC_K | ALU_NEG
+MOD64_IMM = CLS_ALU64 | SRC_K | ALU_MOD
+MOD64_REG = CLS_ALU64 | SRC_X | ALU_MOD
+XOR64_IMM = CLS_ALU64 | SRC_K | ALU_XOR
+XOR64_REG = CLS_ALU64 | SRC_X | ALU_XOR
+MOV64_IMM = CLS_ALU64 | SRC_K | ALU_MOV
+MOV64_REG = CLS_ALU64 | SRC_X | ALU_MOV
+ARSH64_IMM = CLS_ALU64 | SRC_K | ALU_ARSH
+ARSH64_REG = CLS_ALU64 | SRC_X | ALU_ARSH
+
+# 32-bit ALU
+ADD32_IMM = CLS_ALU | SRC_K | ALU_ADD  # 0x04
+ADD32_REG = CLS_ALU | SRC_X | ALU_ADD
+SUB32_IMM = CLS_ALU | SRC_K | ALU_SUB
+SUB32_REG = CLS_ALU | SRC_X | ALU_SUB
+MUL32_IMM = CLS_ALU | SRC_K | ALU_MUL
+MUL32_REG = CLS_ALU | SRC_X | ALU_MUL
+DIV32_IMM = CLS_ALU | SRC_K | ALU_DIV
+DIV32_REG = CLS_ALU | SRC_X | ALU_DIV
+OR32_IMM = CLS_ALU | SRC_K | ALU_OR
+OR32_REG = CLS_ALU | SRC_X | ALU_OR
+AND32_IMM = CLS_ALU | SRC_K | ALU_AND
+AND32_REG = CLS_ALU | SRC_X | ALU_AND
+LSH32_IMM = CLS_ALU | SRC_K | ALU_LSH
+LSH32_REG = CLS_ALU | SRC_X | ALU_LSH
+RSH32_IMM = CLS_ALU | SRC_K | ALU_RSH
+RSH32_REG = CLS_ALU | SRC_X | ALU_RSH
+NEG32 = CLS_ALU | SRC_K | ALU_NEG
+MOD32_IMM = CLS_ALU | SRC_K | ALU_MOD
+MOD32_REG = CLS_ALU | SRC_X | ALU_MOD
+XOR32_IMM = CLS_ALU | SRC_K | ALU_XOR
+XOR32_REG = CLS_ALU | SRC_X | ALU_XOR
+MOV32_IMM = CLS_ALU | SRC_K | ALU_MOV
+MOV32_REG = CLS_ALU | SRC_X | ALU_MOV
+ARSH32_IMM = CLS_ALU | SRC_K | ALU_ARSH
+ARSH32_REG = CLS_ALU | SRC_X | ALU_ARSH
+
+# Byte-swap (endianness) instructions; immediate selects 16/32/64.
+LE = CLS_ALU | SRC_K | ALU_END  # 0xd4
+BE = CLS_ALU | SRC_X | ALU_END  # 0xdc
+
+# Memory instructions
+LDDW = CLS_LD | SZ_DW | MODE_IMM  # 0x18, two slots
+#: rBPF extension: load address of the .data section + imm (two slots).
+LDDWD = 0xB8
+#: rBPF extension: load address of the .rodata section + imm (two slots).
+LDDWR = 0xD8
+
+LDXW = CLS_LDX | SZ_W | MODE_MEM  # 0x61
+LDXH = CLS_LDX | SZ_H | MODE_MEM  # 0x69
+LDXB = CLS_LDX | SZ_B | MODE_MEM  # 0x71
+LDXDW = CLS_LDX | SZ_DW | MODE_MEM  # 0x79
+
+STW = CLS_ST | SZ_W | MODE_MEM  # 0x62
+STH = CLS_ST | SZ_H | MODE_MEM  # 0x6a
+STB = CLS_ST | SZ_B | MODE_MEM  # 0x72
+STDW = CLS_ST | SZ_DW | MODE_MEM  # 0x7a
+
+STXW = CLS_STX | SZ_W | MODE_MEM  # 0x63
+STXH = CLS_STX | SZ_H | MODE_MEM  # 0x6b
+STXB = CLS_STX | SZ_B | MODE_MEM  # 0x73
+STXDW = CLS_STX | SZ_DW | MODE_MEM  # 0x7b
+
+# 64-bit jumps
+JA = CLS_JMP | SRC_K | JMP_JA  # 0x05
+JEQ_IMM = CLS_JMP | SRC_K | JMP_JEQ
+JEQ_REG = CLS_JMP | SRC_X | JMP_JEQ
+JGT_IMM = CLS_JMP | SRC_K | JMP_JGT
+JGT_REG = CLS_JMP | SRC_X | JMP_JGT
+JGE_IMM = CLS_JMP | SRC_K | JMP_JGE
+JGE_REG = CLS_JMP | SRC_X | JMP_JGE
+JSET_IMM = CLS_JMP | SRC_K | JMP_JSET
+JSET_REG = CLS_JMP | SRC_X | JMP_JSET
+JNE_IMM = CLS_JMP | SRC_K | JMP_JNE
+JNE_REG = CLS_JMP | SRC_X | JMP_JNE
+JSGT_IMM = CLS_JMP | SRC_K | JMP_JSGT
+JSGT_REG = CLS_JMP | SRC_X | JMP_JSGT
+JSGE_IMM = CLS_JMP | SRC_K | JMP_JSGE
+JSGE_REG = CLS_JMP | SRC_X | JMP_JSGE
+JLT_IMM = CLS_JMP | SRC_K | JMP_JLT
+JLT_REG = CLS_JMP | SRC_X | JMP_JLT
+JLE_IMM = CLS_JMP | SRC_K | JMP_JLE
+JLE_REG = CLS_JMP | SRC_X | JMP_JLE
+JSLT_IMM = CLS_JMP | SRC_K | JMP_JSLT
+JSLT_REG = CLS_JMP | SRC_X | JMP_JSLT
+JSLE_IMM = CLS_JMP | SRC_K | JMP_JSLE
+JSLE_REG = CLS_JMP | SRC_X | JMP_JSLE
+CALL = CLS_JMP | SRC_K | JMP_CALL  # 0x85
+EXIT = CLS_JMP | SRC_K | JMP_EXIT  # 0x95
+
+# 32-bit jumps (operands truncated to 32 bits before comparison)
+JEQ32_IMM = CLS_JMP32 | SRC_K | JMP_JEQ
+JEQ32_REG = CLS_JMP32 | SRC_X | JMP_JEQ
+JGT32_IMM = CLS_JMP32 | SRC_K | JMP_JGT
+JGT32_REG = CLS_JMP32 | SRC_X | JMP_JGT
+JGE32_IMM = CLS_JMP32 | SRC_K | JMP_JGE
+JGE32_REG = CLS_JMP32 | SRC_X | JMP_JGE
+JSET32_IMM = CLS_JMP32 | SRC_K | JMP_JSET
+JSET32_REG = CLS_JMP32 | SRC_X | JMP_JSET
+JNE32_IMM = CLS_JMP32 | SRC_K | JMP_JNE
+JNE32_REG = CLS_JMP32 | SRC_X | JMP_JNE
+JSGT32_IMM = CLS_JMP32 | SRC_K | JMP_JSGT
+JSGT32_REG = CLS_JMP32 | SRC_X | JMP_JSGT
+JSGE32_IMM = CLS_JMP32 | SRC_K | JMP_JSGE
+JSGE32_REG = CLS_JMP32 | SRC_X | JMP_JSGE
+JLT32_IMM = CLS_JMP32 | SRC_K | JMP_JLT
+JLT32_REG = CLS_JMP32 | SRC_X | JMP_JLT
+JLE32_IMM = CLS_JMP32 | SRC_K | JMP_JLE
+JLE32_REG = CLS_JMP32 | SRC_X | JMP_JLE
+JSLT32_IMM = CLS_JMP32 | SRC_K | JMP_JSLT
+JSLT32_REG = CLS_JMP32 | SRC_X | JMP_JSLT
+JSLE32_IMM = CLS_JMP32 | SRC_K | JMP_JSLE
+JSLE32_REG = CLS_JMP32 | SRC_X | JMP_JSLE
+
+# --------------------------------------------------------------------------
+# Opcode tables
+# --------------------------------------------------------------------------
+
+#: Opcodes that occupy two consecutive 8-byte slots.
+WIDE_OPCODES = frozenset({LDDW, LDDWD, LDDWR})
+
+_ALU_NAMES = {
+    ALU_ADD: "add",
+    ALU_SUB: "sub",
+    ALU_MUL: "mul",
+    ALU_DIV: "div",
+    ALU_OR: "or",
+    ALU_AND: "and",
+    ALU_LSH: "lsh",
+    ALU_RSH: "rsh",
+    ALU_NEG: "neg",
+    ALU_MOD: "mod",
+    ALU_XOR: "xor",
+    ALU_MOV: "mov",
+    ALU_ARSH: "arsh",
+}
+
+_JMP_NAMES = {
+    JMP_JA: "ja",
+    JMP_JEQ: "jeq",
+    JMP_JGT: "jgt",
+    JMP_JGE: "jge",
+    JMP_JSET: "jset",
+    JMP_JNE: "jne",
+    JMP_JSGT: "jsgt",
+    JMP_JSGE: "jsge",
+    JMP_JLT: "jlt",
+    JMP_JLE: "jle",
+    JMP_JSLT: "jslt",
+    JMP_JSLE: "jsle",
+}
+
+
+def _build_name_table() -> dict[int, str]:
+    names: dict[int, str] = {}
+    for op, base in _ALU_NAMES.items():
+        if op == ALU_NEG:
+            names[CLS_ALU64 | SRC_K | op] = "neg"
+            names[CLS_ALU | SRC_K | op] = "neg32"
+            continue
+        names[CLS_ALU64 | SRC_K | op] = base
+        names[CLS_ALU64 | SRC_X | op] = base
+        names[CLS_ALU | SRC_K | op] = base + "32"
+        names[CLS_ALU | SRC_X | op] = base + "32"
+    names[LE] = "le"
+    names[BE] = "be"
+    for op, base in _JMP_NAMES.items():
+        if op == JMP_JA:
+            names[CLS_JMP | SRC_K | op] = "ja"
+            continue
+        names[CLS_JMP | SRC_K | op] = base
+        names[CLS_JMP | SRC_X | op] = base
+        names[CLS_JMP32 | SRC_K | op] = base + "32"
+        names[CLS_JMP32 | SRC_X | op] = base + "32"
+    names[CALL] = "call"
+    names[EXIT] = "exit"
+    names[LDDW] = "lddw"
+    names[LDDWD] = "lddwd"
+    names[LDDWR] = "lddwr"
+    for size, suffix in ((SZ_W, "w"), (SZ_H, "h"), (SZ_B, "b"), (SZ_DW, "dw")):
+        names[CLS_LDX | size | MODE_MEM] = "ldx" + suffix
+        names[CLS_ST | size | MODE_MEM] = "st" + suffix
+        names[CLS_STX | size | MODE_MEM] = "stx" + suffix
+    return names
+
+
+#: Opcode byte -> canonical mnemonic.
+OPCODE_NAMES: dict[int, str] = _build_name_table()
+
+#: Every opcode the verifier accepts.
+VALID_OPCODES: frozenset[int] = frozenset(OPCODE_NAMES)
+
+#: Opcodes whose semantics write to the destination *register* (as opposed
+#: to memory stores, where ``dst`` names the address base register).  The
+#: verifier uses this set to enforce that r10 is never written.
+REGISTER_WRITE_OPCODES: frozenset[int] = frozenset(
+    op
+    for op in VALID_OPCODES
+    if (op & CLS_MASK) in (CLS_ALU, CLS_ALU64, CLS_LDX)
+    or op in (LDDW, LDDWD, LDDWR)
+)
+
+#: Conditional and unconditional branch opcodes (offset is a jump target).
+BRANCH_OPCODES: frozenset[int] = frozenset(
+    op
+    for op in VALID_OPCODES
+    if (op & CLS_MASK) in (CLS_JMP, CLS_JMP32) and op not in (CALL, EXIT)
+)
+
+#: Memory load opcodes (register <- memory).
+LOAD_OPCODES: frozenset[int] = frozenset(
+    op for op in VALID_OPCODES if (op & CLS_MASK) == CLS_LDX
+)
+
+#: Memory store opcodes (memory <- register or immediate).
+STORE_OPCODES: frozenset[int] = frozenset(
+    op for op in VALID_OPCODES if (op & CLS_MASK) in (CLS_ST, CLS_STX)
+)
+
+
+class InstructionKind:
+    """Coarse instruction classes used by the per-platform cycle models."""
+
+    ALU = "alu"
+    ALU_MUL = "alu_mul"
+    ALU_DIV = "alu_div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    CALL = "call"
+    EXIT = "exit"
+    LDDW = "lddw"
+
+    ALL = (ALU, ALU_MUL, ALU_DIV, LOAD, STORE, BRANCH, CALL, EXIT, LDDW)
+
+
+def classify(opcode: int) -> str:
+    """Map an opcode byte to its :class:`InstructionKind` cost class."""
+    cls = opcode & CLS_MASK
+    if opcode in (CALL,):
+        return InstructionKind.CALL
+    if opcode == EXIT:
+        return InstructionKind.EXIT
+    if opcode in WIDE_OPCODES:
+        return InstructionKind.LDDW
+    if cls in (CLS_ALU, CLS_ALU64):
+        op = opcode & OP_MASK
+        if op == ALU_MUL:
+            return InstructionKind.ALU_MUL
+        if op in (ALU_DIV, ALU_MOD):
+            return InstructionKind.ALU_DIV
+        return InstructionKind.ALU
+    if cls == CLS_LDX:
+        return InstructionKind.LOAD
+    if cls in (CLS_ST, CLS_STX):
+        return InstructionKind.STORE
+    if cls in (CLS_JMP, CLS_JMP32):
+        return InstructionKind.BRANCH
+    raise ValueError(f"unknown opcode 0x{opcode:02x}")

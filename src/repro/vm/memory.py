@@ -1,0 +1,170 @@
+"""Virtual memory regions and the runtime access-list check (paper Fig. 4).
+
+A Femto-Container instance sees a sparse virtual address space made of a
+handful of :class:`MemoryRegion` objects: its stack, the hook context
+struct, the program's ``.data``/``.rodata`` sections, and whatever extra
+regions the hosting engine explicitly granted (for example a read-only view
+of a network packet).  Every load and store executed by the VM resolves its
+*computed* address against the :class:`AccessList`; anything outside the
+granted regions aborts the execution with :class:`MemoryFault`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntFlag
+
+from repro.vm.errors import MemoryFault
+
+# Conventional base addresses for the standard regions.  They only need to
+# be distinct and far apart; the VM never maps real host memory.
+STACK_BASE = 0x2000_0000
+CONTEXT_BASE = 0x3000_0000
+DATA_BASE = 0x4000_0000
+RODATA_BASE = 0x5000_0000
+GRANT_BASE = 0x6000_0000
+
+
+class Permission(IntFlag):
+    """Access rights attached to a region in the allow list."""
+
+    NONE = 0
+    READ = 1
+    WRITE = 2
+    READ_WRITE = READ | WRITE
+
+
+@dataclass
+class MemoryRegion:
+    """A contiguous virtual region backed by a Python ``bytearray``."""
+
+    name: str
+    start: int
+    data: bytearray
+    perms: Permission
+
+    @classmethod
+    def from_bytes(
+        cls, name: str, start: int, content: bytes, perms: Permission
+    ) -> "MemoryRegion":
+        return cls(name=name, start=start, data=bytearray(content), perms=perms)
+
+    @classmethod
+    def zeroed(
+        cls, name: str, start: int, size: int, perms: Permission
+    ) -> "MemoryRegion":
+        return cls(name=name, start=start, data=bytearray(size), perms=perms)
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def end(self) -> int:
+        """One past the last valid address."""
+        return self.start + len(self.data)
+
+    def contains(self, addr: int, size: int) -> bool:
+        """True when ``[addr, addr+size)`` lies fully inside the region."""
+        return self.start <= addr and addr + size <= self.end
+
+    def load(self, addr: int, size: int) -> int:
+        """Read ``size`` bytes at ``addr`` as an unsigned little-endian int."""
+        off = addr - self.start
+        return int.from_bytes(self.data[off : off + size], "little")
+
+    def store(self, addr: int, size: int, value: int) -> None:
+        """Write ``value`` as ``size`` little-endian bytes at ``addr``."""
+        off = addr - self.start
+        self.data[off : off + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
+            size, "little"
+        )
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        off = addr - self.start
+        return bytes(self.data[off : off + size])
+
+    def write_bytes(self, addr: int, payload: bytes) -> None:
+        off = addr - self.start
+        self.data[off : off + len(payload)] = payload
+
+
+@dataclass
+class AccessList:
+    """The allow list of Fig. 4: the only memory a container may touch."""
+
+    regions: list[MemoryRegion] = field(default_factory=list)
+
+    def add(self, region: MemoryRegion) -> MemoryRegion:
+        """Grant access to ``region``; returns it for chaining."""
+        for existing in self.regions:
+            if region.start < existing.end and existing.start < region.end:
+                raise ValueError(
+                    f"region {region.name!r} overlaps {existing.name!r}"
+                )
+        self.regions.append(region)
+        return region
+
+    def grant_bytes(
+        self, name: str, start: int, content: bytes, perms: Permission
+    ) -> MemoryRegion:
+        return self.add(MemoryRegion.from_bytes(name, start, content, perms))
+
+    def find(self, addr: int, size: int, write: bool) -> MemoryRegion:
+        """Resolve a checked access; raises :class:`MemoryFault` on denial.
+
+        This is the hot path of the memory-protection system: the address is
+        the *computed* runtime address (register + offset), so the check
+        cannot be hoisted to verification time.
+        """
+        needed = Permission.WRITE if write else Permission.READ
+        for region in self.regions:
+            if region.contains(addr, size):
+                if region.perms & needed:
+                    return region
+                raise MemoryFault(
+                    f"{'write' if write else 'read'} of {size} B at "
+                    f"0x{addr:08x} denied: region {region.name!r} lacks "
+                    f"{needed.name} permission"
+                )
+        raise MemoryFault(
+            f"{'write' if write else 'read'} of {size} B at 0x{addr:08x} "
+            "outside all granted regions"
+        )
+
+    def load(self, addr: int, size: int) -> int:
+        return self.find(addr, size, write=False).load(addr, size)
+
+    def store(self, addr: int, size: int, value: int) -> None:
+        self.find(addr, size, write=True).store(addr, size, value)
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        """Checked bulk read used by helpers that take VM pointers."""
+        if size == 0:
+            return b""
+        return self.find(addr, size, write=False).read_bytes(addr, size)
+
+    def write_bytes(self, addr: int, payload: bytes) -> None:
+        """Checked bulk write used by helpers that fill VM buffers."""
+        if not payload:
+            return
+        self.find(addr, len(payload), write=True).write_bytes(addr, payload)
+
+    def read_cstring(self, addr: int, max_len: int = 256) -> bytes:
+        """Read a NUL-terminated string, byte by byte, fully checked.
+
+        Helpers that take string pointers (``bpf_printf``) use this; the
+        byte-wise walk means a string running off the end of a granted
+        region faults exactly at the boundary, like the C runtime.
+        """
+        out = bytearray()
+        for i in range(max_len):
+            byte = self.load(addr + i, 1)
+            if byte == 0:
+                break
+            out.append(byte)
+        return bytes(out)
+
+    def ram_bytes(self) -> int:
+        """Total backing RAM of all granted regions (for accounting)."""
+        return sum(region.size for region in self.regions)

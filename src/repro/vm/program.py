@@ -1,0 +1,74 @@
+"""Container application images: bytecode plus data sections and metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.vm import isa
+from repro.vm.errors import EncodingError
+from repro.vm.instruction import SLOT_SIZE, Instruction, decode_program, encode_program
+
+
+@dataclass
+class Program:
+    """A loadable Femto-Container application.
+
+    ``slots`` is the raw slot list (wide instructions occupy two entries,
+    exactly as in the binary format), ``rodata`` and ``data`` are the
+    read-only and mutable data sections referenced through the rBPF
+    ``lddwr``/``lddwd`` extension opcodes.
+    """
+
+    slots: list[Instruction]
+    rodata: bytes = b""
+    data: bytes = b""
+    name: str = "app"
+    #: Optional symbol table: label -> slot index (filled by the assembler).
+    symbols: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_bytes(
+        cls,
+        raw: bytes,
+        rodata: bytes = b"",
+        data: bytes = b"",
+        name: str = "app",
+    ) -> "Program":
+        return cls(slots=decode_program(raw), rodata=rodata, data=data, name=name)
+
+    def to_bytes(self) -> bytes:
+        """Flat bytecode image (what travels inside a SUIT payload)."""
+        return encode_program(self.slots)
+
+    @property
+    def code_size(self) -> int:
+        """Size of the executable text in bytes (Table 2's 'code size')."""
+        return len(self.slots) * SLOT_SIZE
+
+    @property
+    def image_size(self) -> int:
+        """Total size stored on the device: text plus data sections."""
+        return self.code_size + len(self.rodata) + len(self.data)
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def instruction_at(self, pc: int) -> Instruction:
+        if not 0 <= pc < len(self.slots):
+            raise EncodingError(f"pc {pc} outside program of {len(self.slots)} slots")
+        return self.slots[pc]
+
+    def iter_logical(self):
+        """Yield ``(pc, instruction)`` skipping wide continuation slots."""
+        pc = 0
+        while pc < len(self.slots):
+            ins = self.slots[pc]
+            yield pc, ins
+            pc += 2 if ins.opcode in isa.WIDE_OPCODES else 1
+
+    def opcode_histogram(self) -> dict[str, int]:
+        """Static mnemonic counts (used by the compression analysis)."""
+        histogram: dict[str, int] = {}
+        for _, ins in self.iter_logical():
+            histogram[ins.name] = histogram.get(ins.name, 0) + 1
+        return histogram

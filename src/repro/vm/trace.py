@@ -1,0 +1,109 @@
+"""Execution tracing — debug tooling for container development.
+
+The paper's use-case 2 is on-demand debug and inspection code; developing
+such containers needs visibility into what the VM does.  The
+:class:`TracingInterpreter` records one :class:`TraceEntry` per executed
+instruction (pc, mnemonic, the register it changed), bounded by
+``max_entries`` so a runaway program cannot exhaust host memory.
+
+Tracing is a host-side development tool: it never ships to the device, so
+it deliberately subclasses the optimized interpreter rather than adding a
+flag to its hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.vm import isa
+from repro.vm.disasm import disassemble_instruction
+from repro.vm.interpreter import Interpreter
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One executed instruction."""
+
+    index: int
+    pc: int
+    text: str
+    #: Register written by this instruction, if any, and its new value
+    #: (observed *after* the following instruction starts, i.e. lazily).
+    touched: int | None = None
+    value: int = 0
+
+
+@dataclass
+class Trace:
+    """A bounded execution trace."""
+
+    entries: list[TraceEntry] = field(default_factory=list)
+    truncated: bool = False
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def format(self, limit: int | None = None) -> str:
+        lines = [
+            f"{entry.index:6d}  pc={entry.pc:4d}  {entry.text}"
+            + (f"   ; r{entry.touched} <- 0x{entry.value:x}"
+               if entry.touched is not None else "")
+            for entry in (self.entries if limit is None
+                          else self.entries[:limit])
+        ]
+        if self.truncated:
+            lines.append("  ... trace truncated ...")
+        return "\n".join(lines)
+
+
+class TracingInterpreter(Interpreter):
+    """Interpreter variant that records everything it executes."""
+
+    implementation = "femto-containers"
+
+    def __init__(self, *args, max_entries: int = 10_000, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.max_entries = max_entries
+        self.trace = Trace()
+
+    def run(self, *args, **kwargs):
+        self.trace = Trace()
+        return super().run(*args, **kwargs)
+
+    def _pre_execute_check(self, ins, regs: list[int], pc: int) -> None:
+        trace = self.trace
+        if len(trace.entries) >= self.max_entries:
+            trace.truncated = True
+            return
+        # Resolve the wide pair for display when needed.
+        second = None
+        if ins.opcode in isa.WIDE_OPCODES:
+            second = self.program.slots[pc + 1]
+        touched: int | None = None
+        if ins.opcode in isa.REGISTER_WRITE_OPCODES:
+            touched = ins.dst
+        elif ins.opcode == isa.CALL:
+            touched = 0
+        # Record the *previous* entry's observed result now that the
+        # destination register holds it.
+        if trace.entries:
+            last = trace.entries[-1]
+            if last.touched is not None and last.value == 0:
+                trace.entries[-1] = TraceEntry(
+                    index=last.index, pc=last.pc, text=last.text,
+                    touched=last.touched, value=regs[last.touched],
+                )
+        trace.entries.append(TraceEntry(
+            index=len(trace.entries),
+            pc=pc,
+            text=disassemble_instruction(ins, pc, second=second),
+            touched=touched,
+        ))
+
+
+def trace_program(program, context: bytes | None = None,
+                  max_entries: int = 10_000, **vm_kwargs) -> Trace:
+    """Convenience: run ``program`` under the tracer, return the trace."""
+    vm = TracingInterpreter(program, max_entries=max_entries, **vm_kwargs)
+    vm.run(context=context)
+    return vm.trace

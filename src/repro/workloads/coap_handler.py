@@ -1,0 +1,67 @@
+"""§8.3, container 2: the CoAP response formatter.
+
+Triggered by a CoAP GET, it fetches tenant A's stored sensor average,
+renders it as decimal text and builds the response PDU — a faithful
+translation of the paper's ``counter_fetch_gcoap.c`` snippet::
+
+    int coap_resp(bpf_coap_ctx_t *gcoap) {
+        uint32_t value;
+        bpf_fetch_tenant(KEY, &value);
+        char stringified[20];
+        size_t str_len = bpf_fmt_u32_dec(stringified, value);
+        bpf_gcoap_resp_init(gcoap, COAP_CODE_CONTENT);
+        bpf_coap_add_format(gcoap, 0);
+        ssize_t pdu_len = bpf_coap_opt_finish(gcoap, COAP_OPT_FINISH_PAYLOAD);
+        uint8_t *payload = bpf_coap_get_pdu(gcoap);
+        bpf_memcpy(payload, stringified, str_len);
+        return pdu_len + str_len;
+    }
+
+It is "a representative example for business logic on the device": mostly
+system calls, a little in-VM processing (§10.2).
+"""
+
+from __future__ import annotations
+
+from repro.vm.asm import assemble
+from repro.vm.program import Program
+
+COAP_HANDLER_EBPF = """
+; coap_resp -- context: opaque bpf_coap_ctx_t handle in r1
+    mov   r9, r1              ; save CoAP context handle
+    mov   r1, 0x10            ; KEY_SENSOR_AVG (tenant store)
+    mov   r2, r10
+    add   r2, 0
+    call  bpf_fetch_tenant
+    ldxw  r6, [r10+0]         ; value to report
+    mov   r1, r10
+    add   r1, 8               ; char stringified[20] on the stack
+    mov   r2, r6
+    call  bpf_fmt_u32_dec
+    mov   r8, r0              ; str_len
+    mov   r1, r9
+    mov   r2, 0x45            ; COAP_CODE_CONTENT (2.05)
+    call  bpf_gcoap_resp_init
+    mov   r1, r9
+    mov   r2, 0               ; content-format: text/plain
+    call  bpf_coap_add_format
+    mov   r1, r9
+    mov   r2, 1               ; COAP_OPT_FINISH_PAYLOAD
+    call  bpf_coap_opt_finish
+    mov   r7, r0              ; pdu_len (header + options)
+    mov   r1, r9
+    call  bpf_coap_get_pdu
+    mov   r1, r0              ; payload pointer
+    mov   r2, r10
+    add   r2, 8
+    mov   r3, r8
+    call  bpf_memcpy
+    mov   r0, r7
+    add   r0, r8              ; return pdu_len + str_len
+    exit
+"""
+
+
+def coap_handler_program() -> Program:
+    """Assemble the CoAP response-formatter application."""
+    return assemble(COAP_HANDLER_EBPF, name="coap-response-formatter")

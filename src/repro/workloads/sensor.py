@@ -1,0 +1,59 @@
+"""§8.3, container 1: periodic sensor read + moving average.
+
+Timer-triggered logic of tenant A: find the temperature sensor through
+SAUL, read it, fold it into an exponential moving average, and publish both
+the average and the raw sample into the *tenant* store — where tenant A's
+CoAP container (and only tenant A's containers) can read them.
+"""
+
+from __future__ import annotations
+
+from repro.vm.asm import assemble
+from repro.vm.program import Program
+
+#: Tenant-store key holding the moving average (centi-degrees).
+KEY_SENSOR_AVG = 0x10
+#: Tenant-store key holding the last raw sample.
+KEY_SENSOR_RAW = 0x11
+
+#: SAUL class id for temperature sensors (matches repro.rtos.saul).
+SENSE_TEMP = 0x82
+
+SENSOR_EBPF = """
+; sensor_process -- timer-triggered; context unused
+    mov   r1, 0x82            ; SAUL_SENSE_TEMP
+    call  bpf_saul_reg_find_type
+    jne   r0, 0, found
+    mov   r0, 1               ; no sensor registered
+    exit
+found:
+    mov   r1, r0              ; device handle
+    mov   r2, r10
+    add   r2, 16              ; phydat_t buffer on the stack
+    call  bpf_saul_reg_read
+    ldxh  r6, [r10+16]        ; raw centi-degrees sample
+    mov   r1, 0x10            ; KEY_SENSOR_AVG
+    mov   r2, r10
+    add   r2, 24
+    call  bpf_fetch_tenant
+    ldxw  r7, [r10+24]        ; previous average
+    jne   r7, 0, have_avg
+    mov   r7, r6              ; first sample seeds the average
+have_avg:
+    mul   r7, 3               ; avg = (3*avg + sample) / 4
+    add   r7, r6
+    div   r7, 4
+    mov   r1, 0x10
+    mov   r2, r7
+    call  bpf_store_tenant
+    mov   r1, 0x11            ; KEY_SENSOR_RAW
+    mov   r2, r6
+    call  bpf_store_tenant
+    mov   r0, 0
+    exit
+"""
+
+
+def sensor_program() -> Program:
+    """Assemble the sensor-processing application."""
+    return assemble(SENSOR_EBPF, name="sensor-process")

@@ -1,0 +1,61 @@
+"""Table/figure rendering helpers."""
+
+from __future__ import annotations
+
+from repro.analysis import bar_chart, format_bytes, format_table, format_us, pie_breakdown
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].startswith("a")
+        # numeric column right-aligned
+        assert lines[2].endswith("1")
+        assert lines[3].endswith("22")
+
+    def test_title_prepended(self):
+        text = format_table(["h"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestFormatters:
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2 KiB"
+        assert format_bytes(65_536) == "64 KiB"
+        assert format_bytes(103_424) == "101 KiB"
+
+    def test_format_us(self):
+        assert format_us(5.5) == "5.50 us"
+        assert format_us(250) == "250 us"
+        assert format_us(2_133) == "2.13 ms"
+
+
+class TestCharts:
+    def test_bar_chart_scales_to_peak(self):
+        text = bar_chart("T", ["a", "b"],
+                         {"s": [10.0, 100.0]}, unit="us", width=10)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        short = next(line for line in lines if "10.00 us" in line)
+        long = next(line for line in lines if "100.00 us" in line)
+        assert short.count("#") == 1
+        assert long.count("#") == 10
+
+    def test_bar_chart_zero_values(self):
+        text = bar_chart("T", ["a"], {"s": [0.0]})
+        assert "0.00" in text
+
+    def test_pie_percentages_sum(self):
+        text = pie_breakdown("P", {"x": 30, "y": 70})
+        assert "30.0%" in text and "70.0%" in text
+
+    def test_pie_empty_safe(self):
+        assert pie_breakdown("P", {}) == "P"

@@ -1,0 +1,50 @@
+"""Shared fixtures for the Femto-Containers reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HostingEngine
+from repro.rtos import Kernel, esp32_wroom32, gd32vf103, nrf52840
+
+
+@pytest.fixture
+def board_m4():
+    return nrf52840()
+
+
+@pytest.fixture
+def board_esp32():
+    return esp32_wroom32()
+
+
+@pytest.fixture
+def board_riscv():
+    return gd32vf103()
+
+
+@pytest.fixture(params=["cortex-m4", "esp32", "risc-v"])
+def any_board(request):
+    from repro.rtos import board_by_name
+
+    return board_by_name(request.param)
+
+
+@pytest.fixture
+def kernel(board_m4):
+    return Kernel(board_m4)
+
+
+@pytest.fixture
+def engine(kernel):
+    return HostingEngine(kernel)
+
+
+def run_program(source: str, context: bytes | None = None, **kwargs):
+    """Assemble + verify + run a snippet on a bare interpreter."""
+    from repro.vm import Interpreter, assemble, verify
+
+    program = assemble(source)
+    verify(program)
+    vm = Interpreter(program, **kwargs)
+    return vm.run(context=context)

@@ -1,0 +1,114 @@
+"""§10.2/§11 extension features: stack negotiation, per-tenant privileges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AttachError,
+    ContainerContract,
+    FC_HOOK_TIMER,
+    Hook,
+    HookMode,
+    HookPolicy,
+    PolicyError,
+    grant,
+)
+from repro.vm import assemble
+from repro.vm.helpers import BPF_PRINTF, BPF_STORE_GLOBAL
+
+DEEP_STACK_USER = """
+    mov r1, r10
+    add r1, 1000          ; touch byte 1000 of the stack
+    stb [r1+0], 0x42
+    ldxb r0, [r1+0]
+    exit
+"""
+
+
+class TestStackNegotiation:
+    def test_default_stack_is_512(self, engine):
+        container = engine.load(assemble("mov r0, 0\n    exit"))
+        engine.attach(container, FC_HOOK_TIMER)
+        assert container.vm.config.stack_size == 512
+        assert container.vm.ram_bytes == 624
+
+    def test_contract_can_request_more_stack(self, engine):
+        container = engine.load(
+            assemble(DEEP_STACK_USER),
+            contract=ContainerContract(stack_size=1024),
+        )
+        engine.attach(container, FC_HOOK_TIMER)
+        run = engine.execute(container)
+        assert run.ok and run.value == 0x42
+        assert container.vm.ram_bytes == 624 + 512  # 512 extra stack bytes
+
+    def test_default_stack_faults_on_deep_access(self, engine):
+        container = engine.load(assemble(DEEP_STACK_USER))
+        engine.attach(container, FC_HOOK_TIMER)
+        run = engine.execute(container)
+        assert not run.ok and run.fault.kind == "MemoryFault"
+
+    def test_hook_ceiling_caps_stack(self, engine):
+        capped = engine.register_hook(Hook(
+            "fc.hook.capped", mode=HookMode.SYNC,
+            policy=HookPolicy(max_stack_size=512),
+        ))
+        greedy = engine.load(
+            assemble("mov r0, 0\n    exit"),
+            contract=ContainerContract(stack_size=4096),
+        )
+        with pytest.raises(AttachError, match="stack"):
+            engine.attach(greedy, capped.name)
+
+    def test_sub_minimum_request_rejected(self):
+        with pytest.raises(PolicyError, match="minimum"):
+            grant(HookPolicy(), ContainerContract(stack_size=128))
+
+
+class TestPerTenantPrivileges:
+    """§11: 'In case 2 tenants have different privileges, a second hook
+    must be made available' — the per-tenant policy map removes that."""
+
+    STORE = "mov r1, 1\n    mov r2, 2\n    call bpf_store_global\n    exit"
+
+    def make_hook(self, engine):
+        return engine.register_hook(Hook(
+            "fc.hook.shared", mode=HookMode.SYNC,
+            policy=HookPolicy(allowed_helpers=frozenset({BPF_PRINTF})),
+            tenant_policies={
+                "trusted": HookPolicy(
+                    allowed_helpers=frozenset({BPF_PRINTF, BPF_STORE_GLOBAL})
+                ),
+            },
+        ))
+
+    def test_privileged_tenant_gets_wider_grant(self, engine):
+        hook = self.make_hook(engine)
+        trusted = engine.create_tenant("trusted")
+        container = engine.load(assemble(self.STORE), tenant=trusted)
+        engine.attach(container, hook.name)
+        run = engine.execute(container)
+        assert run.ok
+        assert engine.global_store.fetch(1) == 2
+
+    def test_default_tenant_stays_restricted(self, engine):
+        hook = self.make_hook(engine)
+        other = engine.create_tenant("other")
+        container = engine.load(assemble(self.STORE), tenant=other)
+        with pytest.raises(AttachError):
+            engine.attach(container, hook.name)
+
+    def test_tenantless_container_uses_base_policy(self, engine):
+        hook = self.make_hook(engine)
+        container = engine.load(assemble(self.STORE))
+        with pytest.raises(AttachError):
+            engine.attach(container, hook.name)
+
+    def test_policy_for_lookup(self):
+        base = HookPolicy()
+        special = HookPolicy(branch_limit=1)
+        hook = Hook("h", tenant_policies={"a": special}, policy=base)
+        assert hook.policy_for("a") is special
+        assert hook.policy_for("b") is base
+        assert hook.policy_for(None) is base

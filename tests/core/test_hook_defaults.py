@@ -1,0 +1,57 @@
+"""Fig 3 "Bypass with Default Result" semantics."""
+
+from __future__ import annotations
+
+from repro.core import Hook, HookMode
+from repro.vm import assemble
+
+
+def make_hook(engine, default):
+    return engine.register_hook(
+        Hook("fc.hook.flow", mode=HookMode.SYNC, default_result=default))
+
+
+class TestDefaultResult:
+    def test_empty_hook_yields_default(self, engine):
+        make_hook(engine, default=7)
+        firing = engine.fire_hook("fc.hook.flow")
+        assert firing.results == []
+        assert firing.effective_results == [7]
+
+    def test_healthy_container_result_used(self, engine):
+        hook = make_hook(engine, default=7)
+        container = engine.load(assemble("mov r0, 1\n    exit"))
+        engine.attach(container, hook.name)
+        firing = engine.fire_hook(hook.name)
+        assert firing.effective_results == [1]
+
+    def test_faulted_container_bypassed_with_default(self, engine):
+        hook = make_hook(engine, default=9)
+        bad = engine.load(assemble(
+            "lddw r1, 0x1\n    ldxb r0, [r1]\n    exit"))
+        engine.attach(bad, hook.name)
+        firing = engine.fire_hook(hook.name)
+        assert firing.results == [None]
+        assert firing.effective_results == [9]
+
+    def test_mixed_containers(self, engine):
+        hook = make_hook(engine, default=5)
+        good = engine.load(assemble("mov r0, 1\n    exit"), name="good")
+        bad = engine.load(assemble(
+            "lddw r1, 0x1\n    ldxb r0, [r1]\n    exit"), name="bad")
+        engine.attach(good, hook.name)
+        engine.attach(bad, hook.name)
+        firing = engine.fire_hook(hook.name)
+        assert firing.effective_results == [1, 5]
+
+    def test_firewall_fails_open_by_default(self, engine):
+        """A fault in a packet filter must not brick the network path: the
+        default ACCEPT verdict keeps traffic flowing (fail-open), which is
+        the launchpad designer's choice via default_result."""
+        hook = engine.register_hook(Hook(
+            "fc.hook.rx", mode=HookMode.SYNC, default_result=0))  # ACCEPT
+        crashy_filter = engine.load(assemble(
+            "mov r1, 0\n    ldxb r0, [r1]\n    exit"))
+        engine.attach(crashy_filter, hook.name)
+        firing = engine.fire_hook(hook.name, context=b"\x00" * 4)
+        assert all(v == 0 for v in firing.effective_results)  # packets pass

@@ -1,0 +1,68 @@
+"""Contract intersection (§11 privilege granting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ContainerContract, HookPolicy, MemoryGrant, PolicyError, grant
+from repro.vm.memory import Permission
+
+
+class TestHelperIntersection:
+    def test_open_hook_open_contract(self):
+        granted = grant(HookPolicy(), ContainerContract())
+        assert granted.allowed_helpers is None
+
+    def test_hook_ceiling_applies_when_contract_open(self):
+        policy = HookPolicy(allowed_helpers=frozenset({1, 2}))
+        granted = grant(policy, ContainerContract())
+        assert granted.allowed_helpers == frozenset({1, 2})
+
+    def test_contract_narrows_open_hook(self):
+        granted = grant(HookPolicy(),
+                        ContainerContract(helpers=frozenset({7})))
+        assert granted.allowed_helpers == frozenset({7})
+
+    def test_intersection_of_both(self):
+        policy = HookPolicy(allowed_helpers=frozenset({1, 2, 3}))
+        contract = ContainerContract(helpers=frozenset({2, 3}))
+        assert grant(policy, contract).allowed_helpers == frozenset({2, 3})
+
+    def test_requesting_forbidden_helper_is_rejected(self):
+        policy = HookPolicy(allowed_helpers=frozenset({1}))
+        contract = ContainerContract(helpers=frozenset({1, 9}))
+        with pytest.raises(PolicyError, match="0x09"):
+            grant(policy, contract)
+
+
+class TestBudgets:
+    def test_minimum_of_instruction_budgets(self):
+        policy = HookPolicy(max_instructions=100, branch_limit=50)
+        contract = ContainerContract(max_instructions=500, branch_limit=20)
+        granted = grant(policy, contract)
+        assert granted.max_instructions == 100
+        assert granted.branch_limit == 20
+
+    def test_context_writability_is_os_decided(self):
+        assert grant(HookPolicy(context_writable=False)).context_writable is False
+
+
+class TestMemoryGrants:
+    PACKET = MemoryGrant("packet", 0x6000_0000, 128, Permission.READ)
+    SCRATCH = MemoryGrant("scratch", 0x6100_0000, 64, Permission.READ_WRITE)
+
+    def test_all_grants_by_default(self):
+        policy = HookPolicy(memory_grants=(self.PACKET, self.SCRATCH))
+        assert len(grant(policy).memory_grants) == 2
+
+    def test_contract_selects_subset(self):
+        policy = HookPolicy(memory_grants=(self.PACKET, self.SCRATCH))
+        contract = ContainerContract(memory_regions=("packet",))
+        granted = grant(policy, contract)
+        assert [g.name for g in granted.memory_grants] == ["packet"]
+
+    def test_unknown_region_rejected(self):
+        policy = HookPolicy(memory_grants=(self.PACKET,))
+        contract = ContainerContract(memory_regions=("secrets",))
+        with pytest.raises(PolicyError, match="secrets"):
+            grant(policy, contract)

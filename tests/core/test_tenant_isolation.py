@@ -1,0 +1,145 @@
+"""Multi-tenant isolation: the §3 threat model, exercised.
+
+A malicious tenant "seeks to gain elevated permissions... might want to
+break free from the sandbox to either the host system or a different
+sandbox it doesn't have permissions for."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ContainerContract, FC_HOOK_TIMER, HookPolicy, Hook, HookMode
+from repro.vm import assemble
+from repro.vm.helpers import (
+    BPF_FETCH_TENANT,
+    BPF_PRINTF,
+    BPF_STORE_TENANT,
+)
+
+STORE_SECRET = """
+    mov r1, 0x77
+    mov r2, 0x5ec2e7
+    call bpf_store_tenant
+    mov r0, 0
+    exit
+"""
+
+READ_TENANT_KEY = """
+    mov r1, 0x77
+    mov r2, r10
+    call bpf_fetch_tenant
+    ldxw r0, [r10+0]
+    exit
+"""
+
+
+class TestTenantStores:
+    def test_tenants_do_not_see_each_others_values(self, engine):
+        alice = engine.create_tenant("alice")
+        bob = engine.create_tenant("bob")
+        writer = engine.load(assemble(STORE_SECRET), tenant=alice)
+        reader = engine.load(assemble(READ_TENANT_KEY), tenant=bob)
+        engine.attach(writer, FC_HOOK_TIMER)
+        engine.attach(reader, FC_HOOK_TIMER)
+        engine.execute(writer)
+        assert alice.store.fetch(0x77) == 0x5EC2E7
+        # Bob's container reads its *own* tenant store: empty.
+        assert engine.execute(reader).value == 0
+
+    def test_same_tenant_containers_share(self, engine):
+        alice = engine.create_tenant("alice")
+        writer = engine.load(assemble(STORE_SECRET), tenant=alice, name="w")
+        reader = engine.load(assemble(READ_TENANT_KEY), tenant=alice, name="r")
+        engine.attach(writer, FC_HOOK_TIMER)
+        engine.attach(reader, FC_HOOK_TIMER)
+        engine.execute(writer)
+        assert engine.execute(reader).value == 0x5EC2E7
+
+    def test_tenant_ram_accounting(self, engine):
+        alice = engine.create_tenant("alice")
+        container = engine.load(assemble(STORE_SECRET), tenant=alice)
+        engine.attach(container, FC_HOOK_TIMER)
+        engine.execute(container)
+        assert alice.ram_bytes >= container.ram_bytes + alice.store.ram_bytes
+
+
+class TestSandboxEscapes:
+    def test_vm_memory_is_not_shared_between_containers(self, engine):
+        """Each instance gets its own stack region; writing a marker in one
+        must not be visible in the other."""
+        marker = engine.load(assemble(
+            "stdw [r10+0], 0x41414141\n    mov r0, 0\n    exit"), name="m")
+        probe = engine.load(assemble(
+            "ldxdw r0, [r10+0]\n    exit"), name="p")
+        engine.attach(marker, FC_HOOK_TIMER)
+        engine.attach(probe, FC_HOOK_TIMER)
+        engine.execute(marker)
+        assert engine.execute(probe).value == 0
+
+    def test_helper_whitelist_blocks_capability_abuse(self, engine):
+        """A tenant whose contract only grants printf cannot reach the
+        tenant store, even though the helper exists on the device."""
+        contract = ContainerContract(helpers=frozenset({BPF_PRINTF}))
+        sneaky = engine.load(assemble(STORE_SECRET), contract=contract)
+        with pytest.raises(Exception):
+            engine.attach(sneaky, FC_HOOK_TIMER)
+
+    def test_restrictive_hook_policy_wins_over_contract(self, engine):
+        locked = engine.register_hook(Hook(
+            "fc.hook.locked", mode=HookMode.SYNC,
+            policy=HookPolicy(allowed_helpers=frozenset({BPF_PRINTF})),
+        ))
+        greedy = engine.load(
+            assemble(STORE_SECRET),
+            contract=ContainerContract(
+                helpers=frozenset({BPF_STORE_TENANT, BPF_FETCH_TENANT})
+            ),
+        )
+        with pytest.raises(Exception):
+            engine.attach(greedy, locked.name)
+
+    def test_branch_budget_from_hook_policy_applies(self, engine):
+        tight = engine.register_hook(Hook(
+            "fc.hook.tight", mode=HookMode.SYNC,
+            policy=HookPolicy(branch_limit=5),
+        ))
+        spinner = engine.load(assemble("""
+    mov r1, 100
+again:
+    sub r1, 1
+    jne r1, 0, again
+    mov r0, 0
+    exit
+"""))
+        engine.attach(spinner, tight.name)
+        run = engine.execute(spinner)
+        assert not run.ok
+        assert run.fault.kind == "BranchLimitFault"
+
+    def test_host_keeps_running_after_each_escape_attempt(self, engine, kernel):
+        """The integration form of the §9 guarantee: a battery of hostile
+        containers leaves the kernel scheduling normally."""
+        attacks = [
+            "lddw r1, 0x0\n    ldxdw r0, [r1]\n    exit",          # NULL deref
+            "mov r1, r10\n    add r1, 4096\n    stb [r1+0], 1\n    exit",
+            "mov r1, 0\n    mov r0, 1\n    div r0, r1\n    exit",  # div 0
+            "x:\n    ja x",                                        # spin
+        ]
+        for index, source in enumerate(attacks):
+            hostile = engine.load(assemble(source), name=f"attack{index}")
+            engine.attach(hostile, FC_HOOK_TIMER)
+            run = engine.execute(hostile)
+            assert not run.ok
+        # Kernel still functional: a normal thread completes.
+        from repro.rtos import Sleep
+
+        done = []
+
+        def worker(thread):
+            yield Sleep(10)
+            done.append(True)
+
+        kernel.create_thread("survivor", worker)
+        kernel.run_until_idle()
+        assert done == [True]

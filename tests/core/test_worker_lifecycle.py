@@ -1,0 +1,61 @@
+"""Worker-thread lifecycle for THREAD-mode hooks: no zombie threads."""
+
+from __future__ import annotations
+
+from repro.core import FC_HOOK_TIMER, ContainerState
+from repro.rtos import ThreadState
+from repro.vm import assemble
+
+
+class TestWorkerLifecycle:
+    def test_attach_spawns_worker(self, engine, kernel):
+        container = engine.load(assemble("mov r0, 1\n    exit"))
+        engine.attach(container, FC_HOOK_TIMER)
+        assert container.worker is not None
+        assert container.worker.name == f"fc/{container.name}"
+
+    def test_detach_ends_worker(self, engine, kernel):
+        container = engine.load(assemble("mov r0, 1\n    exit"))
+        engine.attach(container, FC_HOOK_TIMER)
+        worker = container.worker
+        kernel.run(max_steps=5)  # let the worker block on its queue
+        engine.detach(container)
+        kernel.run_until_idle()
+        assert worker.state is ThreadState.ENDED
+        assert container.state is ContainerState.DETACHED
+
+    def test_replace_ends_old_worker_spawns_new(self, engine, kernel):
+        old = engine.load(assemble("mov r0, 1\n    exit"))
+        engine.attach(old, FC_HOOK_TIMER)
+        old_worker = old.worker
+        kernel.run(max_steps=5)
+        new = engine.replace(old, assemble("mov r0, 2\n    exit"))
+        kernel.run_until_idle()
+        assert old_worker.state is ThreadState.ENDED
+        assert new.worker is not None and new.worker is not old_worker
+
+    def test_queued_fire_before_detach_still_runs(self, engine, kernel):
+        """An event already queued when detach arrives is processed first
+        (FIFO), so in-flight work is not silently dropped."""
+        container = engine.load(assemble("mov r0, 9\n    exit"))
+        engine.attach(container, FC_HOOK_TIMER)
+        kernel.run(max_steps=5)
+        results = []
+        engine.fire_hook(FC_HOOK_TIMER, b"\x00" * 8,
+                         done=lambda run: results.append(run.value))
+        engine.detach(container)
+        kernel.run_until_idle()
+        assert results == [9]
+        assert container.worker.state is ThreadState.ENDED
+
+    def test_repeated_attach_detach_does_not_accumulate_threads(self, engine,
+                                                                kernel):
+        for round_index in range(5):
+            container = engine.load(
+                assemble("mov r0, 1\n    exit"), name=f"c{round_index}")
+            engine.attach(container, FC_HOOK_TIMER)
+            kernel.run(max_steps=5)
+            engine.detach(container)
+            kernel.run_until_idle()
+        alive = [t for t in kernel.threads.values() if t.alive]
+        assert not alive

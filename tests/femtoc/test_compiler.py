@@ -1,0 +1,249 @@
+"""femtoC compiler: lowering correctness, intrinsics, diagnostics.
+
+The strongest check is differential: the same source executed by the
+script tree-walker and by the compiled eBPF program must agree.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FC_HOOK_TIMER
+from repro.femtoc import CompileError, compile_source
+from repro.runtimes.script import run_source
+from repro.vm import Interpreter, verify
+
+
+def run_compiled(source: str, context: bytes | None = None, **vm_kwargs) -> int:
+    program = compile_source(source)
+    verify(program)
+    return Interpreter(program, **vm_kwargs).run(context=context).value
+
+
+class TestBasics:
+    def test_return_literal(self):
+        assert run_compiled("return 42;") == 42
+
+    def test_implicit_return_zero(self):
+        assert run_compiled("var x = 5;") == 0
+
+    def test_variables_and_arithmetic(self):
+        assert run_compiled("var a = 6; var b = 7; return a * b;") == 42
+
+    def test_reassignment(self):
+        assert run_compiled("var a = 1; a = a + 41; return a;") == 42
+
+    def test_large_literal_uses_lddw(self):
+        assert run_compiled("return 0x123456789;") == 0x123456789
+
+    def test_unary_minus_wraps_unsigned(self):
+        assert run_compiled("return -(1);") == (1 << 64) - 1
+
+    def test_not_operator(self):
+        assert run_compiled("return !0;") == 1
+        assert run_compiled("return !7;") == 0
+
+    def test_division_and_modulo(self):
+        assert run_compiled("return 100 / 7;") == 14
+        assert run_compiled("return 100 % 7;") == 2
+
+    def test_shifts_and_bitops(self):
+        assert run_compiled("return (1 << 10) | 3;") == 1027
+        assert run_compiled("return (0xff & 0x0f) ^ 1;") == 14
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        source = "var x = {v}; if (x > 5) {{ return 1; }} else {{ return 2; }}"
+        assert run_compiled(source.format(v=9)) == 1
+        assert run_compiled(source.format(v=3)) == 2
+
+    def test_if_without_else(self):
+        assert run_compiled(
+            "var x = 0; if (1) { x = 7; } return x;") == 7
+
+    def test_nested_if(self):
+        source = """
+var a = 2; var b = 3;
+if (a == 2) { if (b == 3) { return 23; } return 20; }
+return 0;
+"""
+        assert run_compiled(source) == 23
+
+    def test_while_sum(self):
+        source = """
+var total = 0; var i = 1;
+while (i <= 10) { total = total + i; i = i + 1; }
+return total;
+"""
+        assert run_compiled(source) == 55
+
+    def test_comparisons_produce_01(self):
+        assert run_compiled("return (3 < 4) + (4 <= 4) + (5 > 9);") == 2
+
+    def test_short_circuit_and(self):
+        # Division by zero on the right is never evaluated.
+        assert run_compiled("return 0 && (1 / 0);") == 0
+
+    def test_short_circuit_or(self):
+        assert run_compiled("return 1 || (1 / 0);") == 1
+
+    def test_logical_normalizes(self):
+        assert run_compiled("return 7 && 9;") == 1
+        assert run_compiled("return 0 || 5;") == 1
+
+
+class TestIntrinsics:
+    def test_kv_roundtrip(self, engine):
+        program = compile_source("""
+var old = fetch_global(5);
+store_global(5, old + 1);
+return fetch_global(5);
+""")
+        container = engine.load(program)
+        engine.attach(container, FC_HOOK_TIMER)
+        assert engine.execute(container).value == 1
+        assert engine.execute(container).value == 2
+
+    def test_ctx_accessors(self):
+        context = (0x11).to_bytes(1, "little") + bytes(7) \
+            + (0xAABB).to_bytes(8, "little")
+        assert run_compiled("return ctx_u8(0);", context) == 0x11
+        assert run_compiled("return ctx_u16(8);", context) == 0xAABB
+
+    def test_ctx_pointer_survives_helper_calls(self, engine):
+        program = compile_source("""
+store_global(1, 99);
+return ctx_u32(0);
+""")
+        container = engine.load(program)
+        engine.attach(container, FC_HOOK_TIMER)
+        run = engine.execute(container, (1234).to_bytes(8, "little"))
+        assert run.ok and run.value == 1234
+
+    def test_saul_pipeline(self, engine, kernel):
+        from repro.rtos import synthetic_temperature
+
+        engine.saul.register(synthetic_temperature(
+            kernel, swing_centi_c=0, noise_centi_c=0, base_centi_c=2100))
+        program = compile_source("""
+var handle = saul_find(0x82);
+if (handle == 0) { return 0; }
+return saul_read(handle);
+""")
+        container = engine.load(program)
+        engine.attach(container, FC_HOOK_TIMER)
+        assert engine.execute(container).value == 2100
+
+    def test_now_ms(self, engine, kernel):
+        program = compile_source("return now_ms();")
+        container = engine.load(program)
+        engine.attach(container, FC_HOOK_TIMER)
+        kernel.clock.charge_us(7_000)
+        assert engine.execute(container).value == 7
+
+    def test_trace_emits_and_passes_value_through(self, engine):
+        program = compile_source("return trace(41) + 1;")
+        container = engine.load(program)
+        engine.attach(container, FC_HOOK_TIMER)
+        assert engine.execute(container).value == 42
+        assert engine.trace_log == ["trace: 41"]
+
+
+class TestDiagnostics:
+    def test_unknown_variable(self):
+        with pytest.raises(CompileError, match="unknown variable"):
+            compile_source("return ghost;")
+
+    def test_duplicate_declaration(self):
+        with pytest.raises(CompileError, match="already declared"):
+            compile_source("var a = 1; var a = 2;")
+
+    def test_user_functions_rejected(self):
+        with pytest.raises(CompileError, match="functions"):
+            compile_source("func f() { return 1; } return f();")
+
+    def test_string_literal_rejected(self):
+        with pytest.raises(CompileError, match="integer literals"):
+            compile_source('return "nope";')
+
+    def test_unknown_intrinsic(self):
+        with pytest.raises(CompileError, match="unknown function"):
+            compile_source("return launch_missiles();")
+
+    def test_wrong_intrinsic_arity(self):
+        with pytest.raises(CompileError, match="argument"):
+            compile_source("return now_ms(1);")
+
+    def test_indexing_rejected(self):
+        with pytest.raises(CompileError, match="ctx_"):
+            compile_source("var a = 1; return a[0];")
+
+    def test_too_many_variables(self):
+        body = "".join(f"var v{i} = {i}; " for i in range(80))
+        with pytest.raises(CompileError, match="too many variables"):
+            compile_source(body + "return 0;")
+
+    def test_deep_nesting_diagnosed(self):
+        deep = "1 + (2 + (3 + (4 + (5 + (6 + 7)))))"
+        with pytest.raises(CompileError, match="register allocator"):
+            compile_source(f"return {deep};")
+
+
+# -- differential property: compiled vs interpreted ---------------------------
+
+@st.composite
+def arithmetic_source(draw) -> str:
+    """Random arithmetic/control programs valid in both worlds.
+
+    Values are kept small and non-negative so Python's unbounded ints and
+    the VM's u64 wraparound agree; division is by non-zero constants.
+    """
+    n_vars = draw(st.integers(1, 4))
+    lines = [f"var v{i} = {draw(st.integers(0, 50))};" for i in range(n_vars)]
+    variables = [f"v{i}" for i in range(n_vars)]
+
+    def expr(depth=0) -> str:
+        choices = ["literal", "name"]
+        if depth < 2:
+            choices.append("binop")
+        kind = draw(st.sampled_from(choices))
+        if kind == "literal":
+            return str(draw(st.integers(0, 30)))
+        if kind == "name":
+            return draw(st.sampled_from(variables))
+        op = draw(st.sampled_from(["+", "*", "&", "|", "^"]))
+        return f"({expr(depth + 1)} {op} {expr(depth + 1)})"
+
+    for index in range(draw(st.integers(1, 4))):
+        kind = draw(st.sampled_from(["assign", "if", "while"]))
+        target = draw(st.sampled_from(variables))
+        if kind == "assign":
+            lines.append(f"{target} = {expr()};")
+        elif kind == "if":
+            lines.append(
+                f"if ({expr()} > {draw(st.integers(0, 40))}) "
+                f"{{ {target} = {expr()}; }} "
+                f"else {{ {target} = {expr()}; }}")
+        else:
+            # A dedicated counter that nothing else writes: guaranteed
+            # monotone, so both executions terminate quickly.
+            counter = f"w{index}"
+            lines.append(f"var {counter} = {draw(st.integers(1, 6))};")
+            lines.append(
+                f"while ({counter} > 0) {{ "
+                f"{target} = {target} + {expr()}; "
+                f"{counter} = {counter} - 1; }}")
+    lines.append(f"return {draw(st.sampled_from(variables))};")
+    return "\n".join(lines)
+
+
+@settings(max_examples=60, deadline=None)
+@given(source=arithmetic_source())
+def test_compiled_matches_interpreted(source):
+    interpreted, _stats = run_source(source)
+    program = compile_source(source)
+    verify(program)
+    compiled = Interpreter(program).run().value
+    assert compiled == interpreted % (1 << 64)

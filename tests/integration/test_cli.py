@@ -1,0 +1,129 @@
+"""CLI toolchain tests (``python -m repro``)."""
+
+from __future__ import annotations
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+    mov r0, 40
+    add r0, 2
+    exit
+"""
+
+BAD_SOURCE = "mov r10, 1\n    exit\n"
+
+
+@pytest.fixture
+def asm_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text(SOURCE)
+    return path
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(list(argv))
+    return code, buffer.getvalue()
+
+
+class TestCli:
+    def test_asm_to_file_and_run(self, asm_file, tmp_path):
+        out = tmp_path / "prog.bin"
+        code, text = run_cli("asm", str(asm_file), "-o", str(out))
+        assert code == 0 and out.exists()
+        code, text = run_cli("run", str(out))
+        assert code == 0
+        assert "r0 = 42" in text
+
+    def test_asm_hex_output(self, asm_file):
+        code, text = run_cli("asm", str(asm_file))
+        assert code == 0
+        assert text.strip().startswith("b700000028000000")
+
+    def test_run_directly_from_source(self, asm_file):
+        code, text = run_cli("run", str(asm_file), "--board", "risc-v",
+                             "--impl", "certfc")
+        assert code == 0
+        assert "r0 = 42" in text and "gd32vf103" in text
+
+    def test_run_jit(self, asm_file):
+        code, text = run_cli("run", str(asm_file), "--impl", "jit")
+        assert code == 0 and "r0 = 42" in text
+
+    def test_run_with_context(self, tmp_path):
+        path = tmp_path / "ctx.s"
+        path.write_text("ldxw r0, [r1+0]\n    exit\n")
+        code, text = run_cli("run", str(path), "--ctx", "2a000000deadbeef")
+        assert code == 0 and "r0 = 42" in text
+
+    def test_run_reports_fault(self, tmp_path):
+        path = tmp_path / "bad.s"
+        path.write_text("lddw r1, 0x1\n    ldxb r0, [r1]\n    exit\n")
+        code, text = run_cli("run", str(path))
+        assert code == 1 and "FAULT" in text
+
+    def test_verify_accepts_and_rejects(self, asm_file, tmp_path):
+        code, text = run_cli("verify", str(asm_file))
+        assert code == 0 and text.startswith("OK")
+        bad = tmp_path / "bad.s"
+        bad.write_text(BAD_SOURCE)
+        code, text = run_cli("verify", str(bad))
+        assert code == 1 and "REJECTED" in text
+
+    def test_disasm_roundtrip(self, asm_file, tmp_path):
+        out = tmp_path / "prog.bin"
+        run_cli("asm", str(asm_file), "-o", str(out))
+        code, text = run_cli("disasm", str(out))
+        assert code == 0
+        assert "mov r0, 40" in text and "exit" in text
+
+    def test_boards_listing(self):
+        code, text = run_cli("boards")
+        assert code == 0
+        for name in ("cortex-m4", "esp32", "risc-v"):
+            assert name in text
+
+    def test_demo_runs(self):
+        code, text = run_cli("demo")
+        assert code == 0
+        assert "sensor average over CoAP" in text
+
+    def test_compile_and_run_femtoc(self, tmp_path):
+        source = tmp_path / "app.fc"
+        source.write_text("var a = 6;\nreturn a * 7;\n")
+        out = tmp_path / "app.bin"
+        code, text = run_cli("compile", str(source), "-o", str(out))
+        assert code == 0 and out.exists()
+        code, text = run_cli("run", str(out))
+        assert code == 0 and "r0 = 42" in text
+
+    def test_compile_emit_asm(self, tmp_path):
+        source = tmp_path / "app.fc"
+        source.write_text("return 1 + 2;\n")
+        code, text = run_cli("compile", str(source), "-S")
+        assert code == 0
+        assert "exit" in text
+
+    def test_compile_error_reported(self, tmp_path):
+        source = tmp_path / "bad.fc"
+        source.write_text("return ghost;\n")
+        code, text = run_cli("compile", str(source))
+        assert code == 1 and "compile error" in text
+
+    def test_shell_default_tour(self):
+        code, text = run_cli("shell")
+        assert code == 0
+        for marker in ("> uptime", "> ps", "> fc list", "total:"):
+            assert marker in text
+
+    def test_shell_custom_commands(self):
+        code, text = run_cli("shell", "hooks", "kv tenant tenant-a")
+        assert code == 0
+        assert "fc.hook.sched" in text
+        assert "0x00000010" in text

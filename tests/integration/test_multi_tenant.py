@@ -1,0 +1,125 @@
+"""End-to-end integration: the full §8.3 / Fig 5 multi-tenant device."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import CoapMessage, coap
+from repro.scenarios import COAP_PORT, DEVICE_ADDR, build_multi_tenant_device
+from repro.workloads import KEY_SENSOR_AVG, KEY_SENSOR_RAW
+
+
+@pytest.fixture
+def device():
+    return build_multi_tenant_device(sensor_period_us=250_000)
+
+
+def poll_temperature(device) -> CoapMessage:
+    replies = []
+    request = CoapMessage(mtype=coap.CON, code=coap.GET)
+    request.add_uri_path("/sensor/temp")
+    device.client.request(DEVICE_ADDR, COAP_PORT, request, replies.append)
+    device.kernel.run(until_us=device.kernel.now_us + 1_000_000)
+    assert replies, "no CoAP reply"
+    return replies[0]
+
+
+class TestScenario:
+    def test_three_containers_two_tenants(self, device):
+        assert device.container_count() == 3
+        assert len(device.engine.tenants) == 2
+
+    def test_sensor_populates_tenant_store(self, device):
+        device.kernel.run(until_us=2_000_000)
+        store = device.tenant_a.store
+        assert 1500 <= store.fetch(KEY_SENSOR_AVG) <= 2800
+        assert 1500 <= store.fetch(KEY_SENSOR_RAW) <= 2800
+        assert device.sensor.runs >= 7
+
+    def test_coap_roundtrip_returns_live_average(self, device):
+        device.kernel.run(until_us=2_000_000)
+        device.cancel_sensor_timer()  # freeze the average for the check
+        reply = poll_temperature(device)
+        assert reply.code == coap.CONTENT
+        value = int(reply.payload.decode())
+        assert value == device.tenant_a.store.fetch(KEY_SENSOR_AVG)
+
+    def test_tenant_isolation_holds_under_load(self, device):
+        device.kernel.run(until_us=3_000_000)
+        # Tenant B's store never sees tenant A's sensor keys.
+        assert KEY_SENSOR_AVG not in device.tenant_b.store
+        # The global store only holds thread-counter entries (pids).
+        pids = set(device.kernel.threads)
+        for key in device.engine.global_store.keys():
+            assert key in pids
+
+    def test_thread_counter_matches_kernel_truth(self, device):
+        device.kernel.run(until_us=3_000_000)
+        counters = device.engine.global_store.snapshot()
+        for pid, thread in device.kernel.threads.items():
+            assert counters.get(pid, 0) == thread.activations, thread.name
+
+    def test_no_faults_anywhere(self, device):
+        device.kernel.run(until_us=3_000_000)
+        poll_temperature(device)
+        for container in device.engine.containers():
+            assert container.fault_count == 0, container.name
+
+    def test_ram_budget_matches_sec10_3(self, device):
+        device.kernel.run(until_us=3_000_000)
+        total = device.engine.total_ram_bytes()
+        assert 2_300 <= total <= 3_600  # paper: ~3.2 KiB
+
+    def test_sensor_cancel_stops_only_the_sensor(self, device):
+        device.kernel.run(until_us=1_000_000)
+        runs_before = device.sensor.runs
+        device.cancel_sensor_timer()
+        device.kernel.run(until_us=2_000_000)
+        assert device.sensor.runs == runs_before
+        # CoAP responder still serves (from the last stored average).
+        reply = poll_temperature(device)
+        assert reply.code == coap.CONTENT
+
+    def test_hot_swap_responder_while_running(self, device):
+        """Replace tenant A's CoAP formatter mid-flight (the update story
+        without the network): the next poll is served by the new code."""
+        from repro.vm import assemble
+
+        device.kernel.run(until_us=1_000_000)
+        constant = assemble("""
+    mov   r9, r1
+    mov   r1, r9
+    mov   r2, 0x45
+    call  bpf_gcoap_resp_init
+    mov   r1, r9
+    mov   r2, 1
+    call  bpf_coap_opt_finish
+    mov   r7, r0
+    mov   r1, r9
+    call  bpf_coap_get_pdu
+    mov   r1, r0
+    stb   [r1+0], 0x58        ; 'X'
+    mov   r0, r7
+    add   r0, 1
+    exit
+""", name="v2")
+        new = device.engine.replace(device.coap_responder, constant)
+        device.server.register_container("/sensor/temp", device.engine, new)
+        reply = poll_temperature(device)
+        assert reply.payload == b"X"
+
+
+class TestLossyOperation:
+    def test_scenario_survives_heavy_loss(self):
+        device = build_multi_tenant_device(sensor_period_us=250_000,
+                                           link_loss=0.3, seed=77)
+        device.kernel.run(until_us=2_000_000)
+        replies = []
+        for _ in range(3):
+            request = CoapMessage(mtype=coap.CON, code=coap.GET)
+            request.add_uri_path("/sensor/temp")
+            device.client.request(DEVICE_ADDR, COAP_PORT, request,
+                                  replies.append)
+            device.kernel.run(until_us=device.kernel.now_us + 40_000_000)
+        assert replies  # retransmission got at least one through
+        assert device.link.stats.frames_dropped > 0

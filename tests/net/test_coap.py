@@ -1,0 +1,153 @@
+"""CoAP codec, options, block option, and error handling."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import coap
+from repro.net.block import BlockOption, slice_block
+from repro.net.coap import CoapError, CoapMessage
+
+
+class TestCodec:
+    def test_minimal_message_roundtrip(self):
+        msg = CoapMessage(mtype=coap.CON, code=coap.GET, message_id=0x1234)
+        decoded = CoapMessage.decode(msg.encode())
+        assert decoded.mtype == coap.CON
+        assert decoded.code == coap.GET
+        assert decoded.message_id == 0x1234
+
+    def test_token_roundtrip(self):
+        msg = CoapMessage(token=b"\xde\xad")
+        assert CoapMessage.decode(msg.encode()).token == b"\xde\xad"
+
+    def test_payload_roundtrip(self):
+        msg = CoapMessage(payload=b"hello sensor")
+        assert CoapMessage.decode(msg.encode()).payload == b"hello sensor"
+
+    def test_uri_path_options(self):
+        msg = CoapMessage()
+        msg.add_uri_path("/fw/slot0")
+        decoded = CoapMessage.decode(msg.encode())
+        assert decoded.uri_path == "/fw/slot0"
+
+    def test_option_delta_extended_13(self):
+        msg = CoapMessage()
+        msg.add_option(30, b"x")  # delta 30 needs the 13+ext form
+        decoded = CoapMessage.decode(msg.encode())
+        assert decoded.option(30) == b"x"
+
+    def test_option_delta_extended_14(self):
+        msg = CoapMessage()
+        msg.add_option(2000, b"y")  # needs the 14+2-byte form
+        decoded = CoapMessage.decode(msg.encode())
+        assert decoded.option(2000) == b"y"
+
+    def test_options_sorted_on_encode(self):
+        msg = CoapMessage()
+        msg.add_option(27, b"b")
+        msg.add_option(11, b"a")
+        decoded = CoapMessage.decode(msg.encode())
+        assert [num for num, _ in decoded.options] == [11, 27]
+
+    def test_long_option_value(self):
+        msg = CoapMessage()
+        msg.add_option(11, b"s" * 300)
+        assert CoapMessage.decode(msg.encode()).option(11) == b"s" * 300
+
+    def test_code_string(self):
+        assert coap.code_string(0x45) == "2.05"
+        assert coap.code_string(coap.NOT_FOUND) == "4.04"
+
+    def test_reply_echoes_mid_and_token(self):
+        request = CoapMessage(mtype=coap.CON, code=coap.GET,
+                              message_id=7, token=b"\x01")
+        reply = request.reply(coap.CONTENT, b"ok")
+        assert reply.mtype == coap.ACK
+        assert reply.message_id == 7
+        assert reply.token == b"\x01"
+
+
+class TestMalformed:
+    def test_short_header(self):
+        with pytest.raises(CoapError):
+            CoapMessage.decode(b"\x40\x01")
+
+    def test_bad_version(self):
+        with pytest.raises(CoapError):
+            CoapMessage.decode(b"\x80\x01\x00\x01")
+
+    def test_reserved_token_length(self):
+        with pytest.raises(CoapError):
+            CoapMessage.decode(b"\x4f\x01\x00\x01" + b"\x00" * 15)
+
+    def test_empty_payload_after_marker(self):
+        base = CoapMessage().encode()
+        with pytest.raises(CoapError):
+            CoapMessage.decode(base + b"\xff")
+
+    def test_oversized_token_rejected_on_encode(self):
+        with pytest.raises(CoapError):
+            CoapMessage(token=b"x" * 9).encode()
+
+    @given(raw=st.binary(max_size=64))
+    def test_decoder_never_crashes(self, raw):
+        try:
+            CoapMessage.decode(raw)
+        except CoapError:
+            pass
+
+    @given(
+        mtype=st.sampled_from([coap.CON, coap.NON, coap.ACK, coap.RST]),
+        code=st.integers(0, 255),
+        mid=st.integers(0, 0xFFFF),
+        token=st.binary(max_size=8),
+        payload=st.binary(max_size=64),
+        options=st.lists(
+            st.tuples(st.integers(1, 2000), st.binary(max_size=20)),
+            max_size=4,
+        ),
+    )
+    def test_roundtrip_property(self, mtype, code, mid, token, payload, options):
+        msg = CoapMessage(mtype=mtype, code=code, message_id=mid, token=token,
+                          payload=payload)
+        for number, value in options:
+            msg.add_option(number, value)
+        decoded = CoapMessage.decode(msg.encode())
+        assert decoded.mtype == mtype
+        assert decoded.code == code
+        assert decoded.message_id == mid
+        assert decoded.token == token
+        assert decoded.payload == payload
+        assert sorted(decoded.options) == sorted(options)
+
+
+class TestBlockOption:
+    def test_encode_decode_roundtrip(self):
+        for num, more, szx in [(0, False, 0), (1, True, 5), (1000, False, 6)]:
+            option = BlockOption(num, more, szx)
+            assert BlockOption.decode(option.encode()) == option
+
+    def test_zero_block_encodes_empty(self):
+        assert BlockOption(0, False, 0).encode() == b""
+        assert BlockOption.decode(b"") == BlockOption(0, False, 0)
+
+    def test_size_derivation(self):
+        assert BlockOption(0, False, 0).size == 16
+        assert BlockOption(0, False, 6).size == 1024
+
+    def test_slice_block(self):
+        blob = bytes(range(100))
+        chunk, more = slice_block(blob, BlockOption(0, False, 1))  # 32 B
+        assert chunk == blob[:32] and more
+        chunk, more = slice_block(blob, BlockOption(3, False, 1))
+        assert chunk == blob[96:] and not more
+
+    def test_slice_past_end_raises(self):
+        with pytest.raises(CoapError):
+            slice_block(b"abc", BlockOption(5, False, 1))
+
+    def test_reserved_szx_rejected(self):
+        with pytest.raises(CoapError):
+            BlockOption.decode(b"\x0f")

@@ -1,0 +1,72 @@
+"""Link-layer edge cases: fragmentation loss semantics, airtime, accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import Interface, Link, UdpStack
+from repro.net.link import FRAME_PAYLOAD
+
+
+@pytest.fixture
+def wire(kernel):
+    link = Link(kernel, loss=0.0, seed=1)
+    a = link.attach(Interface("a"))
+    b = link.attach(Interface("b"))
+    return link, UdpStack(a), UdpStack(b)
+
+
+class TestFragmentation:
+    def test_single_frame_below_mtu(self, kernel, wire):
+        link, sa, sb = wire
+        sb.socket(1)
+        sa.socket(2).send_to("b", 1, bytes(FRAME_PAYLOAD - 10))
+        kernel.run_until_idle()
+        assert link.stats.frames_sent == 1
+
+    def test_fragment_count_scales(self, kernel, wire):
+        link, sa, sb = wire
+        sb.socket(1)
+        sa.socket(2).send_to("b", 1, bytes(FRAME_PAYLOAD * 3))
+        kernel.run_until_idle()
+        assert link.stats.frames_sent == 4  # 3 full + UDP header spill
+
+    def test_airtime_grows_with_size(self, kernel, wire):
+        link, sa, sb = wire
+        arrivals = []
+        sb.socket(1).on_datagram = lambda dg: arrivals.append(kernel.now_us)
+        sa.socket(2).send_to("b", 1, bytes(10))
+        kernel.run_until_idle()
+        small = arrivals[-1]
+        sa.socket(3).send_to("b", 1, bytes(400))
+        kernel.run_until_idle()
+        large = arrivals[-1] - small
+        assert large > small
+
+    def test_any_fragment_loss_kills_the_datagram(self, kernel):
+        """Link-layer reassembly has no ARQ: with loss high enough that a
+        multi-fragment datagram nearly always loses one frame, almost
+        nothing is delivered while single-frame datagrams mostly survive."""
+        link = Link(kernel, loss=0.45, seed=13)
+        a = link.attach(Interface("a"))
+        b = link.attach(Interface("b"))
+        sa, sb = UdpStack(a), UdpStack(b)
+        got_small, got_big = [], []
+        sb.socket(1).on_datagram = lambda dg: got_small.append(1)
+        sb.socket(2).on_datagram = lambda dg: got_big.append(1)
+        sender_small = sa.socket(3)
+        sender_big = sa.socket(4)
+        for _ in range(40):
+            sender_small.send_to("b", 1, bytes(10))       # 1 fragment
+            sender_big.send_to("b", 2, bytes(600))        # 7 fragments
+        kernel.run_until_idle()
+        assert len(got_small) > len(got_big)
+        assert len(got_small) >= 10
+
+    def test_stats_account_bytes(self, kernel, wire):
+        link, sa, sb = wire
+        sb.socket(1)
+        sa.socket(2).send_to("b", 1, bytes(100))
+        kernel.run_until_idle()
+        assert link.stats.bytes_sent == 104  # payload + UDP header
+        assert link.stats.datagrams_delivered == 1

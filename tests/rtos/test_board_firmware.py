@@ -1,0 +1,151 @@
+"""Board models, firmware accounting, SAUL, energy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtos import (
+    EnergyMeter,
+    FirmwareImage,
+    Kernel,
+    all_boards,
+    board_by_name,
+    engine_flash_bytes,
+    nrf52840,
+    synthetic_temperature,
+    update_energy_uj,
+)
+from repro.vm.interpreter import ExecutionStats
+
+
+class TestBoards:
+    def test_three_evaluation_platforms(self):
+        names = [board.name for board in all_boards()]
+        assert names == ["nrf52840", "esp32-wroom-32", "gd32vf103"]
+
+    def test_all_run_at_64_mhz(self):
+        assert all(board.mhz == 64 for board in all_boards())
+
+    def test_board_by_name(self):
+        assert board_by_name("cortex-m4").cpu.startswith("Arm")
+        with pytest.raises(KeyError):
+            board_by_name("z80")
+
+    def test_us_conversion(self):
+        board = nrf52840()
+        assert board.us(64) == 1.0
+        assert board.cycles(2.0) == 128
+
+    def test_cost_tables_cover_all_implementations(self):
+        from repro.rtos.board import IMPLEMENTATIONS
+
+        for board in all_boards():
+            for implementation in IMPLEMENTATIONS:
+                table = board.cost_table(implementation)
+                assert table.dispatch > 0
+
+    def test_unknown_implementation_raises(self):
+        with pytest.raises(KeyError):
+            nrf52840().cost_table("v8")
+
+    def test_execution_costing_is_linear(self):
+        board = nrf52840()
+        stats = ExecutionStats(executed=10, kind_counts={"alu": 10})
+        single = board.vm_execution_cycles(stats, "femto-containers")
+        stats2 = ExecutionStats(executed=20, kind_counts={"alu": 20})
+        assert board.vm_execution_cycles(stats2, "femto-containers") == 2 * single
+
+    def test_certfc_slower_than_femto_everywhere(self):
+        stats = ExecutionStats(
+            executed=100,
+            kind_counts={"alu": 60, "load": 20, "store": 10, "branch": 10},
+        )
+        for board in all_boards():
+            fast = board.vm_execution_cycles(stats, "femto-containers")
+            slow = board.vm_execution_cycles(stats, "certfc")
+            assert slow > 1.5 * fast
+
+    def test_jit_faster_than_interpreter(self):
+        stats = ExecutionStats(executed=100, kind_counts={"alu": 100})
+        for board in all_boards():
+            interp = board.vm_execution_cycles(stats, "femto-containers")
+            jit = board.vm_execution_cycles(stats, "jit")
+            assert jit < interp / 5
+
+
+class TestFirmware:
+    def test_riot_base_image_is_about_52_kb(self):
+        image = FirmwareImage.riot_base(nrf52840())
+        assert 50_000 <= image.flash_bytes <= 55_000
+
+    def test_engine_flash_matches_table3_on_m4(self):
+        board = nrf52840()
+        assert engine_flash_bytes("femto-containers", board) == 2992
+        assert engine_flash_bytes("rbpf", board) == 3032
+        assert engine_flash_bytes("certfc", board) == 1378
+
+    def test_certfc_smallest_on_every_arch(self):
+        for board in all_boards():
+            certfc = engine_flash_bytes("certfc", board)
+            for other in ("rbpf", "femto-containers"):
+                assert certfc < engine_flash_bytes(other, board)
+
+    def test_flash_percentages_sum_to_100(self):
+        image = FirmwareImage.riot_base(nrf52840()).add_engine("rbpf")
+        assert sum(image.flash_percentages().values()) == pytest.approx(100.0)
+
+    def test_overhead_percent(self):
+        board = nrf52840()
+        base = FirmwareImage.riot_base(board)
+        with_engine = FirmwareImage.riot_base(board).add_engine("rbpf")
+        overhead = with_engine.flash_overhead_percent(base)
+        assert 4.0 <= overhead <= 8.0  # well under the 10 % headline
+
+    def test_fits_flash(self):
+        image = FirmwareImage.riot_base(nrf52840()).add_runtime("Mega", 10**7)
+        assert not image.fits()
+
+
+class TestSaul:
+    def test_synthetic_temperature_deterministic(self):
+        k1, k2 = Kernel(), Kernel()
+        d1 = synthetic_temperature(k1, seed=9)
+        d2 = synthetic_temperature(k2, seed=9)
+        assert [d1.read().value for _ in range(5)] == \
+               [d2.read().value for _ in range(5)]
+
+    def test_temperature_follows_time(self):
+        kernel = Kernel()
+        device = synthetic_temperature(kernel, seed=1, noise_centi_c=0)
+        cold = device.read().value
+        kernel.clock.charge_us(30_000_000)  # quarter period: peak of sine
+        warm = device.read().value
+        assert warm > cold
+
+    def test_registry_find_type_and_nth(self, kernel):
+        from repro.rtos import SENSE_TEMP, SaulRegistry
+
+        registry = SaulRegistry()
+        registry.register(synthetic_temperature(kernel))
+        index, device = registry.find_type(SENSE_TEMP)
+        assert index == 0 and device.name == "nrf_temp"
+        assert registry.find_nth(0) is device
+        assert registry.find_nth(5) is None
+        assert registry.find_type(0x99) is None
+
+
+class TestEnergy:
+    def test_active_energy_scales_with_cycles(self):
+        board = nrf52840()
+        meter = EnergyMeter(board)
+        meter.add_active_cycles(64_000_000)  # one second
+        report = meter.report()
+        # 6.4 mA * 3.3 V * 1 s ~ 21 mJ
+        assert report.active_uj == pytest.approx(21_120, rel=0.01)
+
+    def test_update_energy_favors_container_updates(self):
+        """§11: updating a 500 B container beats a 50 kB firmware image."""
+        board = nrf52840()
+        container_update = update_energy_uj(board, 500)
+        firmware_update = update_energy_uj(board, 50_000)
+        assert firmware_update > 50 * container_update

@@ -1,0 +1,71 @@
+"""Clock arithmetic and energy meter units."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtos import Clock, EnergyMeter, nrf52840
+
+
+class TestClock:
+    def test_charge_accumulates(self):
+        clock = Clock(64)
+        clock.charge(64)
+        clock.charge(64)
+        assert clock.cycles == 128
+        assert clock.time_us == 2.0
+
+    def test_charge_us_rounds_to_cycles(self):
+        clock = Clock(64)
+        clock.charge_us(1.5)
+        assert clock.cycles == 96
+
+    def test_advance_to_forward_only(self):
+        clock = Clock(64)
+        clock.advance_to(100)
+        with pytest.raises(ValueError):
+            clock.advance_to(50)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            Clock(64).charge(-1)
+
+    def test_zero_mhz_rejected(self):
+        with pytest.raises(ValueError):
+            Clock(0)
+
+    def test_conversions_roundtrip(self):
+        clock = Clock(64)
+        assert clock.cycles_to_us(clock.us_to_cycles(123.0)) == 123.0
+
+    def test_time_ms(self):
+        clock = Clock(64)
+        clock.charge(64_000)
+        assert clock.time_ms == 1.0
+
+
+class TestEnergyMeter:
+    def test_empty_meter_reports_zero(self):
+        report = EnergyMeter(nrf52840()).report()
+        assert report.total_uj == 0.0
+
+    def test_sleep_energy_tiny_vs_active(self):
+        meter = EnergyMeter(nrf52840())
+        meter.add_active_cycles(64_000_000)   # 1 s active
+        meter.add_sleep_us(1_000_000)         # 1 s sleeping
+        report = meter.report()
+        assert report.active_uj > 1000 * report.sleep_uj
+
+    def test_radio_bytes_priced(self):
+        meter = EnergyMeter(nrf52840())
+        meter.add_radio_bytes(100)
+        assert meter.report().radio_uj == pytest.approx(200.0)
+
+    def test_total_is_sum(self):
+        meter = EnergyMeter(nrf52840())
+        meter.add_active_cycles(640)
+        meter.add_sleep_us(100)
+        meter.add_radio_bytes(1)
+        report = meter.report()
+        assert report.total_uj == pytest.approx(
+            report.active_uj + report.sleep_uj + report.radio_uj)

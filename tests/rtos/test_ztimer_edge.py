@@ -1,0 +1,78 @@
+"""Timer-wheel edge cases."""
+
+from __future__ import annotations
+
+from repro.rtos import Kernel
+
+
+class TestTimerEdgeCases:
+    def test_same_deadline_fires_in_arming_order(self, kernel):
+        order = []
+        kernel.timers.set(lambda: order.append("first"), 100)
+        kernel.timers.set(lambda: order.append("second"), 100)
+        kernel.run_until_idle()
+        assert order == ["first", "second"]
+
+    def test_zero_delay_fires_immediately_on_next_step(self, kernel):
+        fired = []
+        kernel.timers.set(lambda: fired.append(kernel.now_us), 0)
+        kernel.step()
+        assert fired == [0.0]
+
+    def test_callback_arming_new_timer(self, kernel):
+        """A timer callback may arm another timer (chained schedules)."""
+        order = []
+
+        def second():
+            order.append(("second", kernel.now_us))
+
+        def first():
+            order.append(("first", kernel.now_us))
+            kernel.timers.set(second, 50)
+
+        kernel.timers.set(first, 100)
+        kernel.run_until_idle()
+        assert order == [("first", 100.0), ("second", 150.0)]
+
+    def test_cancel_periodic_from_within_callback(self, kernel):
+        ticks = []
+        box = {}
+
+        def tick():
+            ticks.append(kernel.now_us)
+            if len(ticks) == 3:
+                box["cancel"]()
+
+        box["cancel"] = kernel.timers.set_periodic(tick, 100)
+        kernel.run_until_idle()
+        assert len(ticks) == 3
+
+    def test_pending_count_tracks_cancellations(self, kernel):
+        entries = [kernel.timers.set(lambda: None, 100 + i) for i in range(5)]
+        assert kernel.timers.pending == 5
+        for entry in entries[:2]:
+            kernel.timers.cancel(entry)
+        assert kernel.timers.pending == 3
+
+    def test_next_deadline_skips_cancelled(self, kernel):
+        early = kernel.timers.set(lambda: None, 10)
+        kernel.timers.set(lambda: None, 500)
+        kernel.timers.cancel(early)
+        deadline = kernel.timers.next_deadline()
+        assert kernel.clock.cycles_to_us(deadline) == 500.0
+
+    def test_timer_during_thread_work_fires_late(self, kernel):
+        """Interrupt latency model: work charged by a running thread delays
+        callbacks until the thread yields (deferred interrupts)."""
+        from repro.rtos import Sleep
+
+        fired = []
+        kernel.timers.set(lambda: fired.append(kernel.now_us), 100)
+
+        def hog(thread):
+            thread.charge(64_000)  # 1000 us of uninterrupted work
+            yield Sleep(1)
+
+        kernel.create_thread("hog", hog, priority=1)
+        kernel.run_until_idle()
+        assert fired and fired[0] >= 1000.0

@@ -1,0 +1,128 @@
+"""§6 candidate comparison: Tables 1 & 2 shape assertions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtos import nrf52840
+from repro.runtimes import (
+    all_candidates,
+    host_os_rom_bytes,
+    NativeCandidate,
+    RbpfCandidate,
+    ScriptCandidate,
+    WasmCandidate,
+    MICROPYTHON_PROFILE,
+    RIOTJS_PROFILE,
+)
+from repro.workloads.fletcher32 import FLETCHER32_INPUT, fletcher32_reference
+
+
+@pytest.fixture(scope="module")
+def metrics():
+    board = nrf52840()
+    return {c.name: c.fletcher32_metrics(board) for c in all_candidates()}
+
+
+class TestCorrectness:
+    def test_every_candidate_computes_the_same_checksum(self, metrics):
+        expected = fletcher32_reference(FLETCHER32_INPUT)
+        for name, m in metrics.items():
+            assert m.result == expected, name
+
+
+class TestTable1Shape:
+    def test_rbpf_rom_10x_smaller_than_all(self, metrics):
+        """§6 headline: 'a Femto-Container runtime based on eBPF
+        virtualization requires 10x less memory footprint'."""
+        rbpf = metrics["rBPF"].rom_bytes
+        for name in ("WASM3", "RIOTjs", "MicroPython"):
+            assert metrics[name].rom_bytes >= 10 * rbpf, name
+
+    def test_rom_ordering_matches_paper(self, metrics):
+        assert (metrics["rBPF"].rom_bytes
+                < metrics["WASM3"].rom_bytes
+                < metrics["MicroPython"].rom_bytes
+                < metrics["RIOTjs"].rom_bytes)
+
+    def test_ram_extremes_paper_ratios(self, metrics):
+        """'the biggest RAM budget requires 140 times more RAM than the
+        smallest budget' (wasm vs rbpf)."""
+        ratio = metrics["WASM3"].ram_bytes / metrics["rBPF"].ram_bytes
+        assert 100 <= ratio <= 180
+
+    def test_script_interpreters_need_100kb_class_rom(self, metrics):
+        for name in ("RIOTjs", "MicroPython"):
+            assert metrics[name].rom_bytes > 100_000
+
+    def test_rbpf_ram_is_one_instance(self, metrics):
+        assert metrics["rBPF"].ram_bytes == 620  # Table 1's 0.6 kB
+
+    def test_rom_overhead_vs_host_os(self, metrics):
+        """Fig 2: rBPF adds ~8 %, MicroPython ~200 % to the OS image."""
+        host = host_os_rom_bytes()
+        assert metrics["rBPF"].rom_bytes / host < 0.10
+        assert metrics["MicroPython"].rom_bytes / host > 1.5
+
+
+class TestTable2Shape:
+    def test_native_is_fastest(self, metrics):
+        native = metrics["Native C"].run_us
+        for name, m in metrics.items():
+            if name != "Native C":
+                assert m.run_us > 10 * native, name
+
+    def test_script_interpreters_about_600x_slower(self, metrics):
+        native = metrics["Native C"].run_us
+        for name in ("RIOTjs", "MicroPython"):
+            slowdown = metrics[name].slowdown_vs(native)
+            assert 400 <= slowdown <= 800, (name, slowdown)
+
+    def test_wasm_about_2x_faster_than_rbpf_at_runtime(self, metrics):
+        ratio = metrics["rBPF"].run_us / metrics["WASM3"].run_us
+        assert 1.3 <= ratio <= 3.0
+
+    def test_cold_start_spread_about_1000x(self, metrics):
+        """'startup time varies almost 1000 fold'."""
+        fastest = metrics["rBPF"].cold_start_us
+        slowest = max(m.cold_start_us for m in metrics.values())
+        assert slowest / fastest > 500
+
+    def test_rbpf_cold_start_is_microseconds(self, metrics):
+        assert metrics["rBPF"].cold_start_us <= 2.0
+
+    def test_transcoding_runtimes_pay_startup(self, metrics):
+        """WASM3 and MicroPython pre-process; rBPF does not."""
+        assert metrics["WASM3"].cold_start_us > 10_000
+        assert metrics["MicroPython"].cold_start_us > 15_000
+        assert metrics["RIOTjs"].cold_start_us > 3_000
+
+    def test_code_size_ordering(self, metrics):
+        assert (metrics["Native C"].code_size
+                < metrics["WASM3"].code_size
+                < metrics["rBPF"].code_size
+                < metrics["MicroPython"].code_size
+                < metrics["RIOTjs"].code_size)
+
+
+class TestCandidateIndependence:
+    def test_candidates_are_reusable(self):
+        board = nrf52840()
+        candidate = WasmCandidate()
+        first = candidate.fletcher32_metrics(board)
+        second = candidate.fletcher32_metrics(board)
+        assert first.run_us == second.run_us
+
+    def test_profiles_differ(self):
+        board = nrf52840()
+        upy = ScriptCandidate(MICROPYTHON_PROFILE).fletcher32_metrics(board)
+        js = ScriptCandidate(RIOTJS_PROFILE).fletcher32_metrics(board)
+        assert upy.cold_start_us > js.cold_start_us
+        assert upy.rom_bytes != js.rom_bytes
+
+    def test_native_and_rbpf_candidates(self):
+        board = nrf52840()
+        native = NativeCandidate().fletcher32_metrics(board)
+        rbpf = RbpfCandidate().fletcher32_metrics(board)
+        assert 20 <= native.run_us <= 35           # paper: 27 us
+        assert 1000 <= rbpf.run_us <= 2500         # paper: 2133 us

@@ -1,0 +1,142 @@
+"""CBOR codec: RFC 8949 appendix-A vectors plus round-trip properties."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.strategies import recursive
+
+from repro.suit.cbor import CBORError, Tag, decode, encode
+
+# (value, hex encoding) pairs straight from RFC 8949 Appendix A.
+RFC8949_VECTORS = [
+    (0, "00"),
+    (1, "01"),
+    (10, "0a"),
+    (23, "17"),
+    (24, "1818"),
+    (25, "1819"),
+    (100, "1864"),
+    (1000, "1903e8"),
+    (1000000, "1a000f4240"),
+    (1000000000000, "1b000000e8d4a51000"),
+    (18446744073709551615, "1bffffffffffffffff"),
+    (-1, "20"),
+    (-10, "29"),
+    (-100, "3863"),
+    (-1000, "3903e7"),
+    (False, "f4"),
+    (True, "f5"),
+    (None, "f6"),
+    (b"", "40"),
+    (bytes.fromhex("01020304"), "4401020304"),
+    ("", "60"),
+    ("a", "6161"),
+    ("IETF", "6449455446"),
+    ("ü", "62c3bc"),
+    ("水", "63e6b0b4"),
+    ([], "80"),
+    ([1, 2, 3], "83010203"),
+    ([1, [2, 3], [4, 5]], "8301820203820405"),
+    ({}, "a0"),
+    ({1: 2, 3: 4}, "a201020304"),
+    ({"a": 1, "b": [2, 3]}, "a26161016162820203"),
+    (Tag(1, 1363896240), "c11a514b67b0"),
+    (1.1, "fb3ff199999999999a"),
+]
+
+
+class TestRFCVectors:
+    @pytest.mark.parametrize("value,expected_hex", RFC8949_VECTORS,
+                             ids=[h for _v, h in RFC8949_VECTORS])
+    def test_encode_matches_rfc(self, value, expected_hex):
+        assert encode(value).hex() == expected_hex
+
+    @pytest.mark.parametrize("value,encoded_hex", RFC8949_VECTORS,
+                             ids=[h for _v, h in RFC8949_VECTORS])
+    def test_decode_matches_rfc(self, value, encoded_hex):
+        assert decode(bytes.fromhex(encoded_hex)) == value
+
+    def test_decode_float16(self):
+        assert decode(bytes.fromhex("f93c00")) == 1.0
+        assert decode(bytes.fromhex("f97bff")) == 65504.0
+
+    def test_decode_float32(self):
+        assert decode(bytes.fromhex("fa47c35000")) == 100000.0
+
+    def test_decode_infinity_and_nan(self):
+        assert decode(bytes.fromhex("f97c00")) == math.inf
+        assert math.isnan(decode(bytes.fromhex("f97e00")))
+
+
+class TestCanonical:
+    def test_map_keys_sorted_bytewise(self):
+        # Canonical order sorts by encoded key bytes: 10 < 100 < "z".
+        encoded = encode({"z": 0, 100: 0, 10: 0})
+        assert encoded.hex().startswith("a30a")
+
+    def test_shortest_int_heads(self):
+        assert len(encode(23)) == 1
+        assert len(encode(24)) == 2
+        assert len(encode(256)) == 3
+
+
+class TestErrors:
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(CBORError, match="trailing"):
+            decode(encode(1) + b"\x00")
+
+    def test_truncated_input_rejected(self):
+        with pytest.raises(CBORError):
+            decode(bytes.fromhex("1903"))
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(CBORError):
+            decode(b"")
+
+    def test_indefinite_length_unsupported(self):
+        with pytest.raises(CBORError):
+            decode(bytes.fromhex("9fff"))
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(CBORError):
+            encode(object())
+
+    @given(raw=st.binary(max_size=64))
+    def test_decoder_never_crashes(self, raw):
+        try:
+            decode(raw)
+        except CBORError:
+            pass
+        except UnicodeDecodeError:
+            pass  # invalid UTF-8 inside a text string
+
+
+_scalars = st.one_of(
+    st.integers(min_value=-(2**63), max_value=2**64 - 1),
+    st.booleans(),
+    st.none(),
+    st.binary(max_size=24),
+    st.text(max_size=24),
+)
+_values = recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.one_of(st.integers(-100, 100), st.text(max_size=8)),
+                        children, max_size=4),
+    ),
+    max_leaves=16,
+)
+
+
+@given(value=_values)
+def test_roundtrip_property(value):
+    assert decode(encode(value)) == value
+
+
+@given(value=_values)
+def test_encoding_deterministic(value):
+    assert encode(value) == encode(value)

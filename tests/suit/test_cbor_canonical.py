@@ -1,0 +1,50 @@
+"""Canonical-encoding properties CBOR signatures depend on."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.suit.cbor import decode, encode
+
+
+@given(
+    entries=st.dictionaries(
+        st.one_of(st.integers(-1000, 1000), st.text(max_size=8)),
+        st.integers(0, 1 << 32),
+        max_size=8,
+    ),
+    seed=st.integers(0, 1000),
+)
+def test_map_encoding_is_insertion_order_independent(entries, seed):
+    """Signatures over manifests require this: the same logical map must
+    encode identically no matter how it was built."""
+    items = list(entries.items())
+    random.Random(seed).shuffle(items)
+    shuffled = dict(items)
+    assert encode(shuffled) == encode(entries)
+
+
+@given(value=st.integers(0, (1 << 64) - 1))
+def test_integer_heads_are_minimal(value):
+    """Canonical CBOR forbids over-long integer encodings."""
+    encoded = encode(value)
+    if value < 24:
+        assert len(encoded) == 1
+    elif value < 256:
+        assert len(encoded) == 2
+    elif value < 65536:
+        assert len(encoded) == 3
+    elif value < (1 << 32):
+        assert len(encoded) == 5
+    else:
+        assert len(encoded) == 9
+
+
+@given(payload=st.binary(max_size=64))
+def test_nested_envelope_stability(payload):
+    """Encode-decode-encode is a fixpoint (needed for re-serialization of
+    received envelopes)."""
+    first = encode({"auth": payload, 1: [payload, {"k": 2}]})
+    assert encode(decode(first)) == first

@@ -1,0 +1,150 @@
+"""The paper's headline security property, tested adversarially.
+
+"We want to prove it impossible for [the VM] to access a memory location
+out of its app's [granted] memory or to execute an instruction leading to
+an undefined behavior, and consequently heading the VM and/or its host to
+crash." (§9)
+
+Here: arbitrary bytes are thrown at the loader.  Every program must either
+be rejected by the pre-flight checker, or execute to completion / abort
+with a *contained* VMFault — never any other exception, never a write
+outside the granted regions, never an unterminated execution.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vm import (
+    Interpreter,
+    Program,
+    VerificationError,
+    VMConfig,
+    VMFault,
+    assemble,
+    verify,
+)
+from repro.vm.memory import MemoryRegion, Permission
+
+
+def run_adversarial(raw: bytes) -> None:
+    """Load arbitrary bytecode the way the hosting engine would."""
+    try:
+        program = Program.from_bytes(raw, name="adversarial")
+    except Exception:
+        return  # ragged images are rejected at load: fine
+    try:
+        verify(program)
+    except VerificationError:
+        return  # pre-flight rejection: fine
+    vm = Interpreter(program, config=VMConfig(branch_limit=200))
+    sentinel = MemoryRegion.from_bytes(
+        "os-memory", 0x9000_0000, b"\xa5" * 64, Permission.READ
+    )
+    vm.access_list.add(sentinel)
+    try:
+        vm.run(context=b"\x00" * 16)
+    except VMFault:
+        pass  # contained fault: fine
+    # The read-only OS region must be byte-identical afterwards.
+    assert bytes(sentinel.data) == b"\xa5" * 64
+
+
+@settings(max_examples=300, deadline=None)
+@given(raw=st.binary(min_size=0, max_size=40 * 8))
+def test_random_bytes_never_escape(raw):
+    run_adversarial(raw)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    raw=st.lists(
+        st.tuples(
+            st.sampled_from(sorted(
+                __import__("repro.vm.isa", fromlist=["VALID_OPCODES"])
+                .VALID_OPCODES)),
+            st.integers(0, 255),
+            st.integers(0, 65535),
+            st.integers(0, (1 << 32) - 1),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_valid_opcodes_random_operands_never_escape(raw):
+    """Harder adversary: always-valid opcodes with random operand fields."""
+    import struct
+
+    image = b"".join(
+        struct.pack("<BBHI", opcode, regs, offset, imm)
+        for opcode, regs, offset, imm in raw
+    )
+    run_adversarial(image)
+
+
+class TestTargetedEscapes:
+    """Hand-written attacks from the threat model (§3)."""
+
+    def test_jump_out_of_sandbox(self):
+        """'jumping execution to application code outside of the sandbox'."""
+        with pytest.raises(VerificationError):
+            verify(assemble("ja +100\n    exit"))
+
+    def test_pointer_forgery_is_caught_at_runtime(self):
+        """Computed addresses cannot be checked statically; Fig 4's runtime
+        check must stop them."""
+        program = assemble("""
+    mov r1, r10
+    lsh r1, 1          ; forge an address from the stack pointer
+    ldxdw r0, [r1+0]
+    exit
+""")
+        verify(program)
+        with pytest.raises(VMFault):
+            Interpreter(program).run()
+
+    def test_stack_pointer_arithmetic_probe(self):
+        """Scanning outward from the stack must fault at the boundary."""
+        program = assemble("""
+    mov r1, r10
+    add r1, 512
+    ldxb r0, [r1+0]
+    exit
+""")
+        with pytest.raises(VMFault):
+            Interpreter(program).run()
+
+    def test_resource_exhaustion_is_bounded(self):
+        """Threat model: 'Resource exhaustion attacks' — the N_b budget
+        bounds CPU theft by a malicious tenant."""
+        program = assemble("""
+busy:
+    add r1, 1
+    ja busy
+""")
+        vm = Interpreter(program, config=VMConfig(branch_limit=1000))
+        with pytest.raises(VMFault):
+            vm.run()
+
+    def test_helper_pointer_abuse_is_checked(self):
+        """Helper calls resolve VM pointers through the same access list;
+        passing a forged pointer to a store helper must fault, not leak."""
+        from repro.vm.helpers import HelperRegistry, BPF_FETCH_GLOBAL
+
+        registry = HelperRegistry()
+
+        def fetch(vm, key, ptr, *_):
+            vm.access_list.store(ptr, 4, 0xDEAD)
+            return 0
+
+        registry.register(BPF_FETCH_GLOBAL, fetch, cost_key="kv")
+        program = assemble("""
+    mov r1, 0
+    lddw r2, 0x9000000000
+    call bpf_fetch_global
+    exit
+""")
+        vm = Interpreter(program, helpers=registry)
+        with pytest.raises(VMFault):
+            vm.run()

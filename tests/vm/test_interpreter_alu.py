@@ -1,0 +1,148 @@
+"""ALU semantics: 64-bit, 32-bit, signed ops, byte swaps, division faults."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vm import DivisionFault, Interpreter, assemble, verify
+
+from tests.conftest import run_program
+
+U64 = (1 << 64) - 1
+U32 = (1 << 32) - 1
+
+
+def run_expr(setup: str) -> int:
+    return run_program(f"{setup}\n    exit").value
+
+
+class TestAlu64:
+    def test_mov_and_add_imm(self):
+        assert run_expr("mov r0, 40\n    add r0, 2") == 42
+
+    def test_add_reg(self):
+        assert run_expr("mov r0, 40\n    mov r1, 2\n    add r0, r1") == 42
+
+    def test_add_negative_imm_sign_extends(self):
+        assert run_expr("mov r0, 10\n    add r0, -3") == 7
+
+    def test_sub_wraps_unsigned(self):
+        assert run_expr("mov r0, 0\n    sub r0, 1") == U64
+
+    def test_mul(self):
+        assert run_expr("mov r0, 7\n    mul r0, 6") == 42
+
+    def test_mul_wraps_64(self):
+        result = run_expr("lddw r0, 0xffffffffffffffff\n    mul r0, 2")
+        assert result == U64 - 1
+
+    def test_div_unsigned(self):
+        assert run_expr("mov r0, 42\n    div r0, 5") == 8
+
+    def test_div_by_zero_register_faults(self):
+        program = assemble("mov r0, 1\n    mov r1, 0\n    div r0, r1\n    exit")
+        with pytest.raises(DivisionFault):
+            Interpreter(program).run()
+
+    def test_mod(self):
+        assert run_expr("mov r0, 42\n    mod r0, 5") == 2
+
+    def test_mod_by_zero_register_faults(self):
+        program = assemble("mov r0, 1\n    mov r1, 0\n    mod r0, r1\n    exit")
+        with pytest.raises(DivisionFault):
+            Interpreter(program).run()
+
+    def test_bitwise_ops(self):
+        assert run_expr("mov r0, 0xf0\n    or r0, 0x0f") == 0xFF
+        assert run_expr("mov r0, 0xff\n    and r0, 0x0f") == 0x0F
+        assert run_expr("mov r0, 0xff\n    xor r0, 0xf0") == 0x0F
+
+    def test_shifts(self):
+        assert run_expr("mov r0, 1\n    lsh r0, 40") == 1 << 40
+        assert run_expr("lddw r0, 0x8000000000000000\n    rsh r0, 63") == 1
+
+    def test_shift_amount_masked_to_63(self):
+        assert run_expr("mov r0, 1\n    mov r1, 64\n    lsh r0, r1") == 1
+
+    def test_arsh_sign_extends(self):
+        # -8 >> 1 arithmetically is -4.
+        assert run_expr("mov r0, -8\n    arsh r0, 1") == U64 - 3
+
+    def test_neg(self):
+        assert run_expr("mov r0, 5\n    neg r0") == U64 - 4
+
+
+class TestAlu32:
+    def test_add32_truncates_and_zero_extends(self):
+        result = run_expr("lddw r0, 0xffffffffffffffff\n    add32 r0, 1")
+        assert result == 0  # upper half cleared by 32-bit op
+
+    def test_mov32_zero_extends(self):
+        result = run_expr("lddw r0, 0x1122334455667788\n    mov32 r0, r0")
+        assert result == 0x55667788
+
+    def test_sub32_wraps(self):
+        assert run_expr("mov32 r0, 0\n    sub32 r0, 1") == U32
+
+    def test_neg32(self):
+        assert run_expr("mov r0, 5\n    neg32 r0") == U32 - 4
+
+    def test_arsh32(self):
+        assert run_expr("mov32 r0, 0x80000000\n    arsh32 r0, 31") == U32
+
+    def test_div32(self):
+        assert run_expr("mov r0, 100\n    div32 r0, 7") == 14
+
+
+class TestEndian:
+    def test_le_truncates(self):
+        assert run_expr("lddw r0, 0x1122334455667788\n    le r0, 16") == 0x7788
+        assert run_expr("lddw r0, 0x1122334455667788\n    le r0, 32") == 0x55667788
+
+    def test_be16_swaps(self):
+        assert run_expr("mov r0, 0x1234\n    be r0, 16") == 0x3412
+
+    def test_be32_swaps(self):
+        assert run_expr("mov r0, 0x12345678\n    be r0, 32") == 0x78563412
+
+    def test_be64_swaps(self):
+        result = run_expr("lddw r0, 0x1122334455667788\n    be r0, 64")
+        assert result == 0x8877665544332211
+
+
+class TestAluProperties:
+    @given(a=st.integers(0, U64), b=st.integers(0, U64))
+    def test_add_matches_python_semantics(self, a, b):
+        source = f"""
+    lddw r0, 0x{a:x}
+    lddw r1, 0x{b:x}
+    add r0, r1
+    exit
+"""
+        assert run_program(source).value == (a + b) & U64
+
+    @given(a=st.integers(0, U64), shift=st.integers(0, 63))
+    def test_lsh_rsh_inverse_on_low_bits(self, a, shift):
+        source = f"""
+    lddw r0, 0x{a:x}
+    lsh r0, {shift}
+    rsh r0, {shift}
+    exit
+"""
+        expected = ((a << shift) & U64) >> shift
+        assert run_program(source).value == expected
+
+    @given(a=st.integers(0, U64), b=st.integers(1, U64))
+    def test_div_mod_reconstruct(self, a, b):
+        source = f"""
+    lddw r0, 0x{a:x}
+    lddw r1, 0x{b:x}
+    lddw r2, 0x{a:x}
+    div r0, r1
+    mod r2, r1
+    mul r0, r1
+    add r0, r2
+    exit
+"""
+        assert run_program(source).value == a

@@ -1,0 +1,174 @@
+"""Memory instruction semantics and the runtime access-list checks (Fig 4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vm import Interpreter, MemoryFault, Permission, assemble
+from repro.vm.memory import CONTEXT_BASE, STACK_BASE
+
+from tests.conftest import run_program
+
+
+class TestStackAccess:
+    def test_store_load_roundtrip_all_widths(self):
+        source = """
+    mov r1, 0x12345678
+    stxw [r10+0], r1
+    ldxw r0, [r10+0]
+    exit
+"""
+        assert run_program(source).value == 0x12345678
+
+    def test_byte_and_half_widths_truncate(self):
+        source = """
+    mov r1, 0x1234
+    stxb [r10+0], r1
+    ldxb r0, [r10+0]
+    exit
+"""
+        assert run_program(source).value == 0x34
+
+    def test_store_immediate(self):
+        assert run_program("stdw [r10+8], 99\n    ldxdw r0, [r10+8]\n    exit").value == 99
+
+    def test_double_word_roundtrip(self):
+        source = """
+    lddw r1, 0x1122334455667788
+    stxdw [r10+16], r1
+    ldxdw r0, [r10+16]
+    exit
+"""
+        assert run_program(source).value == 0x1122334455667788
+
+    def test_loads_zero_extend(self):
+        source = """
+    mov r1, -1
+    stxdw [r10+0], r1
+    ldxw r0, [r10+0]
+    exit
+"""
+        assert run_program(source).value == 0xFFFFFFFF
+
+    def test_stack_is_zeroed_between_runs(self):
+        program = assemble("""
+    ldxdw r0, [r10+32]
+    stdw [r10+32], 77
+    exit
+""")
+        vm = Interpreter(program)
+        assert vm.run().value == 0
+        # The previous run wrote 77; a fresh run must see zeroes again.
+        assert vm.run().value == 0
+
+    def test_r10_points_at_stack_base(self):
+        assert run_program("mov r0, r10\n    exit").value == STACK_BASE
+
+
+class TestIsolation:
+    def test_read_below_stack_faults(self):
+        with pytest.raises(MemoryFault):
+            run_program("ldxdw r0, [r10-8]\n    exit")
+
+    def test_read_past_stack_end_faults(self):
+        with pytest.raises(MemoryFault):
+            run_program("ldxw r0, [r10+512]\n    exit")
+
+    def test_partial_overlap_at_boundary_faults(self):
+        # 8-byte read starting 4 bytes before the end crosses the boundary.
+        with pytest.raises(MemoryFault):
+            run_program("ldxdw r0, [r10+508]\n    exit")
+
+    def test_arbitrary_address_faults(self):
+        with pytest.raises(MemoryFault):
+            run_program("lddw r1, 0xdeadbeef\n    ldxb r0, [r1]\n    exit")
+
+    def test_null_dereference_faults(self):
+        with pytest.raises(MemoryFault):
+            run_program("mov r1, 0\n    ldxw r0, [r1]\n    exit")
+
+    def test_write_to_read_only_region_faults(self):
+        program = assemble("ldxdw r0, [r1+0]\n    stxdw [r1+0], r0\n    exit")
+        vm = Interpreter(program)
+        vm.bind_context(b"\x01" * 16, perms=Permission.READ)
+        with pytest.raises(MemoryFault):
+            vm.run()
+
+    def test_read_only_context_still_readable(self):
+        program = assemble("ldxw r0, [r1+0]\n    exit")
+        vm = Interpreter(program)
+        vm.bind_context((42).to_bytes(8, "little"), perms=Permission.READ)
+        assert vm.run().value == 42
+
+    def test_firewall_pattern_read_allowed_write_denied(self):
+        """The paper's example: read-only access to a network packet."""
+        program_read = assemble("ldxb r0, [r1+0]\n    exit")
+        vm = Interpreter(program_read)
+        vm.bind_context(b"\x99" + bytes(7), perms=Permission.READ)
+        assert vm.run().value == 0x99
+
+    @given(offset=st.integers(-(1 << 15), (1 << 15) - 1))
+    def test_no_stack_relative_access_escapes(self, offset):
+        """Property: any [r10+offset] access either stays in the 512-byte
+        stack or faults — never touches another region."""
+        program = assemble(f"ldxb r0, [r10{'+' if offset >= 0 else '-'}{abs(offset)}]\n    exit")
+        vm = Interpreter(program)
+        vm.bind_context(b"\xaa" * 64)
+        if 0 <= offset < 512:
+            assert vm.run().value == 0
+        else:
+            with pytest.raises(MemoryFault):
+                vm.run()
+
+
+class TestContext:
+    def test_context_arrives_in_r1(self):
+        result = run_program("mov r0, r1\n    exit", context=b"\x00" * 8)
+        assert result.value == CONTEXT_BASE
+
+    def test_context_writable_by_default(self):
+        program = assemble("""
+    ldxw r2, [r1+0]
+    add r2, 1
+    stxw [r1+0], r2
+    mov r0, r2
+    exit
+""")
+        vm = Interpreter(program)
+        result = vm.run(context=(7).to_bytes(8, "little"))
+        assert result.value == 8
+        assert int.from_bytes(vm.context_bytes()[:4], "little") == 8
+
+    def test_no_context_leaves_r1_zero(self):
+        assert run_program("mov r0, r1\n    exit").value == 0
+
+
+class TestDataSections:
+    def test_lddwr_reads_rodata(self):
+        program = assemble(
+            "lddwr r1, 4\n    ldxb r0, [r1+0]\n    exit",
+            rodata=b"abcdEfgh",
+        )
+        assert Interpreter(program).run().value == ord("E")
+
+    def test_rodata_not_writable(self):
+        program = assemble(
+            "lddwr r1, 0\n    stb [r1+0], 1\n    exit", rodata=b"abcd"
+        )
+        with pytest.raises(MemoryFault):
+            Interpreter(program).run()
+
+    def test_lddwd_data_read_write(self):
+        program = assemble(
+            """
+    lddwd r1, 0
+    ldxb r2, [r1+0]
+    add r2, 1
+    stxb [r1+0], r2
+    ldxb r0, [r1+0]
+    exit
+""",
+            data=b"\x10\x20",
+        )
+        assert Interpreter(program).run().value == 0x11

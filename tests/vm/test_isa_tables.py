@@ -1,0 +1,61 @@
+"""ISA table integrity: the opcode space is complete and consistent."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.vm import isa
+from repro.vm.disasm import disassemble_instruction
+from repro.vm.errors import EncodingError
+from repro.vm.instruction import Instruction
+
+
+class TestTables:
+    def test_every_valid_opcode_classifies(self):
+        for opcode in isa.VALID_OPCODES:
+            assert isa.classify(opcode) in isa.InstructionKind.ALL
+
+    def test_classify_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            isa.classify(0x00)
+
+    def test_names_are_unique_per_form(self):
+        # imm/reg forms share a mnemonic by design; count distinct stems.
+        names = set(isa.OPCODE_NAMES.values())
+        assert "add" in names and "add32" in names
+        assert "lddw" in names and "lddwd" in names and "lddwr" in names
+        assert len(isa.VALID_OPCODES) >= 100  # full eBPF coverage
+
+    def test_register_write_set_excludes_stores(self):
+        assert isa.STXDW not in isa.REGISTER_WRITE_OPCODES
+        assert isa.STW not in isa.REGISTER_WRITE_OPCODES
+        assert isa.LDXW in isa.REGISTER_WRITE_OPCODES
+        assert isa.MOV64_IMM in isa.REGISTER_WRITE_OPCODES
+
+    def test_branch_set_excludes_call_exit(self):
+        assert isa.CALL not in isa.BRANCH_OPCODES
+        assert isa.EXIT not in isa.BRANCH_OPCODES
+        assert isa.JA in isa.BRANCH_OPCODES
+        assert isa.JEQ32_IMM in isa.BRANCH_OPCODES
+
+    def test_wide_opcodes_are_ld_class(self):
+        for opcode in isa.WIDE_OPCODES:
+            assert isa.classify(opcode) == isa.InstructionKind.LDDW
+
+    def test_size_bytes_table(self):
+        assert isa.SIZE_BYTES == {0x00: 4, 0x08: 2, 0x10: 1, 0x18: 8}
+
+    def test_stack_constants_match_paper(self):
+        assert isa.STACK_SIZE == 512
+        assert isa.REG_COUNT == 11
+        assert isa.REG_STACK == 10
+
+
+class TestDisasmErrors:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(EncodingError):
+            disassemble_instruction(Instruction(opcode=0xFF))
+
+    def test_wide_without_second_slot_rejected(self):
+        with pytest.raises(EncodingError):
+            disassemble_instruction(Instruction(opcode=isa.LDDW, dst=1))

@@ -1,0 +1,86 @@
+"""Execution tracer tests."""
+
+from __future__ import annotations
+
+from repro.vm import assemble
+from repro.vm.trace import TracingInterpreter, trace_program
+
+
+class TestTracer:
+    def test_trace_records_every_instruction(self):
+        program = assemble("mov r0, 1\n    add r0, 2\n    exit")
+        trace = trace_program(program)
+        assert len(trace) == 3
+        assert trace.entries[0].text == "mov r0, 1"
+        assert trace.entries[1].text == "add r0, 2"
+        assert trace.entries[2].text == "exit"
+
+    def test_trace_pc_follows_control_flow(self):
+        program = assemble("""
+    mov r0, 0
+    ja skip
+    mov r0, 99
+skip:
+    exit
+""")
+        trace = trace_program(program)
+        assert [entry.pc for entry in trace.entries] == [0, 1, 3]
+
+    def test_register_values_observed(self):
+        program = assemble("mov r3, 7\n    add r3, 1\n    mov r0, r3\n    exit")
+        trace = trace_program(program)
+        assert trace.entries[0].touched == 3
+        assert trace.entries[0].value == 7
+        assert trace.entries[1].value == 8
+
+    def test_trace_bounded(self):
+        program = assemble("""
+    mov r1, 1000
+loop:
+    sub r1, 1
+    jne r1, 0, loop
+    exit
+""")
+        trace = trace_program(program, max_entries=50)
+        assert len(trace) == 50
+        assert trace.truncated
+
+    def test_trace_resets_between_runs(self):
+        program = assemble("mov r0, 1\n    exit")
+        vm = TracingInterpreter(program)
+        vm.run()
+        vm.run()
+        assert len(vm.trace) == 2
+
+    def test_wide_instruction_rendered_once(self):
+        program = assemble("lddw r1, 0xdeadbeef\n    exit")
+        trace = trace_program(program)
+        assert len(trace) == 2
+        assert "lddw r1, 0xdeadbeef" in trace.entries[0].text
+
+    def test_format_output(self):
+        program = assemble("mov r0, 5\n    exit")
+        text = trace_program(program).format()
+        assert "pc=   0" in text
+        assert "mov r0, 5" in text
+
+    def test_format_with_limit(self):
+        program = assemble("mov r0, 1\n    mov r1, 2\n    exit")
+        text = trace_program(program).format(limit=1)
+        assert "mov r0, 1" in text
+        assert "exit" not in text
+
+    def test_results_match_untraced_interpreter(self):
+        from repro.vm import Interpreter
+
+        program = assemble("""
+    mov r1, 10
+    mov r0, 0
+loop:
+    add r0, r1
+    sub r1, 1
+    jne r1, 0, loop
+    exit
+""")
+        vm = TracingInterpreter(program)
+        assert vm.run().value == Interpreter(program).run().value == 55

@@ -1,0 +1,188 @@
+"""Pre-flight checker tests: every documented rejection, plus acceptance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.vm import (
+    Instruction,
+    Program,
+    VerificationError,
+    VerifierConfig,
+    assemble,
+    isa,
+    verify,
+)
+from repro.vm.instruction import make_wide
+
+
+def program_of(*slots: Instruction) -> Program:
+    return Program(slots=list(slots))
+
+
+EXIT = Instruction(isa.EXIT)
+
+
+class TestAccepts:
+    def test_minimal_program(self):
+        report = verify(program_of(Instruction(isa.MOV64_IMM, dst=0), EXIT))
+        assert report.instruction_count == 2
+
+    def test_report_counts_branches_and_helpers(self):
+        program = assemble("""
+    mov r0, 0
+    jeq r0, 0, done
+    call 0x13
+done:
+    exit
+""")
+        report = verify(program)
+        assert report.branch_count == 1
+        assert report.helper_ids == {0x13}
+
+    def test_backward_ja_terminator_accepted(self):
+        program = assemble("""
+top:
+    mov r0, 1
+    jeq r0, 2, out
+    ja top
+out:
+    exit
+""")
+        verify(program)
+
+    def test_store_via_r10_base_is_allowed(self):
+        # r10 as a store *address base* is fine; only register writes are not.
+        verify(program_of(
+            Instruction(isa.STW, dst=isa.REG_STACK, offset=0, imm=1), EXIT
+        ))
+
+
+class TestRejects:
+    def test_empty_program(self):
+        with pytest.raises(VerificationError):
+            verify(program_of())
+
+    def test_unknown_opcode(self):
+        with pytest.raises(VerificationError, match="unknown opcode"):
+            verify(program_of(Instruction(0xFF), EXIT))
+
+    def test_register_field_out_of_range(self):
+        # dst=12 is encodable (4 bits) but no such register exists.
+        with pytest.raises(VerificationError, match="register field"):
+            verify(program_of(Instruction(isa.MOV64_IMM, dst=12), EXIT))
+
+    def test_src_register_out_of_range(self):
+        with pytest.raises(VerificationError, match="register field"):
+            verify(program_of(Instruction(isa.MOV64_REG, dst=0, src=11), EXIT))
+
+    def test_write_to_r10_rejected(self):
+        with pytest.raises(VerificationError, match="read-only register r10"):
+            verify(program_of(Instruction(isa.MOV64_IMM, dst=10), EXIT))
+
+    def test_load_into_r10_rejected(self):
+        with pytest.raises(VerificationError, match="read-only register r10"):
+            verify(program_of(
+                Instruction(isa.LDXW, dst=10, src=1), EXIT
+            ))
+
+    def test_jump_past_end_rejected(self):
+        with pytest.raises(VerificationError, match="jump target"):
+            verify(program_of(Instruction(isa.JA, offset=5), EXIT))
+
+    def test_jump_before_start_rejected(self):
+        with pytest.raises(VerificationError, match="jump target"):
+            verify(program_of(Instruction(isa.JA, offset=-2), EXIT))
+
+    def test_jump_into_wide_instruction_rejected(self):
+        wide = make_wide(isa.LDDW, dst=1, imm64=1)
+        with pytest.raises(VerificationError, match="wide instruction"):
+            verify(program_of(
+                Instruction(isa.JA, offset=1),  # lands on continuation slot
+                *wide,
+                EXIT,
+            ))
+
+    def test_truncated_wide_instruction_rejected(self):
+        first, _ = make_wide(isa.LDDW, dst=1, imm64=1)
+        with pytest.raises(VerificationError, match="truncated"):
+            verify(program_of(first))
+
+    def test_malformed_continuation_rejected(self):
+        first, _ = make_wide(isa.LDDW, dst=1, imm64=1)
+        bad_cont = Instruction(0, dst=3)  # continuation must be all-zero
+        with pytest.raises(VerificationError, match="continuation"):
+            verify(program_of(first, bad_cont, EXIT))
+
+    def test_fallthrough_end_rejected(self):
+        with pytest.raises(VerificationError, match="fall through"):
+            verify(program_of(Instruction(isa.MOV64_IMM, dst=0)))
+
+    def test_division_by_zero_immediate_rejected(self):
+        with pytest.raises(VerificationError, match="division by zero"):
+            verify(program_of(Instruction(isa.DIV64_IMM, dst=0, imm=0), EXIT))
+
+    def test_oversized_shift_rejected(self):
+        with pytest.raises(VerificationError, match="shift amount"):
+            verify(program_of(Instruction(isa.LSH64_IMM, dst=0, imm=64), EXIT))
+
+    def test_oversized_shift32_rejected(self):
+        with pytest.raises(VerificationError, match="shift amount"):
+            verify(program_of(Instruction(isa.LSH32_IMM, dst=0, imm=32), EXIT))
+
+    def test_bad_byteswap_width_rejected(self):
+        with pytest.raises(VerificationError, match="byteswap width"):
+            verify(program_of(Instruction(isa.LE, dst=0, imm=24), EXIT))
+
+    def test_ni_budget_enforced(self):
+        slots = [Instruction(isa.MOV64_IMM, dst=0)] * 10 + [EXIT]
+        with pytest.raises(VerificationError, match="N_i budget"):
+            verify(Program(slots=slots), VerifierConfig(max_instructions=5))
+
+    def test_helper_whitelist_enforced(self):
+        program = program_of(Instruction(isa.CALL, imm=0x13), EXIT)
+        with pytest.raises(VerificationError, match="not allowed by contract"):
+            verify(program, VerifierConfig(allowed_helpers=frozenset({0x01})))
+
+    def test_helper_whitelist_allows_listed(self):
+        program = program_of(Instruction(isa.CALL, imm=0x13), EXIT)
+        report = verify(program,
+                        VerifierConfig(allowed_helpers=frozenset({0x13})))
+        assert report.helper_ids == {0x13}
+
+    def test_data_extensions_can_be_disabled(self):
+        program = Program(slots=list(make_wide(isa.LDDWR, dst=1, imm64=0)) + [EXIT],
+                          rodata=b"abc")
+        with pytest.raises(VerificationError, match="extension"):
+            verify(program, VerifierConfig(allow_data_extensions=False))
+
+    def test_lddwr_outside_rodata_rejected(self):
+        program = Program(
+            slots=list(make_wide(isa.LDDWR, dst=1, imm64=10)) + [EXIT],
+            rodata=b"abc",
+        )
+        with pytest.raises(VerificationError, match="rodata"):
+            verify(program)
+
+    def test_lddwd_outside_data_rejected(self):
+        program = Program(
+            slots=list(make_wide(isa.LDDWD, dst=1, imm64=99)) + [EXIT],
+            data=b"xy",
+        )
+        with pytest.raises(VerificationError, match="data"):
+            verify(program)
+
+
+class TestPaperExamples:
+    def test_all_canned_workloads_verify(self):
+        from repro.workloads import (
+            coap_handler_program,
+            fletcher32_program,
+            sensor_program,
+            thread_counter_program,
+        )
+
+        for program in (fletcher32_program(), thread_counter_program(),
+                        sensor_program(), coap_handler_program()):
+            report = verify(program)
+            assert report.instruction_count > 0

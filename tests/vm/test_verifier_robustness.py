@@ -1,0 +1,48 @@
+"""Verifier robustness: arbitrary slot lists may only be accepted or
+rejected with VerificationError — never crash."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.vm import Instruction, Program, VerificationError, verify
+
+_slots = st.lists(
+    st.builds(
+        Instruction,
+        opcode=st.integers(0, 255),
+        dst=st.integers(0, 15),
+        src=st.integers(0, 15),
+        offset=st.integers(-(1 << 15), (1 << 15) - 1),
+        imm=st.integers(-(1 << 31), (1 << 31) - 1),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(slots=_slots, rodata=st.binary(max_size=16), data=st.binary(max_size=16))
+def test_verify_never_crashes(slots, rodata, data):
+    program = Program(slots=slots, rodata=rodata, data=data)
+    try:
+        report = verify(program)
+    except VerificationError:
+        return
+    # Accepted programs carry a sane report.
+    assert report.instruction_count >= 1
+    assert report.instruction_count <= len(slots)
+
+
+@settings(max_examples=100, deadline=None)
+@given(slots=_slots)
+def test_verify_is_deterministic(slots):
+    program = Program(slots=slots)
+
+    def outcome():
+        try:
+            verify(program)
+            return ("ok",)
+        except VerificationError as error:
+            return ("rejected", str(error))
+
+    assert outcome() == outcome()

@@ -1,0 +1,130 @@
+"""The paper's example applications, validated against references."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FC_HOOK_SCHED, FC_HOOK_TIMER
+from repro.rtos import synthetic_temperature
+from repro.vm import CertFCInterpreter, Interpreter, compile_program, verify
+from repro.vm.memory import Permission
+from repro.workloads import (
+    FLETCHER32_INPUT,
+    fletcher32_program,
+    fletcher32_reference,
+    sensor_program,
+    thread_counter_program,
+)
+from repro.workloads.fletcher32 import INPUT_BASE, make_context
+from repro.workloads.microbench import FIG8_INSTRUCTIONS, all_pairs, build_pair
+
+
+class TestFletcher32:
+    def test_reference_known_value(self):
+        # Classic test vector: fletcher32("abcde") with trailing zero pad.
+        assert fletcher32_reference(b"abcde") == 0xF04FC729
+
+    def test_reference_known_value_abcdef(self):
+        assert fletcher32_reference(b"abcdef") == 0x56502D2A
+
+    def test_ebpf_matches_reference_on_canonical_input(self):
+        program = fletcher32_program()
+        vm = Interpreter(program)
+        vm.access_list.grant_bytes("in", INPUT_BASE, FLETCHER32_INPUT,
+                                   Permission.READ)
+        result = vm.run(context=make_context())
+        assert result.value == fletcher32_reference(FLETCHER32_INPUT)
+
+    def test_null_context_returns_zero(self):
+        assert Interpreter(fletcher32_program()).run().value == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.binary(min_size=2, max_size=720).filter(
+        lambda b: len(b) % 2 == 0))
+    def test_ebpf_matches_reference_property(self, data):
+        program = fletcher32_program()
+        for factory in (Interpreter, CertFCInterpreter, compile_program):
+            vm = factory(program)
+            vm.access_list.grant_bytes("in", INPUT_BASE, data, Permission.READ)
+            result = vm.run(context=make_context(len(data)))
+            assert result.value == fletcher32_reference(data)
+
+    def test_long_input_crosses_block_boundary(self):
+        """More than 359 words exercises the modulo-reduction path."""
+        data = bytes(range(256)) * 4  # 1024 B = 512 words > 359
+        program = fletcher32_program()
+        vm = Interpreter(program)
+        vm.access_list.grant_bytes("in", INPUT_BASE, data, Permission.READ)
+        result = vm.run(context=make_context(len(data)))
+        assert result.value == fletcher32_reference(data)
+
+    def test_input_is_360_bytes(self):
+        assert len(FLETCHER32_INPUT) == 360
+
+
+class TestThreadCounter:
+    def test_counts_only_nonzero_next(self, engine):
+        container = engine.load(thread_counter_program())
+        engine.attach(container, FC_HOOK_SCHED)
+        engine.fire_hook(FC_HOOK_SCHED, struct.pack("<QQ", 1, 0))  # to idle
+        assert engine.global_store.snapshot() == {}
+        engine.fire_hook(FC_HOOK_SCHED, struct.pack("<QQ", 0, 3))
+        engine.fire_hook(FC_HOOK_SCHED, struct.pack("<QQ", 3, 3))
+        assert engine.global_store.snapshot() == {3: 2}
+
+    def test_counter_accumulates_across_pids(self, engine):
+        container = engine.load(thread_counter_program())
+        engine.attach(container, FC_HOOK_SCHED)
+        for next_pid in (1, 2, 1, 1, 2):
+            engine.fire_hook(FC_HOOK_SCHED, struct.pack("<QQ", 0, next_pid))
+        assert engine.global_store.snapshot() == {1: 3, 2: 2}
+
+
+class TestSensor:
+    def test_moving_average_converges(self, engine, kernel):
+        engine.saul.register(
+            synthetic_temperature(kernel, seed=2, swing_centi_c=0,
+                                  noise_centi_c=0, base_centi_c=2000))
+        tenant = engine.create_tenant("A")
+        container = engine.load(sensor_program(), tenant=tenant)
+        engine.attach(container, FC_HOOK_TIMER)
+        for _ in range(5):
+            run = engine.execute(container, struct.pack("<QQ", 0, 0))
+            assert run.ok
+        from repro.workloads import KEY_SENSOR_AVG, KEY_SENSOR_RAW
+
+        assert tenant.store.fetch(KEY_SENSOR_AVG) == 2000
+        assert tenant.store.fetch(KEY_SENSOR_RAW) == 2000
+
+    def test_missing_sensor_reports_error_code(self, engine):
+        tenant = engine.create_tenant("A")
+        container = engine.load(sensor_program(), tenant=tenant)
+        engine.attach(container, FC_HOOK_TIMER)
+        run = engine.execute(container, struct.pack("<QQ", 0, 0))
+        assert run.ok and run.value == 1
+
+
+class TestMicrobench:
+    def test_all_twelve_pairs_build_and_verify(self):
+        for pair in all_pairs(iterations=4, unroll=2):
+            verify(pair.measured)
+            verify(pair.baseline)
+
+    def test_measured_executes_more_than_baseline(self):
+        pair = build_pair("alu_add", iterations=8, unroll=4)
+        measured = Interpreter(pair.measured).run().stats.executed
+        baseline = Interpreter(pair.baseline).run().stats.executed
+        assert measured - baseline == 8 * 4
+
+    def test_labels_match_fig8(self):
+        labels = [label for _k, label, _s in FIG8_INSTRUCTIONS]
+        assert labels[0] == "ALU negate"
+        assert labels[-1] == "Branch equal (continue)"
+        assert len(labels) == 12
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            build_pair("alu_frobnicate")
