@@ -2,9 +2,15 @@
 
 Library-health benchmark: how many eBPF instructions per wall-second each
 execution engine simulates.  Useful for users sizing long simulations, and
-it quantifies the §7 design note that the computed-jumptable interpreter
-is "small and fast" relative to the defensive build, in wall time as well
-as in modelled cycles.
+it quantifies the execution-core design points in wall time as well as in
+modelled cycles: the pre-decoded interpreter dispatch, the defensive
+CertFC build, and the §11 install-time template JIT (basic blocks
+compiled to Python source with registers as locals), which must deliver
+at least a 3x interpreter-relative speedup.
+
+Modelled-cycle accounting is engine-independent, so this file is the only
+benchmark whose recorded output changes with execution-core performance
+work; all Fig. 8 / Table 2 / Table 4 outputs stay byte-identical.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ from repro.workloads.fletcher32 import (
 _ENGINES = {
     "interpreter": Interpreter,
     "certfc (defensive)": CertFCInterpreter,
-    "jit (closures)": compile_program,
+    "jit (template)": compile_program,
 }
 
 
@@ -66,14 +72,14 @@ def test_relative_wall_speed(benchmark):
         for name, factory in _ENGINES.items():
             vm, context = _make(factory)
             vm.run(context=context)  # warm up
-            start = time.perf_counter()
-            runs = 0
-            executed = 0
-            while time.perf_counter() - start < 0.05:
-                executed += vm.run(context=context).stats.executed
-                runs += 1
-            elapsed = time.perf_counter() - start
-            rows[name] = executed / elapsed
+            best = 0.0
+            for _ in range(3):  # best-of-three damps scheduler noise
+                start = time.perf_counter()
+                executed = 0
+                while time.perf_counter() - start < 0.05:
+                    executed += vm.run(context=context).stats.executed
+                best = max(best, executed / (time.perf_counter() - start))
+            rows[name] = best
         return rows
 
     rows = benchmark.pedantic(measure_all, rounds=1, iterations=1)
@@ -82,5 +88,7 @@ def test_relative_wall_speed(benchmark):
         [[name, f"{rate:,.0f}"] for name, rate in rows.items()],
         title="Simulator wall-clock throughput (host-dependent)",
     ))
-    # The JIT must beat the decoding interpreter in wall time too.
-    assert rows["jit (closures)"] > rows["interpreter"]
+    # The template JIT must beat the pre-decoded interpreter by at least
+    # 3x in wall time (the acceptance bar for the install-time-transpile
+    # design point; it typically lands near 4x).
+    assert rows["jit (template)"] > 3.0 * rows["interpreter"]

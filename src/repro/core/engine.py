@@ -373,10 +373,8 @@ class HostingEngine:
             self.current_pdu = previous_pdu
             if pdu is not None:
                 # Unmap the PDU buffer: the grant lasts one execution.
-                for index, region in enumerate(vm.access_list.regions):
-                    if region is pdu.region:
-                        del vm.access_list.regions[index]
-                        break
+                # (AccessList.remove also invalidates its MRU region cache.)
+                vm.access_list.remove(pdu.region)
 
         cycles = self.board.vm_execution_cycles(
             stats, self.implementation, self.helpers

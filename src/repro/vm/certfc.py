@@ -16,6 +16,14 @@ reproduces:
 * a much smaller flash footprint (Table 3, Fig. 7) — the extracted code has
   a flat structure, modelled in :mod:`repro.rtos.firmware`;
 * ~50 B more RAM per instance for the explicit state struct (Table 3).
+
+Implementation note: the base interpreter's pre-decoded dispatch loop only
+invokes the per-instruction ``_pre_execute_check`` callback for subclasses
+that actually override it, so this defensive build pays for its checks
+while the optimized build pays nothing — mirroring how the real firmware
+compiles one or the other.  Instruction accounting is engine-independent:
+CertFC produces bit-identical :class:`~repro.vm.interpreter.ExecutionStats`
+to the optimized interpreter and the template JIT.
 """
 
 from __future__ import annotations

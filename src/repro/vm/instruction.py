@@ -108,4 +108,10 @@ def decode_program(raw: bytes) -> list[Instruction]:
         raise EncodingError(
             f"bytecode length {len(raw)} is not a multiple of {SLOT_SIZE}"
         )
-    return [Instruction.decode(raw, i) for i in range(len(raw) // SLOT_SIZE)]
+    # One pass over the image with a preallocated Struct iterator instead of
+    # a fresh unpack_from per slot; images are decoded on every SUIT install.
+    return [
+        Instruction(opcode=opcode, dst=regs & 0xF, src=regs >> 4,
+                    offset=offset, imm=imm)
+        for opcode, regs, offset, imm in _SLOT.iter_unpack(raw)
+    ]

@@ -5,8 +5,11 @@ The interpreter mirrors the C implementation described in the paper §7:
 * a register machine with eleven 64-bit registers; ``r10`` is a read-only
   pointer to the *beginning* of a 512-byte stack provided by the hosting
   engine;
-* a computed-dispatch main loop that decodes each slot and jumps straight
-  to the instruction-specific code;
+* a computed-dispatch main loop driven by the **pre-decoded** slot table
+  (:mod:`repro.vm.predecode`): every per-instruction fact — cost class,
+  access width, masked immediate, resolved branch target — is flattened
+  once per program, so the loop performs zero dict lookups per executed
+  instruction;
 * runtime memory-access checks of every computed load/store address against
   the access list (Fig. 4) — illegal access aborts execution;
 * finite execution enforced by the N_b taken-branch budget (the program
@@ -16,7 +19,16 @@ The interpreter mirrors the C implementation described in the paper §7:
 Instruction accounting: the interpreter counts executed instructions per
 :class:`~repro.vm.isa.InstructionKind` and helper invocations per id.  The
 per-platform cycle models in :mod:`repro.rtos.board` translate those counts
-into virtual clock ticks; the interpreter itself is time-agnostic.
+into virtual clock ticks; the interpreter itself is time-agnostic, and the
+accounting is **engine-independent** — the template JIT and the CertFC
+build produce bit-identical :class:`ExecutionStats` for the same program.
+
+Per-run state is reused across executions: the register file and the
+zeroing template for the stack live on the instance, so a hosting engine
+firing hooks at high rate does not reallocate VM state per event.  The
+:class:`ExecutionStats` object returned by :meth:`Interpreter.run` is
+always fresh (engines keep them in run histories), but its ``kind_counts``
+dict is cloned from a prebuilt zero table instead of rebuilt key by key.
 """
 
 from __future__ import annotations
@@ -46,7 +58,8 @@ from repro.vm.program import Program
 _M64 = (1 << 64) - 1
 _M32 = (1 << 32) - 1
 
-#: opcode -> InstructionKind, precomputed for the accounting fast path.
+#: opcode -> InstructionKind, kept for backward compatibility with external
+#: tooling; the dispatch loop itself uses the pre-decoded ``kind`` field.
 _KIND_OF = {op: isa.classify(op) for op in isa.VALID_OPCODES}
 
 
@@ -111,6 +124,10 @@ class ExecutionResult:
         return _s64(self.value)
 
 
+#: Prebuilt zero table cloned into each run's ``kind_counts``.
+_ZERO_KINDS = {kind: 0 for kind in isa.InstructionKind.ALL}
+
+
 class Interpreter:
     """Baseline interpreter; also the base class for the CertFC variant.
 
@@ -149,6 +166,9 @@ class Interpreter:
         self._context_region: MemoryRegion | None = None
         #: Opaque service object (the hosting engine) helpers may use.
         self.services = None
+        # Reusable per-run state (see the module docstring).
+        self._regs: list[int] = [0] * isa.REG_COUNT
+        self._stack_zeros = bytes(self.config.stack_size)
 
     # -- engine-facing surface ---------------------------------------------
 
@@ -166,7 +186,7 @@ class Interpreter:
     ) -> MemoryRegion:
         """Map the hook context struct at the conventional address."""
         if self._context_region is not None:
-            self.access_list.regions.remove(self._context_region)
+            self.access_list.remove(self._context_region)
         self._context_region = self.access_list.grant_bytes(
             "context", CONTEXT_BASE, content, perms
         )
@@ -194,18 +214,17 @@ class Interpreter:
         if context is not None:
             self.bind_context(context, context_perms)
         # Fresh stack for each run: the engine hands out a zeroed stack.
-        stack_data = self.stack.data
-        for i in range(len(stack_data)):
-            stack_data[i] = 0
+        # One slice assignment from the prebuilt template, not a byte loop.
+        self.stack.data[:] = self._stack_zeros
 
-        regs = [0] * isa.REG_COUNT
+        regs = self._regs
+        for i in range(isa.REG_COUNT):
+            regs[i] = 0
         regs[isa.REG_STACK] = STACK_BASE
         if self._context_region is not None:
             regs[isa.REG_CTX] = CONTEXT_BASE
 
-        stats = ExecutionStats(
-            kind_counts={kind: 0 for kind in isa.InstructionKind.ALL}
-        )
+        stats = ExecutionStats(kind_counts=_ZERO_KINDS.copy())
         value = self._dispatch_loop(regs, stats)
         return ExecutionResult(value=value, stats=stats)
 
@@ -214,15 +233,15 @@ class Interpreter:
         """Per-instruction defensive check; no-op in the optimized build."""
 
     def _dispatch_loop(self, regs: list[int], stats: ExecutionStats) -> int:
-        slots = self.program.slots
-        n_slots = len(slots)
+        decoded = self.program.decoded
+        n_slots = len(decoded)
         access = self.access_list
         kind_counts = stats.kind_counts
         branch_limit = self.config.branch_limit
         total_limit = self.config.total_limit
 
         try:
-            return self._execute(regs, stats, slots, n_slots, access,
+            return self._execute(regs, stats, decoded, n_slots, access,
                                  kind_counts, branch_limit, total_limit)
         finally:
             # kind_counts is live-updated; derive the totals so that even a
@@ -230,21 +249,40 @@ class Interpreter:
             # cycles for aborted runs too).
             stats.executed = sum(kind_counts.values())
 
-    def _execute(self, regs, stats, slots, n_slots, access, kind_counts,
+    def _execute(self, regs, stats, decoded, n_slots, access, kind_counts,
                  branch_limit, total_limit) -> int:
         pc = 0
         executed = 0
         branches = 0
+        load = access.load
+        store = access.store
+        # Subclasses (CertFC, tracing) hook every instruction; the optimized
+        # build skips the callback entirely instead of calling a no-op.
+        pre_check = None
+        if type(self)._pre_execute_check is not Interpreter._pre_execute_check:
+            pre_check = self._pre_execute_check
+
+        CLS_ALU64 = isa.CLS_ALU64
+        CLS_ALU = isa.CLS_ALU
+        CLS_LDX = isa.CLS_LDX
+        CLS_STX = isa.CLS_STX
+        CLS_ST = isa.CLS_ST
+        CLS_LD = isa.CLS_LD
+        ALU_END = isa.ALU_END
+        CALL = isa.CALL
+        EXIT = isa.EXIT
 
         while True:
             if pc >= n_slots or pc < 0:
                 raise VMFault("program counter escaped program text", pc)
-            ins = slots[pc]
-            op = ins.opcode
-            kind = _KIND_OF.get(op)
+            d = decoded[pc]
+            kind = d.kind
             if kind is None:
-                raise IllegalInstructionFault(f"illegal opcode 0x{op:02x}", pc)
-            self._pre_execute_check(ins, regs, pc)
+                raise IllegalInstructionFault(
+                    f"illegal opcode 0x{d.opcode:02x}", pc
+                )
+            if pre_check is not None:
+                pre_check(d.ins, regs, pc)
             executed += 1
             kind_counts[kind] += 1
             if total_limit is not None and executed > total_limit:
@@ -254,41 +292,44 @@ class Interpreter:
                     pc,
                 )
 
-            cls = op & isa.CLS_MASK
+            cls = d.cls
 
-            if cls == isa.CLS_ALU64:
-                regs[ins.dst] = self._alu(op, regs[ins.dst],
-                                          regs[ins.src] if op & isa.SRC_X else ins.imm & _M64,
-                                          ins, pc, width64=True)
+            if cls == CLS_ALU64:
+                regs[d.dst] = self._alu(
+                    d.op, regs[d.dst],
+                    regs[d.src] if d.use_reg else d.imm64,
+                    pc, width64=True,
+                )
                 pc += 1
-            elif cls == isa.CLS_ALU:
-                if (op & isa.OP_MASK) == isa.ALU_END:
-                    regs[ins.dst] = self._endian(op, regs[ins.dst], ins.imm, pc)
+            elif cls == CLS_ALU:
+                if d.op == ALU_END:
+                    regs[d.dst] = self._endian(d.opcode, regs[d.dst], d.imm, pc)
                 else:
-                    operand = regs[ins.src] if op & isa.SRC_X else ins.imm
-                    regs[ins.dst] = self._alu(op, regs[ins.dst] & _M32,
-                                              operand & _M32, ins, pc,
-                                              width64=False)
+                    operand = regs[d.src] if d.use_reg else d.imm
+                    regs[d.dst] = self._alu(d.op, regs[d.dst] & _M32,
+                                            operand & _M32, pc, width64=False)
                 pc += 1
-            elif cls == isa.CLS_LDX:
-                size = isa.SIZE_BYTES[op & isa.SZ_MASK]
-                addr = (regs[ins.src] + ins.offset) & _M64
-                regs[ins.dst] = access.load(addr, size)
+            elif cls == CLS_LDX:
+                addr = (regs[d.src] + d.offset) & _M64
+                regs[d.dst] = load(addr, d.size)
                 pc += 1
-            elif cls == isa.CLS_STX:
-                size = isa.SIZE_BYTES[op & isa.SZ_MASK]
-                addr = (regs[ins.dst] + ins.offset) & _M64
-                access.store(addr, size, regs[ins.src])
+            elif cls == CLS_STX:
+                addr = (regs[d.dst] + d.offset) & _M64
+                store(addr, d.size, regs[d.src])
                 pc += 1
-            elif cls == isa.CLS_ST:
-                size = isa.SIZE_BYTES[op & isa.SZ_MASK]
-                addr = (regs[ins.dst] + ins.offset) & _M64
-                access.store(addr, size, ins.imm & _M64)
+            elif cls == CLS_ST:
+                addr = (regs[d.dst] + d.offset) & _M64
+                store(addr, d.size, d.imm64)
                 pc += 1
-            elif cls == isa.CLS_LD:
-                pc = self._wide(op, ins, slots, regs, pc)
-            elif op == isa.CALL:
-                helper_id = ins.imm
+            elif cls == CLS_LD:
+                value = d.wide_value
+                if value is None:
+                    raise IllegalInstructionFault("truncated wide instruction",
+                                                  pc)
+                regs[d.dst] = value
+                pc += 2
+            elif d.opcode == CALL:
+                helper_id = d.imm
                 stats.helper_calls[helper_id] = (
                     stats.helper_calls.get(helper_id, 0) + 1
                 )
@@ -304,11 +345,10 @@ class Interpreter:
                         f"helper 0x{helper_id:02x} failed: {exc}", pc
                     ) from exc
                 pc += 1
-            elif op == isa.EXIT:
+            elif d.opcode == EXIT:
                 return regs[0]
-            elif cls in (isa.CLS_JMP, isa.CLS_JMP32):
-                taken = self._branch_taken(op, regs, ins)
-                if taken:
+            else:  # CLS_JMP / CLS_JMP32 (the only remaining valid classes)
+                if self._branch_taken(d, regs):
                     branches += 1
                     stats.branches_taken = branches
                     if branches > branch_limit:
@@ -316,49 +356,46 @@ class Interpreter:
                             f"taken-branch budget N_b={branch_limit} exhausted",
                             pc,
                         )
-                    pc = pc + 1 + ins.offset
+                    pc = d.target
                 else:
                     pc += 1
-            else:  # pragma: no cover - excluded by _KIND_OF lookup
-                raise IllegalInstructionFault(f"unhandled opcode 0x{op:02x}", pc)
 
     # -- instruction groups ---------------------------------------------------
 
-    def _alu(self, op: int, dst: int, operand: int, ins, pc: int,
+    def _alu(self, op: int, dst: int, operand: int, pc: int,
              width64: bool) -> int:
         mask = _M64 if width64 else _M32
-        kind = op & isa.OP_MASK
-        if kind == isa.ALU_ADD:
+        if op == isa.ALU_ADD:
             result = dst + operand
-        elif kind == isa.ALU_SUB:
+        elif op == isa.ALU_SUB:
             result = dst - operand
-        elif kind == isa.ALU_MUL:
+        elif op == isa.ALU_MUL:
             result = dst * operand
-        elif kind == isa.ALU_DIV:
+        elif op == isa.ALU_DIV:
             if operand & mask == 0:
                 raise DivisionFault("division by zero", pc)
             result = (dst & mask) // (operand & mask)
-        elif kind == isa.ALU_MOD:
+        elif op == isa.ALU_MOD:
             if operand & mask == 0:
                 raise DivisionFault("modulo by zero", pc)
             result = (dst & mask) % (operand & mask)
-        elif kind == isa.ALU_OR:
+        elif op == isa.ALU_OR:
             result = dst | operand
-        elif kind == isa.ALU_AND:
+        elif op == isa.ALU_AND:
             result = dst & operand
-        elif kind == isa.ALU_XOR:
+        elif op == isa.ALU_XOR:
             result = dst ^ operand
-        elif kind == isa.ALU_LSH:
+        elif op == isa.ALU_LSH:
             result = dst << (operand & (63 if width64 else 31))
-        elif kind == isa.ALU_RSH:
+        elif op == isa.ALU_RSH:
             result = (dst & mask) >> (operand & (63 if width64 else 31))
-        elif kind == isa.ALU_ARSH:
+        elif op == isa.ALU_ARSH:
             shift = operand & (63 if width64 else 31)
             signed = _s64(dst & _M64) if width64 else _s32(dst)
             result = signed >> shift
-        elif kind == isa.ALU_NEG:
+        elif op == isa.ALU_NEG:
             result = -dst
-        elif kind == isa.ALU_MOV:
+        elif op == isa.ALU_MOV:
             result = operand
         else:  # pragma: no cover - full opcode table handled above
             raise IllegalInstructionFault(f"unhandled ALU op 0x{op:02x}", pc)
@@ -372,30 +409,17 @@ class Interpreter:
             return dst & ((1 << width) - 1)
         return _byteswap(dst, width)
 
-    def _wide(self, op: int, ins, slots, regs: list[int], pc: int) -> int:
-        if op not in isa.WIDE_OPCODES:
-            raise IllegalInstructionFault(f"illegal LD-class opcode 0x{op:02x}", pc)
-        if pc + 1 >= len(slots):
-            raise IllegalInstructionFault("truncated wide instruction", pc)
-        imm64 = ((slots[pc + 1].imm & _M32) << 32) | (ins.imm & _M32)
-        if op == isa.LDDW:
-            regs[ins.dst] = imm64
-        elif op == isa.LDDWD:
-            regs[ins.dst] = (DATA_BASE + imm64) & _M64
-        else:  # LDDWR
-            regs[ins.dst] = (RODATA_BASE + imm64) & _M64
-        return pc + 2
-
-    def _branch_taken(self, op: int, regs: list[int], ins) -> bool:
+    def _branch_taken(self, d, regs: list[int]) -> bool:
+        op = d.opcode
         if op == isa.JA:
             return True
-        wide = (op & isa.CLS_MASK) == isa.CLS_JMP
-        lhs = regs[ins.dst]
-        rhs = regs[ins.src] if op & isa.SRC_X else ins.imm & _M64
+        wide = d.cls == isa.CLS_JMP
+        lhs = regs[d.dst]
+        rhs = regs[d.src] if d.use_reg else d.imm64
         if not wide:
             lhs &= _M32
             rhs &= _M32
-        kind = op & isa.OP_MASK
+        kind = d.op
         if kind == isa.JMP_JEQ:
             return lhs == rhs
         if kind == isa.JMP_JNE:

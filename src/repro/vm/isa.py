@@ -359,6 +359,14 @@ STORE_OPCODES: frozenset[int] = frozenset(
 )
 
 
+#: Size field value -> access width in bytes, as a dense 32-entry tuple so
+#: the pre-decoder can index it without a dict lookup (the size field is
+#: opcode bits 3-4, so ``SIZE_TABLE[op & SZ_MASK]`` is always in range).
+SIZE_TABLE: tuple[int, ...] = tuple(
+    SIZE_BYTES.get(i & SZ_MASK, 0) for i in range(SZ_MASK + 1)
+)
+
+
 class InstructionKind:
     """Coarse instruction classes used by the per-platform cycle models."""
 
@@ -398,3 +406,11 @@ def classify(opcode: int) -> str:
     if cls in (CLS_JMP, CLS_JMP32):
         return InstructionKind.BRANCH
     raise ValueError(f"unknown opcode 0x{opcode:02x}")
+
+
+#: Dense opcode-byte -> cost-class table (``None`` for illegal opcodes).
+#: The pre-decode pass and the dispatch loops index this tuple instead of
+#: calling :func:`classify` or probing a dict per executed instruction.
+KIND_TABLE: tuple[str | None, ...] = tuple(
+    classify(op) if op in VALID_OPCODES else None for op in range(256)
+)

@@ -1,27 +1,38 @@
-"""Install-time transpilation of eBPF bytecode to host closures (paper §11).
+"""Install-time template JIT: eBPF bytecode to generated Python (paper §11).
 
 The discussion section proposes removing interpretation overhead by
 transpiling portable eBPF bytecode into native instructions *once, at
-install time, on the device*.  This module implements that design point for
-the simulation: a verified program is compiled into a list of Python
-closures (one per slot), with branch targets resolved ahead of time, so the
-run loop is a direct threaded dispatch with no decode step.
+install time, on the device*.  This module implements that design point
+for the simulation as a real template JIT: a verified program is lowered
+into Python **source code** — one ``if _t == <pc>:`` dispatch arm per
+basic block, registers as local variables, operands and branch targets
+constant-folded from the pre-decoded slot table — then compiled with
+:func:`compile`/``exec`` into a single function executed per run.  There
+is no per-instruction dispatch at all; the only per-run work the template
+leaves behind is exactly what cannot be hoisted:
 
-Faithful to the paper's constraints:
+* **memory checks** — loads and stores still go through the access list
+  (computed addresses cannot be verified statically);
+* the **N_b taken-branch budget**, enforced at block edges;
+* **division-by-register** zero checks and helper-call containment.
 
-* compilation happens only after pre-flight verification, so run-time
-  security checks stay simple — memory accesses are still checked against
-  the access list at run time (they involve computed addresses and cannot
-  be hoisted);
-* the finite-execution N_b branch budget is still enforced;
-* installation charges a one-time cost (modelled per platform), traded
-  against a per-instruction speedup — the ablation benchmark
-  ``benchmarks/test_sec11_ablations.py`` measures the crossover.
+Accounting parity is an invariant: per-kind instruction counts are
+flushed to the shared ``kind_counts`` dict *before* every faultable
+operation and at every block edge, so a faulted run carries exactly the
+same :class:`~repro.vm.interpreter.ExecutionStats` the interpreter would
+have produced — the per-platform cycle models (Fig. 8, Table 2/4) are
+engine-independent and never see which engine executed the program.
+
+Faithful to the paper's constraints, compilation happens only after
+pre-flight verification (the generated code *relies* on the verifier's
+guarantees: in-range jump targets, non-zero immediate divisors, shift
+amounts in range, intact wide pairs), and installation charges a one-time
+cost (modelled per platform) traded against per-run speedup — the
+ablation benchmark ``benchmarks/test_sec11_ablations.py`` measures the
+crossover.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 from repro.vm import isa
 from repro.vm.errors import (
@@ -36,36 +47,489 @@ from repro.vm.interpreter import (
     ExecutionStats,
     Interpreter,
     VMConfig,
-    _s32,
-    _s64,
-    _byteswap,
 )
-from repro.vm.memory import DATA_BASE, RODATA_BASE, AccessList
+from repro.vm.memory import AccessList
 from repro.vm.program import Program
 from repro.vm.verifier import VerifierConfig, verify
 
 _M64 = (1 << 64) - 1
 _M32 = (1 << 32) - 1
-
-#: Relative per-instruction cost of transpiled native code vs interpreted
-#: (the paper's native baseline runs ~77x faster than rBPF interpretation;
-#: a simple one-pass transpiler recovers most but not all of that, since
-#: memory accesses keep their runtime checks).
-NATIVE_SPEEDUP_ESTIMATE = 40.0
+_H64 = "0xffffffffffffffff"
+_H32 = "0xffffffff"
 
 
-@dataclass
-class JITState:
-    """Mutable machine state threaded through compiled closures."""
+def _s64(value: int) -> int:
+    return value - (1 << 64) if value >= (1 << 63) else value
 
-    regs: list[int]
-    pc: int = 0
-    branches: int = 0
-    executed: int = 0
+
+def _s32(value: int) -> int:
+    value &= _M32
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+# -- runtime support injected into the generated code's globals -------------
+
+def _div_fault(pc: int) -> None:
+    raise DivisionFault("division by zero", pc)
+
+
+def _mod_fault(pc: int) -> None:
+    raise DivisionFault("modulo by zero", pc)
+
+
+def _branch_fault(limit: int, pc: int) -> None:
+    raise BranchLimitFault(
+        f"taken-branch budget N_b={limit} exhausted", pc
+    )
+
+
+def _total_fault(limit: int, pc: int) -> None:
+    raise BranchLimitFault(
+        f"execution exceeded the total budget of {limit} instructions", pc
+    )
+
+
+def _bad_target(target: int) -> None:  # pragma: no cover - verifier forbids
+    raise IllegalInstructionFault(f"jump to unmapped block at pc {target}")
+
+
+def _bswap16(value: int) -> int:
+    return int.from_bytes((value & 0xFFFF).to_bytes(2, "little"), "big")
+
+
+def _bswap32(value: int) -> int:
+    return int.from_bytes((value & _M32).to_bytes(4, "little"), "big")
+
+
+def _bswap64(value: int) -> int:
+    return int.from_bytes((value & _M64).to_bytes(8, "little"), "big")
+
+
+import struct as _struct
+
+_JIT_GLOBALS = {
+    "_div_fault": _div_fault,
+    "_mod_fault": _mod_fault,
+    "_branch_fault": _branch_fault,
+    "_total_fault": _total_fault,
+    "_bad_target": _bad_target,
+    "_bswap16": _bswap16,
+    "_bswap32": _bswap32,
+    "_bswap64": _bswap64,
+    # Width-specialized packers for the inlined memory fast path.
+    "_u1": _struct.Struct("<B").unpack_from,
+    "_u2": _struct.Struct("<H").unpack_from,
+    "_u4": _struct.Struct("<I").unpack_from,
+    "_u8": _struct.Struct("<Q").unpack_from,
+    "_p1": _struct.Struct("<B").pack_into,
+    "_p2": _struct.Struct("<H").pack_into,
+    "_p4": _struct.Struct("<I").pack_into,
+    "_p8": _struct.Struct("<Q").pack_into,
+}
+
+_SIZE_MASK = {1: 0xFF, 2: 0xFFFF, 4: _M32, 8: _M64}
+
+_UNSIGNED_CMP = {
+    isa.JMP_JEQ: "==",
+    isa.JMP_JNE: "!=",
+    isa.JMP_JGT: ">",
+    isa.JMP_JGE: ">=",
+    isa.JMP_JLT: "<",
+    isa.JMP_JLE: "<=",
+}
+
+_SIGNED_CMP = {
+    isa.JMP_JSGT: ">",
+    isa.JMP_JSGE: ">=",
+    isa.JMP_JSLT: "<",
+    isa.JMP_JSLE: "<=",
+}
+
+
+class _Codegen:
+    """Lowers one verified, pre-decoded program to Python source."""
+
+    def __init__(self, program: Program, total_limit: int | None) -> None:
+        self.decoded = program.decoded
+        self.total_limit = total_limit
+        self.lines: list[str] = []
+        self.pending: dict[str, int] = {}
+        self.indent = ""
+
+    # -- small emission helpers -------------------------------------------
+
+    def emit(self, line: str) -> None:
+        self.lines.append(self.indent + line)
+
+    def push_indent(self) -> None:
+        self.indent += "    "
+
+    def pop_indent(self) -> None:
+        self.indent = self.indent[:-4]
+
+    def count(self, kind: str, pc: int) -> None:
+        self.pending[kind] = self.pending.get(kind, 0) + 1
+        if self.total_limit is not None:
+            # With a total budget the abort point must match the
+            # interpreter instruction-for-instruction, so counts are
+            # published (and the budget checked) per instruction instead
+            # of batched per segment.
+            self.flush(pc)
+
+    def flush(self, pc: int) -> None:
+        """Publish pending per-kind counts (before any faultable point)."""
+        if not self.pending:
+            return
+        total = 0
+        for kind, n in self.pending.items():
+            total += n
+            self.emit(f"_kc[{kind!r}] += {n}")
+        self.pending.clear()
+        if self.total_limit is not None:
+            self.emit(f"_ex += {total}")
+            self.emit(f"if _ex > {self.total_limit}: "
+                      f"_total_fault({self.total_limit}, {pc})")
+
+    # -- leaders / basic blocks -------------------------------------------
+
+    def find_leaders(self) -> list[int]:
+        """Basic-block leader pcs, hottest-first for the dispatch chain.
+
+        Backward-branch targets are loop heads — the blocks re-entered on
+        every iteration — so their dispatch arms come first; the rest stay
+        in program order.
+        """
+        decoded = self.decoded
+        leaders = {0}
+        back_targets: set[int] = set()
+        pc = 0
+        n = len(decoded)
+        while pc < n:
+            d = decoded[pc]
+            step = 2 if d.opcode in isa.WIDE_OPCODES else 1
+            if (d.cls in (isa.CLS_JMP, isa.CLS_JMP32)
+                    and d.opcode not in (isa.CALL, isa.EXIT)):
+                leaders.add(d.target)
+                if d.target <= pc:
+                    back_targets.add(d.target)
+                if d.opcode != isa.JA:
+                    leaders.add(pc + 1)
+            pc += step
+        return sorted(leaders, key=lambda lpc: (lpc not in back_targets, lpc))
+
+    # -- whole-function generation ----------------------------------------
+
+    def generate(self) -> str:
+        leaders = self.find_leaders()
+        leader_set = set(leaders)
+        out = [
+            "def _fc_main(_regs, _mem, _stats, _kc, _hc, _call, _blimit):",
+            "    _ld = _mem.load",
+            "    _st = _mem.store",
+        ]
+        out.extend(f"    r{i} = _regs[{i}]" for i in range(isa.REG_COUNT))
+        out.append("    _br = 0")
+        if self.total_limit is not None:
+            out.append("    _ex = 0")
+        out.append("    _t = 0")
+        out.append("    while 1:")
+        for index, leader in enumerate(leaders):
+            guard = "if" if index == 0 else "elif"
+            out.append(f"        {guard} _t == {leader}:")
+            self.indent = " " * 12
+            self.lines = []
+            self.emit_block(leader, leader_set)
+            out.extend(self.lines)
+        out.append("        else:")
+        out.append("            _bad_target(_t)")
+        return "\n".join(out) + "\n"
+
+    def emit_block(self, start: int, leader_set: set[int]) -> None:
+        decoded = self.decoded
+        n = len(decoded)
+        # Pre-scan the block extent so self-loops can be special-cased.
+        body: list[int] = []
+        terminator = None  # ("exit" | "branch" | "fall", pc, Decoded | None)
+        pc = start
+        while pc < n:
+            d = decoded[pc]
+            if d.cls in (isa.CLS_JMP, isa.CLS_JMP32) and d.opcode != isa.CALL:
+                kind = "exit" if d.opcode == isa.EXIT else "branch"
+                terminator = (kind, pc, d)
+                break
+            body.append(pc)
+            pc += 2 if d.opcode in isa.WIDE_OPCODES else 1
+            if pc in leader_set:  # fallthrough edge into the next block
+                terminator = ("fall", pc, None)
+                break
+        if terminator is None:  # pragma: no cover - verifier guarantees exit
+            terminator = ("fall", n, None)
+        kind, tpc, td = terminator
+
+        # A conditional branch back to this very block is the classic
+        # compiled-loop shape: emit it as a native Python loop so iteration
+        # costs no dispatch at all.
+        self_loop = (kind == "branch" and td.opcode != isa.JA
+                     and td.target == start)
+        if self_loop:
+            self.emit("while 1:")
+            self.push_indent()
+        for ipc in body:
+            self.emit_instruction(decoded[ipc], ipc)
+        if kind == "exit":
+            self.count("exit", tpc)
+            self.flush(tpc)
+            self.emit("return r0")
+        elif kind == "fall":
+            self.flush(tpc)
+            self.emit(f"_t = {tpc}")
+            self.emit("continue")
+        else:
+            self.emit_branch(td, tpc, self_loop=self_loop)
+            if self_loop:
+                self.pop_indent()
+                self.emit(f"_t = {tpc + 1}")
+                self.emit("continue")
+
+    # -- straight-line instructions ---------------------------------------
+
+    def emit_instruction(self, d, pc: int) -> None:
+        cls = d.cls
+        if cls == isa.CLS_ALU64:
+            self.count(d.kind, pc)
+            self.emit_alu64(d, pc)
+        elif cls == isa.CLS_ALU:
+            self.count(d.kind, pc)
+            self.emit_alu32(d, pc)
+        elif cls == isa.CLS_LDX:
+            self.count("load", pc)
+            self.flush(pc)
+            self.emit_load(d)
+        elif cls == isa.CLS_STX:
+            self.count("store", pc)
+            self.flush(pc)
+            self.emit_store(d, f"r{d.src}")
+        elif cls == isa.CLS_ST:
+            self.count("store", pc)
+            self.flush(pc)
+            self.emit_store(d, f"{d.imm64:#x}")
+        elif cls == isa.CLS_LD:  # wide: fully resolved at pre-decode
+            self.count("lddw", pc)
+            self.emit(f"r{d.dst} = {d.wide_value:#x}")
+        elif d.opcode == isa.CALL:
+            self.count("call", pc)
+            self.flush(pc)
+            self.emit(f"_hc[{d.imm}] = _hc.get({d.imm}, 0) + 1")
+            self.emit(f"r0 = _call({d.imm}, {pc}, r1, r2, r3, r4, r5)")
+        else:  # pragma: no cover - excluded by verification
+            raise IllegalInstructionFault(
+                f"cannot transpile opcode 0x{d.opcode:02x}", pc
+            )
+
+    @staticmethod
+    def addr(base: int, offset: int) -> str:
+        if offset == 0:
+            return f"r{base}"  # registers are invariantly 64-bit masked
+        return f"(r{base} + {offset}) & {_H64}"
+
+    def emit_load(self, d) -> None:
+        """A load with the access-list fast path expanded inline.
+
+        The MRU region check and the width-specialized unpack are emitted
+        directly into the template; only an MRU miss (or a fault) takes the
+        out-of-line ``AccessList.load`` path, which re-runs the full
+        bisect + permission check and raises the exact reference faults.
+        """
+        size = d.size
+        self.emit(f"_a = {self.addr(d.src, d.offset)}")
+        self.emit("_r = _mem._mru")
+        self.emit(f"if _r is not None and _r.start <= _a "
+                  f"and _a + {size} <= _r._end and _r._perm_bits & 1:")
+        self.emit(f"    r{d.dst} = _u{size}(_r._view, _a - _r.start)[0]")
+        self.emit("else:")
+        self.emit(f"    r{d.dst} = _ld(_a, {size})")
+
+    def emit_store(self, d, value: str) -> None:
+        """A store with the access-list fast path expanded inline."""
+        size = d.size
+        self.emit(f"_a = {self.addr(d.dst, d.offset)}")
+        self.emit("_r = _mem._mru")
+        self.emit(f"if _r is not None and _r.start <= _a "
+                  f"and _a + {size} <= _r._end and _r._perm_bits & 2:")
+        self.emit(f"    _p{size}(_r._view, _a - _r.start, "
+                  f"{value} & {_SIZE_MASK[size]:#x})")
+        self.emit("else:")
+        self.emit(f"    _st(_a, {size}, {value})")
+
+    def emit_alu64(self, d, pc: int) -> None:
+        dst = f"r{d.dst}"
+        op = d.op
+        operand = f"r{d.src}" if d.use_reg else f"{d.imm64:#x}"
+        if op == isa.ALU_ADD:
+            self.emit(f"{dst} = ({dst} + {operand}) & {_H64}")
+        elif op == isa.ALU_SUB:
+            self.emit(f"{dst} = ({dst} - {operand}) & {_H64}")
+        elif op == isa.ALU_MUL:
+            self.emit(f"{dst} = ({dst} * {operand}) & {_H64}")
+        elif op == isa.ALU_OR:
+            self.emit(f"{dst} |= {operand}")
+        elif op == isa.ALU_AND:
+            self.emit(f"{dst} &= {operand}")
+        elif op == isa.ALU_XOR:
+            self.emit(f"{dst} ^= {operand}")
+        elif op == isa.ALU_MOV:
+            self.emit(f"{dst} = {operand}")
+        elif op == isa.ALU_NEG:
+            self.emit(f"{dst} = (-{dst}) & {_H64}")
+        elif op == isa.ALU_LSH:
+            self.emit(f"{dst} = ({dst} << {self.shift64(d)}) & {_H64}")
+        elif op == isa.ALU_RSH:
+            self.emit(f"{dst} >>= {self.shift64(d)}")
+        elif op == isa.ALU_ARSH:
+            self.emit(f"_x = {dst} - 0x10000000000000000 "
+                      f"if {dst} >= 0x8000000000000000 else {dst}")
+            self.emit(f"{dst} = (_x >> {self.shift64(d)}) & {_H64}")
+        elif op in (isa.ALU_DIV, isa.ALU_MOD):
+            sym = "//" if op == isa.ALU_DIV else "%"
+            if d.use_reg:
+                fault = "_div_fault" if op == isa.ALU_DIV else "_mod_fault"
+                self.flush(pc)
+                self.emit(f"if not r{d.src}: {fault}({pc})")
+                self.emit(f"{dst} = {dst} {sym} r{d.src}")
+            else:  # immediate divisor, non-zero by verification
+                self.emit(f"{dst} = {dst} {sym} {d.imm64:#x}")
+        else:  # pragma: no cover - excluded by verification
+            raise IllegalInstructionFault(
+                f"cannot transpile ALU op 0x{d.opcode:02x}", pc
+            )
+
+    def emit_alu32(self, d, pc: int) -> None:
+        dst = f"r{d.dst}"
+        op = d.op
+        if op == isa.ALU_END:
+            if d.opcode == isa.LE:
+                self.emit(f"{dst} &= {(1 << d.imm) - 1:#x}")
+            else:
+                self.emit(f"{dst} = _bswap{d.imm}({dst})")
+            return
+        operand = (f"(r{d.src} & {_H32})" if d.use_reg
+                   else f"{d.imm & _M32:#x}")
+        if op == isa.ALU_ADD:
+            self.emit(f"{dst} = (({dst} & {_H32}) + {operand}) & {_H32}")
+        elif op == isa.ALU_SUB:
+            self.emit(f"{dst} = (({dst} & {_H32}) - {operand}) & {_H32}")
+        elif op == isa.ALU_MUL:
+            self.emit(f"{dst} = (({dst} & {_H32}) * {operand}) & {_H32}")
+        elif op == isa.ALU_OR:
+            self.emit(f"{dst} = ({dst} & {_H32}) | {operand}")
+        elif op == isa.ALU_AND:
+            self.emit(f"{dst} = {dst} & {operand}")
+        elif op == isa.ALU_XOR:
+            self.emit(f"{dst} = ({dst} & {_H32}) ^ {operand}")
+        elif op == isa.ALU_MOV:
+            self.emit(f"{dst} = {operand}")
+        elif op == isa.ALU_NEG:
+            self.emit(f"{dst} = (-({dst} & {_H32})) & {_H32}")
+        elif op == isa.ALU_LSH:
+            self.emit(f"{dst} = (({dst} & {_H32}) << {self.shift32(d)})"
+                      f" & {_H32}")
+        elif op == isa.ALU_RSH:
+            self.emit(f"{dst} = ({dst} & {_H32}) >> {self.shift32(d)}")
+        elif op == isa.ALU_ARSH:
+            self.emit(f"_x = {dst} & {_H32}")
+            self.emit("_x = _x - 0x100000000 if _x >= 0x80000000 else _x")
+            self.emit(f"{dst} = (_x >> {self.shift32(d)}) & {_H32}")
+        elif op in (isa.ALU_DIV, isa.ALU_MOD):
+            sym = "//" if op == isa.ALU_DIV else "%"
+            if d.use_reg:
+                fault = "_div_fault" if op == isa.ALU_DIV else "_mod_fault"
+                self.flush(pc)
+                self.emit(f"if not (r{d.src} & {_H32}): {fault}({pc})")
+                self.emit(f"{dst} = ({dst} & {_H32}) {sym} "
+                          f"(r{d.src} & {_H32})")
+            else:
+                self.emit(f"{dst} = ({dst} & {_H32}) {sym} "
+                          f"{d.imm & _M32:#x}")
+        else:  # pragma: no cover - excluded by verification
+            raise IllegalInstructionFault(
+                f"cannot transpile ALU op 0x{d.opcode:02x}", pc
+            )
+
+    @staticmethod
+    def shift64(d) -> str:
+        return f"(r{d.src} & 63)" if d.use_reg else str(d.imm)
+
+    @staticmethod
+    def shift32(d) -> str:
+        return f"(r{d.src} & 31)" if d.use_reg else str(d.imm)
+
+    # -- block terminators --------------------------------------------------
+
+    def taken_edge(self, pc: int, target: int, nested: bool) -> None:
+        extra = "    " if nested else ""
+        self.emit(extra + "_br += 1")
+        self.emit(extra + "_stats.branches_taken = _br")
+        self.emit(extra + f"if _br > _blimit: _branch_fault(_blimit, {pc})")
+        self.emit(extra + f"_t = {target}")
+        self.emit(extra + "continue")
+
+    def emit_branch(self, d, pc: int, self_loop: bool = False) -> None:
+        self.count("branch", pc)
+        self.flush(pc)
+        if d.opcode == isa.JA:
+            self.taken_edge(pc, d.target, nested=False)
+            return
+        wide = d.cls == isa.CLS_JMP
+        if wide:
+            lhs = f"r{d.dst}"
+            rhs = f"r{d.src}" if d.use_reg else f"{d.imm64:#x}"
+        else:
+            lhs = f"(r{d.dst} & {_H32})"
+            rhs = (f"(r{d.src} & {_H32})" if d.use_reg
+                   else f"{d.imm & _M32:#x}")
+        op = d.op
+        if op in _UNSIGNED_CMP:
+            cond = f"{lhs} {_UNSIGNED_CMP[op]} {rhs}"
+        elif op == isa.JMP_JSET:
+            cond = f"{lhs} & {rhs}"
+        else:  # signed comparison: reinterpret both operands
+            if wide:
+                self.emit(f"_x = {lhs} - 0x10000000000000000 "
+                          f"if {lhs} >= 0x8000000000000000 else {lhs}")
+                if d.use_reg:
+                    self.emit(f"_y = {rhs} - 0x10000000000000000 "
+                              f"if {rhs} >= 0x8000000000000000 else {rhs}")
+                    signed_rhs = "_y"
+                else:
+                    signed_rhs = str(_s64(d.imm64))
+            else:
+                self.emit(f"_x = {lhs}")
+                self.emit("_x = _x - 0x100000000 if _x >= 0x80000000 else _x")
+                if d.use_reg:
+                    self.emit(f"_y = {rhs}")
+                    self.emit(
+                        "_y = _y - 0x100000000 if _y >= 0x80000000 else _y"
+                    )
+                    signed_rhs = "_y"
+                else:
+                    signed_rhs = str(_s32(d.imm))
+            cond = f"_x {_SIGNED_CMP[op]} {signed_rhs}"
+        self.emit(f"if {cond}:")
+        if self_loop:
+            # Taken edge re-enters the native while; budget still enforced.
+            self.emit("    _br += 1")
+            self.emit("    _stats.branches_taken = _br")
+            self.emit(f"    if _br > _blimit: _branch_fault(_blimit, {pc})")
+            self.emit("    continue")
+            self.emit("break")
+        else:
+            self.taken_edge(pc, d.target, nested=True)
+            self.emit(f"_t = {pc + 1}")
+            self.emit("continue")
 
 
 class CompiledProgram(Interpreter):
-    """A Femto-Container whose bytecode was transpiled at install time.
+    """A Femto-Container whose bytecode was template-compiled at install.
 
     Exposes the same ``run``/accounting surface as :class:`Interpreter`, so
     the hosting engine can treat interpreted and transpiled containers
@@ -83,9 +547,16 @@ class CompiledProgram(Interpreter):
         verifier_config: VerifierConfig | None = None,
     ) -> None:
         super().__init__(program, helpers, config, access_list)
-        # The paper mandates verification before any native translation.
+        # The paper mandates verification before any native translation;
+        # the generated code *depends* on the verifier's guarantees.
         self.report = verify(program, verifier_config)
-        self._ops = self._compile()
+        self.jit_source = _Codegen(
+            program, self.config.total_limit
+        ).generate()
+        code = compile(self.jit_source, f"<fc-jit:{program.name}>", "exec")
+        namespace = dict(_JIT_GLOBALS)
+        exec(code, namespace)
+        self._entry = namespace["_fc_main"]
 
     # -- compilation -------------------------------------------------------
 
@@ -94,267 +565,30 @@ class CompiledProgram(Interpreter):
         """Slots processed by the one-pass transpiler (install-time cost)."""
         return len(self.program.slots)
 
-    def _compile(self):
-        ops = []
-        slots = self.program.slots
-        pc = 0
-        while pc < len(slots):
-            ins = slots[pc]
-            if ins.opcode in isa.WIDE_OPCODES:
-                ops.append(self._compile_wide(ins, slots[pc + 1], pc))
-                ops.append(None)  # continuation slot is never entered
-                pc += 2
-            else:
-                ops.append(self._compile_one(ins, pc))
-                pc += 1
-        return ops
-
-    def _compile_wide(self, ins, cont, pc: int):
-        imm64 = ((cont.imm & _M32) << 32) | (ins.imm & _M32)
-        if ins.opcode == isa.LDDWD:
-            imm64 = (DATA_BASE + imm64) & _M64
-        elif ins.opcode == isa.LDDWR:
-            imm64 = (RODATA_BASE + imm64) & _M64
-        dst = ins.dst
-        next_pc = pc + 2
-
-        def op_lddw(state: JITState) -> None:
-            state.regs[dst] = imm64
-            state.pc = next_pc
-
-        return op_lddw
-
-    def _compile_one(self, ins, pc: int):
-        op = ins.opcode
-        cls = op & isa.CLS_MASK
-        dst, src, offset, imm = ins.dst, ins.src, ins.offset, ins.imm
-        next_pc = pc + 1
-        access = self.access_list
-
-        if cls in (isa.CLS_ALU64, isa.CLS_ALU):
-            return self._compile_alu(ins, next_pc)
-        if cls == isa.CLS_LDX:
-            size = isa.SIZE_BYTES[op & isa.SZ_MASK]
-
-            def op_load(state: JITState) -> None:
-                state.regs[dst] = access.load(
-                    (state.regs[src] + offset) & _M64, size
-                )
-                state.pc = next_pc
-
-            return op_load
-        if cls == isa.CLS_STX:
-            size = isa.SIZE_BYTES[op & isa.SZ_MASK]
-
-            def op_storex(state: JITState) -> None:
-                access.store((state.regs[dst] + offset) & _M64, size,
-                             state.regs[src])
-                state.pc = next_pc
-
-            return op_storex
-        if cls == isa.CLS_ST:
-            size = isa.SIZE_BYTES[op & isa.SZ_MASK]
-            value = imm & _M64
-
-            def op_store(state: JITState) -> None:
-                access.store((state.regs[dst] + offset) & _M64, size, value)
-                state.pc = next_pc
-
-            return op_store
-        if op == isa.CALL:
-            helpers = self.helpers
-            helper_id = imm
-            vm = self
-
-            def op_call(state: JITState) -> None:
-                regs = state.regs
-                try:
-                    regs[0] = helpers.call(vm, helper_id, regs[1], regs[2],
-                                           regs[3], regs[4], regs[5])
-                except VMFault:
-                    raise
-                except Exception as exc:
-                    raise HelperFault(
-                        f"helper 0x{helper_id:02x} failed: {exc}"
-                    ) from exc
-                state.pc = next_pc
-
-            return op_call
-        if op == isa.EXIT:
-            def op_exit(state: JITState) -> None:
-                state.pc = -1
-
-            return op_exit
-        if cls in (isa.CLS_JMP, isa.CLS_JMP32):
-            return self._compile_branch(ins, pc)
-        raise IllegalInstructionFault(f"cannot transpile opcode 0x{op:02x}", pc)
-
-    def _compile_alu(self, ins, next_pc: int):
-        op = ins.opcode
-        width64 = (op & isa.CLS_MASK) == isa.CLS_ALU64
-        mask = _M64 if width64 else _M32
-        shift_mask = 63 if width64 else 31
-        kind = op & isa.OP_MASK
-        dst, src = ins.dst, ins.src
-        use_reg = bool(op & isa.SRC_X)
-        imm = ins.imm & mask
-
-        if kind == isa.ALU_END:
-            width = ins.imm
-
-            def op_endian(state: JITState) -> None:
-                value = state.regs[dst]
-                if op == isa.LE:
-                    state.regs[dst] = value & ((1 << width) - 1)
-                else:
-                    state.regs[dst] = _byteswap(value, width)
-                state.pc = next_pc
-
-            return op_endian
-
-        def operand(regs: list[int]) -> int:
-            return (regs[src] if use_reg else imm) & mask
-
-        def make(body):
-            def op_alu(state: JITState) -> None:
-                regs = state.regs
-                regs[dst] = body(regs[dst] & mask, operand(regs)) & mask
-                state.pc = next_pc
-
-            return op_alu
-
-        if kind == isa.ALU_ADD:
-            return make(lambda a, b: a + b)
-        if kind == isa.ALU_SUB:
-            return make(lambda a, b: a - b)
-        if kind == isa.ALU_MUL:
-            return make(lambda a, b: a * b)
-        if kind == isa.ALU_OR:
-            return make(lambda a, b: a | b)
-        if kind == isa.ALU_AND:
-            return make(lambda a, b: a & b)
-        if kind == isa.ALU_XOR:
-            return make(lambda a, b: a ^ b)
-        if kind == isa.ALU_LSH:
-            return make(lambda a, b: a << (b & shift_mask))
-        if kind == isa.ALU_RSH:
-            return make(lambda a, b: a >> (b & shift_mask))
-        if kind == isa.ALU_MOV:
-            return make(lambda a, b: b)
-        if kind == isa.ALU_NEG:
-            return make(lambda a, b: -a)
-        if kind == isa.ALU_ARSH:
-            signed = _s64 if width64 else _s32
-            return make(lambda a, b: signed(a) >> (b & shift_mask))
-
-        def checked_div(a: int, b: int) -> int:
-            if b == 0:
-                raise DivisionFault("division by zero")
-            return a // b
-
-        def checked_mod(a: int, b: int) -> int:
-            if b == 0:
-                raise DivisionFault("modulo by zero")
-            return a % b
-
-        if kind == isa.ALU_DIV:
-            return make(checked_div)
-        if kind == isa.ALU_MOD:
-            return make(checked_mod)
-        raise IllegalInstructionFault(f"cannot transpile ALU op 0x{op:02x}")
-
-    def _compile_branch(self, ins, pc: int):
-        op = ins.opcode
-        target = pc + 1 + ins.offset
-        next_pc = pc + 1
-        branch_limit = self.config.branch_limit
-        dst, src = ins.dst, ins.src
-        use_reg = bool(op & isa.SRC_X)
-        wide = (op & isa.CLS_MASK) == isa.CLS_JMP
-        mask = _M64 if wide else _M32
-        imm = ins.imm & mask
-        kind = op & isa.OP_MASK
-        signed = _s64 if wide else _s32
-
-        preds = {
-            isa.JMP_JEQ: lambda a, b: a == b,
-            isa.JMP_JNE: lambda a, b: a != b,
-            isa.JMP_JGT: lambda a, b: a > b,
-            isa.JMP_JGE: lambda a, b: a >= b,
-            isa.JMP_JLT: lambda a, b: a < b,
-            isa.JMP_JLE: lambda a, b: a <= b,
-            isa.JMP_JSET: lambda a, b: bool(a & b),
-            isa.JMP_JSGT: lambda a, b: signed(a) > signed(b),
-            isa.JMP_JSGE: lambda a, b: signed(a) >= signed(b),
-            isa.JMP_JSLT: lambda a, b: signed(a) < signed(b),
-            isa.JMP_JSLE: lambda a, b: signed(a) <= signed(b),
-        }
-
-        if op == isa.JA:
-            def op_ja(state: JITState) -> None:
-                state.branches += 1
-                if state.branches > branch_limit:
-                    raise BranchLimitFault(
-                        f"taken-branch budget N_b={branch_limit} exhausted"
-                    )
-                state.pc = target
-
-            return op_ja
-
-        pred = preds.get(kind)
-        if pred is None:
-            raise IllegalInstructionFault(f"cannot transpile jump 0x{op:02x}", pc)
-
-        def op_branch(state: JITState) -> None:
-            regs = state.regs
-            lhs = regs[dst] & mask
-            rhs = (regs[src] & mask) if use_reg else imm
-            if pred(lhs, rhs):
-                state.branches += 1
-                if state.branches > branch_limit:
-                    raise BranchLimitFault(
-                        f"taken-branch budget N_b={branch_limit} exhausted"
-                    )
-                state.pc = target
-            else:
-                state.pc = next_pc
-
-        return op_branch
-
     # -- execution -----------------------------------------------------------
 
     def _dispatch_loop(self, regs: list[int], stats: ExecutionStats) -> int:
-        slots = self.program.slots
-        kinds = [
-            isa.classify(ins.opcode) if ins.opcode in isa.VALID_OPCODES else None
-            for ins in slots
-        ]
+        helpers = self.helpers
+        vm = self
+
+        def _call(helper_id, pc, r1, r2, r3, r4, r5):
+            try:
+                return helpers.call(vm, helper_id, r1, r2, r3, r4, r5)
+            except VMFault:
+                raise
+            except Exception as exc:  # contain helper implementation bugs
+                raise HelperFault(
+                    f"helper 0x{helper_id:02x} failed: {exc}", pc
+                ) from exc
+
         kind_counts = stats.kind_counts
-        state = JITState(regs=regs)
-        ops = self._ops
-        total_limit = self.config.total_limit
         try:
-            while state.pc >= 0:
-                pc = state.pc
-                op = ops[pc]
-                if op is None:  # pragma: no cover - verifier forbids this
-                    raise IllegalInstructionFault("entered continuation slot", pc)
-                kind_counts[kinds[pc]] += 1
-                state.executed += 1
-                if total_limit is not None and state.executed > total_limit:
-                    raise BranchLimitFault(
-                        f"execution exceeded the total budget of {total_limit}"
-                    )
-                ins = slots[pc]
-                if ins.opcode == isa.CALL:
-                    stats.helper_calls[ins.imm] = (
-                        stats.helper_calls.get(ins.imm, 0) + 1
-                    )
-                op(state)
+            return self._entry(
+                regs, self.access_list, stats, kind_counts,
+                stats.helper_calls, _call, self.config.branch_limit,
+            )
         finally:
-            stats.executed = state.executed
-            stats.branches_taken = state.branches
-        return regs[0]
+            stats.executed = sum(kind_counts.values())
 
 
 def compile_program(
@@ -363,5 +597,5 @@ def compile_program(
     config: VMConfig | None = None,
     access_list: AccessList | None = None,
 ) -> CompiledProgram:
-    """Verify then transpile ``program``; the paper's install-time flow."""
+    """Verify then template-compile ``program``; the install-time flow."""
     return CompiledProgram(program, helpers, config, access_list)

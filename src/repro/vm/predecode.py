@@ -1,0 +1,100 @@
+"""One-time pre-decoding of instruction slots into flat execution records.
+
+The paper's §11 discussion proposes erasing interpretation overhead by
+doing the expensive per-instruction work *once, at install time*.  This
+module is the shared first stage of that idea: it flattens every 8-byte
+slot of a :class:`~repro.vm.program.Program` into a :class:`Decoded`
+record carrying everything the execution engines would otherwise have to
+recompute on every visit — the cost-class string, the instruction class
+bits, the memory access width, the masked immediate operands, the
+resolved branch target, and the fully-resolved 64-bit immediate of wide
+(``lddw``/``lddwd``/``lddwr``) instructions including their data-section
+base relocation.
+
+Both the interpreter's dispatch loop and the template JIT compiler
+consume this table, so the two engines decode bytecode in exactly one
+place.  Pre-decoding is purely a *representation* change: it performs no
+checks of its own (illegal opcodes simply get ``kind = None`` and fault
+when reached), and it never alters instruction accounting.
+"""
+
+from __future__ import annotations
+
+from repro.vm import isa
+from repro.vm.instruction import Instruction
+from repro.vm.memory import DATA_BASE, RODATA_BASE
+
+_M64 = (1 << 64) - 1
+_M32 = (1 << 32) - 1
+
+
+class Decoded:
+    """One pre-decoded instruction slot (plain attributes, no behavior)."""
+
+    __slots__ = (
+        "ins",        # the original Instruction (for tracing / defensive checks)
+        "opcode",
+        "cls",        # opcode & CLS_MASK
+        "op",         # opcode & OP_MASK (ALU / JMP operation selector)
+        "kind",       # InstructionKind cost class, or None for illegal opcodes
+        "dst",
+        "src",
+        "offset",
+        "imm",
+        "imm64",      # imm masked to 64 bits (ALU64 / ST immediate operand)
+        "use_reg",    # SRC_X bit: operand comes from the source register
+        "size",       # memory access width in bytes (0 for non-memory ops)
+        "target",     # resolved branch target pc (branches only, else 0)
+        "wide_value",  # resolved 64-bit immediate for wide ops (None if truncated)
+    )
+
+    def __init__(self, ins: Instruction, pc: int, next_imm: int | None) -> None:
+        opcode = ins.opcode
+        self.ins = ins
+        self.opcode = opcode
+        self.cls = opcode & isa.CLS_MASK
+        self.op = opcode & isa.OP_MASK
+        self.kind = isa.KIND_TABLE[opcode]
+        self.dst = ins.dst
+        self.src = ins.src
+        self.offset = ins.offset
+        self.imm = ins.imm
+        self.imm64 = ins.imm & _M64
+        self.use_reg = bool(opcode & isa.SRC_X)
+        self.size = (
+            isa.SIZE_TABLE[opcode & isa.SZ_MASK]
+            if self.cls in (isa.CLS_LDX, isa.CLS_ST, isa.CLS_STX)
+            else 0
+        )
+        self.target = (
+            pc + 1 + ins.offset
+            if self.cls in (isa.CLS_JMP, isa.CLS_JMP32)
+            else 0
+        )
+        if opcode in isa.WIDE_OPCODES:
+            if next_imm is None:
+                self.wide_value = None  # truncated: faults when executed
+            else:
+                value = ((next_imm & _M32) << 32) | (ins.imm & _M32)
+                if opcode == isa.LDDWD:
+                    value = (DATA_BASE + value) & _M64
+                elif opcode == isa.LDDWR:
+                    value = (RODATA_BASE + value) & _M64
+                self.wide_value = value
+        else:
+            self.wide_value = None
+
+
+def predecode(slots: list[Instruction]) -> list[Decoded]:
+    """Flatten ``slots`` into one :class:`Decoded` record per slot.
+
+    Continuation slots of wide instructions get their own records (with
+    ``kind = None``, like any other illegal opcode) so the decoded list
+    stays index-compatible with the raw slot list and a jump into the
+    middle of a wide instruction faults exactly as before.
+    """
+    n = len(slots)
+    return [
+        Decoded(ins, pc, slots[pc + 1].imm if pc + 1 < n else None)
+        for pc, ins in enumerate(slots)
+    ]

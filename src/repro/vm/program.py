@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.vm import isa
 from repro.vm.errors import EncodingError
 from repro.vm.instruction import SLOT_SIZE, Instruction, decode_program, encode_program
+from repro.vm.predecode import Decoded, predecode
 
 
 @dataclass
@@ -39,6 +40,23 @@ class Program:
     def to_bytes(self) -> bytes:
         """Flat bytecode image (what travels inside a SUIT payload)."""
         return encode_program(self.slots)
+
+    @property
+    def decoded(self) -> list[Decoded]:
+        """Pre-decoded slot table, computed once and cached.
+
+        The cache is invalidated when the ``slots`` list is replaced or
+        resized; in-place mutation of individual slots after the first
+        execution is not supported (images are immutable once installed,
+        mirroring the on-device flash layout).
+        """
+        slots = self.slots
+        cache = getattr(self, "_decoded_cache", None)
+        if cache is not None and cache[0] is slots and cache[1] == len(slots):
+            return cache[2]
+        decoded = predecode(slots)
+        self._decoded_cache = (slots, len(slots), decoded)
+        return decoded
 
     @property
     def code_size(self) -> int:
