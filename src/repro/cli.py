@@ -8,7 +8,11 @@ Small developer tools around the library:
 * ``run IN.s|IN.bin [--ctx HEX] [--board NAME] [--impl NAME]``
                                 — execute a program on a simulated board;
 * ``boards``                    — list board models;
-* ``demo``                      — run the multi-tenant showcase scenario.
+* ``demo``                      — run the multi-tenant showcase scenario;
+* ``fanout``                    — multi-instance fan-out: K tenants x M
+                                  instances of one image on one hook,
+                                  reporting attach times and image-cache
+                                  hit rates.
 """
 
 from __future__ import annotations
@@ -170,6 +174,51 @@ def cmd_demo(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fanout(args: argparse.Namespace) -> int:
+    """Run the multi-instance fan-out scenario and report cache effect."""
+    import time
+
+    from repro.scenarios import build_fanout_device
+    from repro.vm.imagecache import IMAGE_CACHE
+
+    IMAGE_CACHE.clear()  # measure from a cold cache, deterministically
+    board = board_by_name(args.board)
+
+    start = time.perf_counter()
+    device = build_fanout_device(
+        tenants=args.tenants,
+        instances_per_tenant=args.instances,
+        implementation=args.impl,
+        board=board,
+    )
+    attach_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    runs = device.fire(args.fires)
+    fire_s = time.perf_counter() - start
+
+    instances = len(device.containers)
+    stats = IMAGE_CACHE.stats()
+    print(f"image: {device.image.name!r} "
+          f"({device.image.image_hash[:12]}..., "
+          f"{device.image.code_size} B text)")
+    print(f"attached {instances} instances "
+          f"({args.tenants} tenants x {args.instances}) "
+          f"in {attach_s * 1e3:.2f} ms on {board.name} [{args.impl}]")
+    if args.impl == "jit":
+        print(f"compiled templates shared: {device.shared_templates()} "
+              f"(for {instances} instances)")
+    print(f"image cache: {stats['hits']} hits / {stats['misses']} misses "
+          f"({stats['template_entries']} templates, "
+          f"{stats['report_entries']} verdicts cached)")
+    print(f"{args.fires} fires -> {runs} container runs "
+          f"in {fire_s * 1e3:.2f} ms "
+          f"({runs / fire_s:.0f} runs/s wall)")
+    print(f"virtual clock: {device.kernel.clock.cycles} cycles "
+          f"= {board.us(device.kernel.clock.cycles):.1f} us modelled")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Femto-Containers reproduction toolkit")
@@ -208,6 +257,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_demo = sub.add_parser("demo", help="run the multi-tenant showcase")
     p_demo.set_defaults(fn=cmd_demo)
+
+    p_fan = sub.add_parser(
+        "fanout",
+        help="multi-instance fan-out: K tenants x M instances of one image")
+    p_fan.add_argument("--tenants", type=int, default=2)
+    p_fan.add_argument("--instances", type=int, default=4,
+                       help="instances per tenant")
+    p_fan.add_argument("--fires", type=int, default=100,
+                       help="hook firings to drive through the fan-out")
+    p_fan.add_argument("--board", default="cortex-m4", choices=sorted(BOARDS))
+    p_fan.add_argument("--impl", default="jit",
+                       choices=sorted(_VM_FACTORIES))
+    p_fan.set_defaults(fn=cmd_fanout)
 
     p_shell = sub.add_parser(
         "shell", help="run device-shell commands on the showcase device")

@@ -15,6 +15,7 @@ from repro.core.engine import HookFiring, HostingEngine
 from repro.core.errors import AttachError, EngineError, UnknownHookError
 from repro.core.hooks import (
     FC_HOOK_COAP,
+    FC_HOOK_FANOUT,
     FC_HOOK_NET_RX,
     FC_HOOK_SCHED,
     FC_HOOK_SENSOR_READ,
@@ -51,6 +52,7 @@ __all__ = [
     "ContainerState",
     "EngineError",
     "FC_HOOK_COAP",
+    "FC_HOOK_FANOUT",
     "FC_HOOK_NET_RX",
     "FC_HOOK_SCHED",
     "FC_HOOK_SENSOR_READ",

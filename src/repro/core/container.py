@@ -106,6 +106,17 @@ class FemtoContainer:
     def fault_count(self) -> int:
         return len(self.faults)
 
+    @property
+    def image_hash(self) -> str:
+        """Content hash of the deployed image (the shared-cache key).
+
+        Instances with equal hashes share verify results and JIT
+        templates through :data:`~repro.vm.imagecache.IMAGE_CACHE`; the
+        device shell and the fan-out tooling display it so operators can
+        see which containers are stamped from the same image.
+        """
+        return self.program.image_hash
+
     def record_run(self, run: ContainerRun) -> None:
         self.runs += 1
         self.total_cycles += run.cycles

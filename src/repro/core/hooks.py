@@ -37,6 +37,11 @@ FC_HOOK_TIMER = "fc.hook.timer"
 FC_HOOK_COAP = "fc.hook.coap"
 FC_HOOK_SENSOR_READ = "fc.hook.sensor-read"
 FC_HOOK_NET_RX = "fc.hook.net-rx"
+#: Synchronous benchmark launchpad for the multi-instance fan-out
+#: scenario (one image, K tenants x M instances on one hook).  Not part
+#: of the default firmware build — scenarios register it explicitly, the
+#: way a debug firmware would compile in an extra pad.
+FC_HOOK_FANOUT = "fc.hook.fanout"
 
 
 class HookMode(enum.Enum):

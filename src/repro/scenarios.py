@@ -13,17 +13,22 @@ device hosting three containers from two tenants —
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import struct
+from dataclasses import dataclass, field
 
 from repro.core import (
     FC_HOOK_COAP,
+    FC_HOOK_FANOUT,
     FC_HOOK_SCHED,
     FemtoContainer,
+    Hook,
+    HookMode,
     HostingEngine,
     Tenant,
 )
 from repro.net import CoapClient, CoapServer, Interface, Link, UdpStack
 from repro.rtos import Board, Kernel, nrf52840, synthetic_temperature
+from repro.vm import Program
 from repro.workloads import (
     coap_handler_program,
     sensor_program,
@@ -104,3 +109,78 @@ def build_multi_tenant_device(
         thread_counter=counter,
         cancel_sensor_timer=cancel,
     )
+
+
+@dataclass
+class FanoutDevice:
+    """The multi-instance fan-out system: one image, many instances.
+
+    This is the "N instances of one image" scenario class the shared
+    image cache exists for: K tenants each attach M instances of the
+    *same* application image to one synchronous launchpad, and every
+    fire runs all K x M containers back to back.
+    """
+
+    kernel: Kernel
+    engine: HostingEngine
+    hook_name: str
+    image: Program
+    tenants: list[Tenant] = field(default_factory=list)
+    containers: list[FemtoContainer] = field(default_factory=list)
+
+    def fire(self, fires: int = 1, next_pid: int = 1) -> int:
+        """Fire the hook ``fires`` times; returns the number of runs."""
+        engine = self.engine
+        hook_name = self.hook_name
+        context = struct.pack("<QQ", 0, next_pid)
+        total_runs = 0
+        for _ in range(fires):
+            total_runs += len(engine.fire_hook(hook_name, context).runs)
+        return total_runs
+
+    def shared_templates(self) -> int:
+        """Distinct compiled templates across all instances (JIT only)."""
+        return len({
+            id(container.vm.template)
+            for container in self.containers
+            if hasattr(container.vm, "template")
+        })
+
+
+def build_fanout_device(
+    tenants: int = 2,
+    instances_per_tenant: int = 4,
+    implementation: str = "jit",
+    board: Board | None = None,
+    program: Program | None = None,
+) -> FanoutDevice:
+    """Build K tenants x M instances of one image on one SYNC hook.
+
+    Every instance is loaded from a *fresh* :class:`Program` object
+    decoded from the image bytes — exactly what a SUIT deployment does —
+    so the scenario exercises the content-hash path of the image cache,
+    not Python object identity.
+    """
+    kernel = Kernel(board or nrf52840())
+    engine = HostingEngine(kernel, implementation=implementation)
+    engine.register_hook(Hook(FC_HOOK_FANOUT, mode=HookMode.SYNC))
+    image = program if program is not None else thread_counter_program()
+    raw = image.to_bytes()
+    device = FanoutDevice(
+        kernel=kernel, engine=engine, hook_name=FC_HOOK_FANOUT, image=image
+    )
+    for tenant_index in range(tenants):
+        tenant = engine.create_tenant(f"tenant-{tenant_index}")
+        device.tenants.append(tenant)
+        for instance_index in range(instances_per_tenant):
+            instance_image = Program.from_bytes(
+                raw, rodata=image.rodata, data=image.data,
+                name=f"{image.name}-{tenant_index}-{instance_index}",
+            )
+            container = engine.load(
+                instance_image, tenant=tenant,
+                name=f"fc-{tenant_index}-{instance_index}",
+            )
+            engine.attach(container, FC_HOOK_FANOUT)
+            device.containers.append(container)
+    return device

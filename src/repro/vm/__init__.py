@@ -30,6 +30,7 @@ from repro.vm.errors import (
     VMFault,
 )
 from repro.vm.helpers import HelperRegistry
+from repro.vm.imagecache import IMAGE_CACHE, CompiledTemplate, ImageCache
 from repro.vm.instruction import Instruction
 from repro.vm.interpreter import (
     ExecutionResult,
@@ -55,6 +56,9 @@ __all__ = [
     "ExecutionStats",
     "HelperFault",
     "HelperRegistry",
+    "IMAGE_CACHE",
+    "ImageCache",
+    "CompiledTemplate",
     "IllegalInstructionFault",
     "Instruction",
     "Interpreter",

@@ -16,10 +16,22 @@ leaves behind is exactly what cannot be hoisted:
 * the **N_b taken-branch budget**, enforced at block edges;
 * **division-by-register** zero checks and helper-call containment.
 
+Two structural optimizations ride on top of the block template:
+
+* **natural-loop folding** — a conditional branch back to its own block
+  becomes a native ``while`` (as in PR 1), and *multi-block* natural
+  loops (head-only entry, contiguous leader interval) now fold into a
+  nested dispatch loop over just their member blocks, so iterating a
+  loop never re-traverses the top-level dispatch chain;
+* **fallthrough superblocks** — when a block runs into the next leader,
+  the successor is inlined in place (bounded by ``_Codegen.INLINE_CAP``),
+  so per-kind counts keep batching across the boundary: no faultable
+  instruction intervenes there, hence no flush and no dispatch round-trip.
+
 Accounting parity is an invariant: per-kind instruction counts are
 flushed to the shared ``kind_counts`` dict *before* every faultable
-operation and at every block edge, so a faulted run carries exactly the
-same :class:`~repro.vm.interpreter.ExecutionStats` the interpreter would
+operation, so a faulted run carries exactly the same
+:class:`~repro.vm.interpreter.ExecutionStats` the interpreter would
 have produced — the per-platform cycle models (Fig. 8, Table 2/4) are
 engine-independent and never see which engine executed the program.
 
@@ -29,12 +41,20 @@ guarantees: in-range jump targets, non-zero immediate divisors, shift
 amounts in range, intact wide pairs), and installation charges a one-time
 cost (modelled per platform) traded against per-run speedup — the
 ablation benchmark ``benchmarks/test_sec11_ablations.py`` measures the
-crossover.
+crossover.  The compiled template itself is **pure**: every piece of
+per-run state (registers, access list, stats, helper trampoline, branch
+budget) is passed in as an argument, which is what lets the process-wide
+:data:`~repro.vm.imagecache.IMAGE_CACHE` share one template across all
+container instances of the same image (keyed by content hash) — attach
+re-charges the modelled install cost, but the host does the expensive
+transpile/compile work once per image, not once per instance.
 """
 
 from __future__ import annotations
 
 from repro.vm import isa
+from repro.vm.imagecache import IMAGE_CACHE, CompiledTemplate
+from repro.vm.predecode import basic_blocks, find_leaders
 from repro.vm.errors import (
     BranchLimitFault,
     DivisionFault,
@@ -50,7 +70,7 @@ from repro.vm.interpreter import (
 )
 from repro.vm.memory import AccessList
 from repro.vm.program import Program
-from repro.vm.verifier import VerifierConfig, verify
+from repro.vm.verifier import VerifierConfig
 
 _M64 = (1 << 64) - 1
 _M32 = (1 << 32) - 1
@@ -149,12 +169,29 @@ _SIGNED_CMP = {
 class _Codegen:
     """Lowers one verified, pre-decoded program to Python source."""
 
+    #: Cap on slots inlined into one dispatch arm by fallthrough-chain
+    #: extension (bounds generated-code growth; see :meth:`emit_block`).
+    INLINE_CAP = 64
+
     def __init__(self, program: Program, total_limit: int | None) -> None:
         self.decoded = program.decoded
         self.total_limit = total_limit
         self.lines: list[str] = []
         self.pending: dict[str, int] = {}
         self.indent = ""
+        self.leaders, self.back_targets = find_leaders(self.decoded)
+        self.blocks = basic_blocks(self.decoded, self.leaders)
+        self.loops = self.find_loops()
+        #: leader -> head of the folded loop it belongs to (heads included).
+        self.member_of = {
+            member: head
+            for head, members in self.loops.items()
+            for member in members
+        }
+        # Emission context: the dispatch variable and the member set of
+        # the folded loop currently being emitted (None at top level).
+        self.var = "_t"
+        self.region: frozenset[int] | None = None
 
     # -- small emission helpers -------------------------------------------
 
@@ -190,38 +227,70 @@ class _Codegen:
             self.emit(f"if _ex > {self.total_limit}: "
                       f"_total_fault({self.total_limit}, {pc})")
 
-    # -- leaders / basic blocks -------------------------------------------
+    # -- loop discovery ----------------------------------------------------
 
-    def find_leaders(self) -> list[int]:
-        """Basic-block leader pcs, hottest-first for the dispatch chain.
+    def find_loops(self) -> dict[int, frozenset[int]]:
+        """Foldable natural loops: head -> member leader set.
 
-        Backward-branch targets are loop heads — the blocks re-entered on
-        every iteration — so their dispatch arms come first; the rest stay
-        in program order.
+        A candidate is the contiguous leader interval ``[head, backedge]``
+        spanned by a backward branch.  It folds only when the head is the
+        loop's sole entry: no block outside the interval may branch or
+        fall into any member other than the head (edges *leaving* the
+        interval anywhere are fine — they lower to ``break``).  Overlapping
+        candidates resolve outermost-first; a rejected inner backward edge
+        then simply re-dispatches inside the folded outer loop.
         """
-        decoded = self.decoded
-        leaders = {0}
-        back_targets: set[int] = set()
-        pc = 0
-        n = len(decoded)
-        while pc < n:
-            d = decoded[pc]
-            step = 2 if d.opcode in isa.WIDE_OPCODES else 1
-            if (d.cls in (isa.CLS_JMP, isa.CLS_JMP32)
-                    and d.opcode not in (isa.CALL, isa.EXIT)):
-                leaders.add(d.target)
-                if d.target <= pc:
-                    back_targets.add(d.target)
-                if d.opcode != isa.JA:
-                    leaders.add(pc + 1)
-            pc += step
-        return sorted(leaders, key=lambda lpc: (lpc not in back_targets, lpc))
+        candidates = []
+        for block in self.blocks.values():
+            term = block.term
+            if block.kind != "branch" or term.target >= block.start:
+                continue  # forward edge, or a self-loop (folded per block)
+            head, end = term.target, block.tpc
+            members = frozenset(
+                leader for leader in self.leaders if head <= leader <= end
+            )
+            if len(members) >= 2:
+                candidates.append((head, end, members))
+
+        folded: dict[int, frozenset[int]] = {}
+        taken: list[tuple[int, int]] = []
+        for head, end, members in sorted(
+            candidates, key=lambda c: c[0] - c[1]  # widest interval first
+        ):
+            if any(h <= end and head <= e for h, e in taken):
+                continue  # overlaps an already-folded (wider) region
+            head_only_entry = all(
+                target == head or target not in members
+                for block in self.blocks.values()
+                if block.start not in members
+                for target in block.successors()
+            )
+            if head_only_entry:
+                folded[head] = members
+                taken.append((head, end))
+        return folded
 
     # -- whole-function generation ----------------------------------------
 
     def generate(self) -> str:
-        leaders = self.find_leaders()
-        leader_set = set(leaders)
+        # Hottest-first dispatch: backward-branch targets (loop heads)
+        # come before straight-line blocks, the rest stay in program
+        # order.  Members of folded loops are dispatched inside their
+        # loop's arm and get no top-level arm of their own.
+        covered = {
+            member
+            for head, members in self.loops.items()
+            for member in members
+            if member != head
+        }
+        arms = [
+            leader
+            for leader in sorted(
+                self.leaders,
+                key=lambda lpc: (lpc not in self.back_targets, lpc),
+            )
+            if leader not in covered
+        ]
         out = [
             "def _fc_main(_regs, _mem, _stats, _kc, _hc, _call, _blimit):",
             "    _ld = _mem.load",
@@ -233,63 +302,118 @@ class _Codegen:
             out.append("    _ex = 0")
         out.append("    _t = 0")
         out.append("    while 1:")
-        for index, leader in enumerate(leaders):
+        for index, leader in enumerate(arms):
             guard = "if" if index == 0 else "elif"
             out.append(f"        {guard} _t == {leader}:")
             self.indent = " " * 12
             self.lines = []
-            self.emit_block(leader, leader_set)
+            if leader in self.loops:
+                self.emit_region(leader)
+            else:
+                self.var, self.region = "_t", None
+                self.emit_block(leader)
             out.extend(self.lines)
         out.append("        else:")
         out.append("            _bad_target(_t)")
         return "\n".join(out) + "\n"
 
-    def emit_block(self, start: int, leader_set: set[int]) -> None:
-        decoded = self.decoded
-        n = len(decoded)
-        # Pre-scan the block extent so self-loops can be special-cased.
-        body: list[int] = []
-        terminator = None  # ("exit" | "branch" | "fall", pc, Decoded | None)
-        pc = start
-        while pc < n:
-            d = decoded[pc]
-            if d.cls in (isa.CLS_JMP, isa.CLS_JMP32) and d.opcode != isa.CALL:
-                kind = "exit" if d.opcode == isa.EXIT else "branch"
-                terminator = (kind, pc, d)
-                break
-            body.append(pc)
-            pc += 2 if d.opcode in isa.WIDE_OPCODES else 1
-            if pc in leader_set:  # fallthrough edge into the next block
-                terminator = ("fall", pc, None)
-                break
-        if terminator is None:  # pragma: no cover - verifier guarantees exit
-            terminator = ("fall", n, None)
-        kind, tpc, td = terminator
+    def goto(self, target: int, prefix: str = "") -> None:
+        """Emit a control transfer to ``target`` from the current context.
 
-        # A conditional branch back to this very block is the classic
-        # compiled-loop shape: emit it as a native Python loop so iteration
-        # costs no dispatch at all.
-        self_loop = (kind == "branch" and td.opcode != isa.JA
-                     and td.target == start)
-        if self_loop:
-            self.emit("while 1:")
-            self.push_indent()
-        for ipc in body:
-            self.emit_instruction(decoded[ipc], ipc)
-        if kind == "exit":
-            self.count("exit", tpc)
-            self.flush(tpc)
-            self.emit("return r0")
-        elif kind == "fall":
-            self.flush(tpc)
-            self.emit(f"_t = {tpc}")
-            self.emit("continue")
+        Inside a folded loop, edges to fellow members re-enter the native
+        ``while`` directly; edges leaving the loop ``break`` out with the
+        top-level dispatch variable already set.
+        """
+        if self.region is not None and target not in self.region:
+            self.emit(prefix + f"_t = {target}")
+            self.emit(prefix + "break")
         else:
-            self.emit_branch(td, tpc, self_loop=self_loop)
+            self.emit(prefix + f"{self.var} = {target}")
+            self.emit(prefix + "continue")
+
+    def emit_region(self, head: int) -> None:
+        """Fold one multi-block natural loop into a native Python loop.
+
+        The loop body becomes a nested dispatch over just its member
+        blocks (head first — it is re-entered on every iteration), so an
+        iteration never re-traverses the top-level dispatch chain however
+        long that chain is.
+        """
+        members = self.loops[head]
+        self.emit(f"_t2 = {head}")
+        self.emit("while 1:")
+        self.push_indent()
+        inner = [head] + sorted(m for m in members if m != head)
+        for index, member in enumerate(inner):
+            guard = "if" if index == 0 else "elif"
+            self.emit(f"{guard} _t2 == {member}:")
+            self.push_indent()
+            self.var, self.region = "_t2", members
+            self.emit_block(member)
+            self.pop_indent()
+        self.emit("else:")
+        self.emit("    _bad_target(_t2)")
+        self.pop_indent()
+        self.emit("continue")
+        self.var, self.region = "_t", None
+
+    def _can_inline(self, target: int, inlined: int) -> bool:
+        """May the block at ``target`` be emitted inline (superblock)?"""
+        if target not in self.blocks or inlined >= self.INLINE_CAP:
+            return False
+        if self.region is not None:
+            # Stay inside the folded loop; never inline its head (back
+            # edges need the head's dispatch arm to land on).
+            return target in self.region and target not in self.loops
+        # At top level, folded-loop members have no dispatch arm and the
+        # head must be entered through its region arm — don't duplicate.
+        return target not in self.member_of
+
+    def emit_block(self, start: int) -> None:
+        decoded = self.decoded
+        current = start
+        inlined = 0
+        while True:
+            block = self.blocks[current]
+            kind, tpc, td = block.kind, block.tpc, block.term
+
+            # A conditional branch back to this very block is the classic
+            # compiled-loop shape: emit it as a native Python loop so
+            # iteration costs no dispatch at all.
+            self_loop = (kind == "branch" and td.opcode != isa.JA
+                         and td.target == current)
             if self_loop:
-                self.pop_indent()
-                self.emit(f"_t = {tpc + 1}")
-                self.emit("continue")
+                # Counts batched from an inlined predecessor must be
+                # published before the loop, not once per iteration.
+                self.flush(current)
+                self.emit("while 1:")
+                self.push_indent()
+            for ipc in block.body:
+                self.emit_instruction(decoded[ipc], ipc)
+            if kind == "exit":
+                self.count("exit", tpc)
+                self.flush(tpc)
+                self.emit("return r0")
+                return
+            if kind == "branch":
+                self.emit_branch(td, tpc, self_loop=self_loop)
+                if self_loop:
+                    self.pop_indent()
+                    self.goto(tpc + 1)
+                return
+            # Fallthrough into another leader: extend the superblock in
+            # place when legal, so per-kind counts keep batching across
+            # the boundary (no faultable instruction intervenes there)
+            # and the edge costs neither a flush nor a dispatch
+            # round-trip.  The target keeps its own dispatch arm for its
+            # other predecessors.
+            if self._can_inline(tpc, inlined):
+                inlined += len(self.blocks[tpc].body) + 1
+                current = tpc
+                continue
+            self.flush(tpc)
+            self.goto(tpc)
+            return
 
     # -- straight-line instructions ---------------------------------------
 
@@ -470,8 +594,7 @@ class _Codegen:
         self.emit(extra + "_br += 1")
         self.emit(extra + "_stats.branches_taken = _br")
         self.emit(extra + f"if _br > _blimit: _branch_fault(_blimit, {pc})")
-        self.emit(extra + f"_t = {target}")
-        self.emit(extra + "continue")
+        self.goto(target, prefix=extra)
 
     def emit_branch(self, d, pc: int, self_loop: bool = False) -> None:
         self.count("branch", pc)
@@ -524,8 +647,22 @@ class _Codegen:
             self.emit("break")
         else:
             self.taken_edge(pc, d.target, nested=True)
-            self.emit(f"_t = {pc + 1}")
-            self.emit("continue")
+            self.goto(pc + 1)
+
+
+def _build_template(
+    program: Program, total_limit: int | None
+) -> CompiledTemplate:
+    """Transpile and compile one image's template (the cache-miss path)."""
+    source = _Codegen(program, total_limit).generate()
+    code = compile(source, f"<fc-jit:{program.name}>", "exec")
+    namespace = dict(_JIT_GLOBALS)
+    exec(code, namespace)
+    return CompiledTemplate(
+        source=source,
+        entry=namespace["_fc_main"],
+        install_instruction_count=len(program.slots),
+    )
 
 
 class CompiledProgram(Interpreter):
@@ -549,14 +686,17 @@ class CompiledProgram(Interpreter):
         super().__init__(program, helpers, config, access_list)
         # The paper mandates verification before any native translation;
         # the generated code *depends* on the verifier's guarantees.
-        self.report = verify(program, verifier_config)
-        self.jit_source = _Codegen(
-            program, self.config.total_limit
-        ).generate()
-        code = compile(self.jit_source, f"<fc-jit:{program.name}>", "exec")
-        namespace = dict(_JIT_GLOBALS)
-        exec(code, namespace)
-        self._entry = namespace["_fc_main"]
+        # Both the verdict and the compiled template are shared through
+        # the process-wide image cache: the template is pure (all per-run
+        # state arrives as arguments), so N instances of one image — on
+        # one engine or several — reuse a single compiled function while
+        # keeping registers, stack, access list and stats fully private.
+        self.report = IMAGE_CACHE.verify(program, verifier_config)
+        self.template = IMAGE_CACHE.template(
+            program, self.config.total_limit, _build_template
+        )
+        self.jit_source = self.template.source
+        self._entry = self.template.entry
 
     # -- compilation -------------------------------------------------------
 

@@ -85,6 +85,87 @@ class Decoded:
             self.wide_value = None
 
 
+def find_leaders(decoded: list[Decoded]) -> tuple[list[int], set[int]]:
+    """Basic-block leaders of a pre-decoded program.
+
+    Returns ``(leaders, back_targets)``: the sorted leader pcs and the
+    subset that is targeted by a backward branch (loop heads).  The JIT
+    uses the latter both to order its dispatch chain hottest-first and to
+    seed natural-loop detection.
+    """
+    leaders = {0}
+    back_targets: set[int] = set()
+    pc = 0
+    n = len(decoded)
+    while pc < n:
+        d = decoded[pc]
+        step = 2 if d.opcode in isa.WIDE_OPCODES else 1
+        if (d.cls in (isa.CLS_JMP, isa.CLS_JMP32)
+                and d.opcode not in (isa.CALL, isa.EXIT)):
+            leaders.add(d.target)
+            if d.target <= pc:
+                back_targets.add(d.target)
+            if d.opcode != isa.JA:
+                leaders.add(pc + 1)
+        pc += step
+    return sorted(leaders), back_targets
+
+
+class BasicBlock:
+    """One straight-line block of a pre-decoded program.
+
+    ``kind`` describes the terminator: ``"exit"`` (program return),
+    ``"branch"`` (conditional or unconditional jump at pc ``tpc``, with
+    ``term`` holding its :class:`Decoded` record), or ``"fall"`` (the
+    block runs into the leader at pc ``tpc``; ``term`` is ``None``).
+    """
+
+    __slots__ = ("start", "body", "kind", "tpc", "term")
+
+    def __init__(self, start: int, body: list[int], kind: str, tpc: int,
+                 term: Decoded | None) -> None:
+        self.start = start
+        self.body = body
+        self.kind = kind
+        self.tpc = tpc
+        self.term = term
+
+    def successors(self) -> tuple[int, ...]:
+        """Control-flow successor pcs (empty for ``exit`` blocks)."""
+        if self.kind == "exit":
+            return ()
+        if self.kind == "fall":
+            return (self.tpc,)
+        if self.term.opcode == isa.JA:
+            return (self.term.target,)
+        return (self.term.target, self.tpc + 1)
+
+
+def basic_blocks(decoded: list[Decoded],
+                 leaders: list[int]) -> dict[int, BasicBlock]:
+    """Partition ``decoded`` into :class:`BasicBlock` records by leader."""
+    leader_set = set(leaders)
+    n = len(decoded)
+    blocks: dict[int, BasicBlock] = {}
+    for start in leaders:
+        body: list[int] = []
+        kind, tpc, term = "fall", n, None
+        pc = start
+        while pc < n:
+            d = decoded[pc]
+            if d.cls in (isa.CLS_JMP, isa.CLS_JMP32) and d.opcode != isa.CALL:
+                kind = "exit" if d.opcode == isa.EXIT else "branch"
+                tpc, term = pc, d
+                break
+            body.append(pc)
+            pc += 2 if d.opcode in isa.WIDE_OPCODES else 1
+            if pc in leader_set:  # fallthrough edge into the next block
+                kind, tpc, term = "fall", pc, None
+                break
+        blocks[start] = BasicBlock(start, body, kind, tpc, term)
+    return blocks
+
+
 def predecode(slots: list[Instruction]) -> list[Decoded]:
     """Flatten ``slots`` into one :class:`Decoded` record per slot.
 

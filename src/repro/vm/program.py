@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from dataclasses import dataclass, field
 
 from repro.vm import isa
 from repro.vm.errors import EncodingError
 from repro.vm.instruction import SLOT_SIZE, Instruction, decode_program, encode_program
-from repro.vm.predecode import Decoded, predecode
+from repro.vm.predecode import Decoded
 
 
 @dataclass
@@ -42,19 +44,56 @@ class Program:
         return encode_program(self.slots)
 
     @property
-    def decoded(self) -> list[Decoded]:
-        """Pre-decoded slot table, computed once and cached.
+    def image_hash(self) -> str:
+        """Stable content hash of the image (text + data sections).
 
-        The cache is invalidated when the ``slots`` list is replaced or
-        resized; in-place mutation of individual slots after the first
-        execution is not supported (images are immutable once installed,
-        mirroring the on-device flash layout).
+        Two :class:`Program` objects decoded from the same SUIT payload
+        hash identically, which is what lets the process-wide
+        :data:`~repro.vm.imagecache.IMAGE_CACHE` share verify results,
+        pre-decoded slot tables and JIT templates across container
+        instances.  The name is deliberately excluded — the image is
+        content-addressed, like the flash slot it models.
+
+        Cached per object, invalidated when ``slots`` is replaced or
+        resized or when either data section is reassigned (the same
+        immutability convention as :attr:`decoded`).
+        """
+        slots, rodata, data = self.slots, self.rodata, self.data
+        cache = getattr(self, "_hash_cache", None)
+        if (cache is not None and cache[0] is slots
+                and cache[1] == len(slots)
+                and cache[2] is rodata and cache[3] is data):
+            return cache[4]
+        digest = hashlib.sha256()
+        digest.update(self.to_bytes())
+        # Length-prefix the data sections so (rodata, data) boundaries
+        # cannot alias between images with identical concatenations.
+        digest.update(struct.pack("<II", len(rodata), len(data)))
+        digest.update(rodata)
+        digest.update(data)
+        value = digest.hexdigest()
+        self._hash_cache = (slots, len(slots), rodata, data, value)
+        return value
+
+    @property
+    def decoded(self) -> list[Decoded]:
+        """Pre-decoded slot table, computed once per image *content*.
+
+        The per-object cache is invalidated when the ``slots`` list is
+        replaced or resized; in-place mutation of individual slots after
+        the first execution is not supported (images are immutable once
+        installed, mirroring the on-device flash layout).  On a per-object
+        miss the shared :data:`~repro.vm.imagecache.IMAGE_CACHE` is
+        consulted, so N instances deserialized from the same image bytes
+        pre-decode exactly once.
         """
         slots = self.slots
         cache = getattr(self, "_decoded_cache", None)
         if cache is not None and cache[0] is slots and cache[1] == len(slots):
             return cache[2]
-        decoded = predecode(slots)
+        from repro.vm.imagecache import IMAGE_CACHE
+
+        decoded = IMAGE_CACHE.decoded(self)
         self._decoded_cache = (slots, len(slots), decoded)
         return decoded
 

@@ -31,7 +31,13 @@ from repro.vm.program import Program
 
 @dataclass(frozen=True)
 class VerifierConfig:
-    """Limits and grants applied during pre-flight checking."""
+    """Limits and grants applied during pre-flight checking.
+
+    Instances are hashable and key the process-wide image cache (a
+    verification verdict is only shareable between attaches that ran
+    under the *same* limits and helper grants), so ``allowed_helpers``
+    is coerced to a frozenset even when a caller passes a mutable set.
+    """
 
     #: N_i — maximum number of instruction slots in a program.
     max_instructions: int = 4096
@@ -41,6 +47,14 @@ class VerifierConfig:
     #: When False, the rBPF data-section extension opcodes are rejected
     #: (models the original single-VM rBPF from the PEMWN'20 paper).
     allow_data_extensions: bool = True
+
+    def __post_init__(self) -> None:
+        if self.allowed_helpers is not None and not isinstance(
+            self.allowed_helpers, frozenset
+        ):
+            object.__setattr__(
+                self, "allowed_helpers", frozenset(self.allowed_helpers)
+            )
 
 
 @dataclass

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
-from repro.core import FC_HOOK_TIMER, ContainerState
+import pytest
+
+from repro.core import FC_HOOK_TIMER, ContainerState, HostingEngine
 from repro.rtos import ThreadState
-from repro.vm import assemble
+from repro.vm import Program, assemble
+from repro.vm.imagecache import IMAGE_CACHE
 
 
 class TestWorkerLifecycle:
@@ -59,3 +62,71 @@ class TestWorkerLifecycle:
             kernel.run_until_idle()
         alive = [t for t in kernel.threads.values() if t.alive]
         assert not alive
+
+
+class TestThreadModeHotReplace:
+    """`engine.replace` of THREAD-mode containers under the image cache."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        IMAGE_CACHE.clear()
+        yield
+        IMAGE_CACHE.clear()
+
+    @pytest.fixture
+    def jit_engine(self, kernel):
+        return HostingEngine(kernel, implementation="jit")
+
+    def test_replace_shares_cached_template_and_kills_worker(self, jit_engine,
+                                                             kernel):
+        raw = assemble("mov r0, 1\n    exit").to_bytes()
+        old = jit_engine.load(Program.from_bytes(raw), name="v1")
+        jit_engine.attach(old, FC_HOOK_TIMER)
+        old_worker, old_queue = old.worker, old.event_queue
+        kernel.run(max_steps=5)  # let the worker block on its queue
+
+        new = jit_engine.replace(old, Program.from_bytes(raw))
+        kernel.run_until_idle()
+
+        # The old worker exited; the replacement got a fresh thread+queue.
+        assert old_worker.state is ThreadState.ENDED
+        assert old.state is ContainerState.DETACHED
+        assert new.worker is not old_worker
+        assert new.event_queue is not old_queue
+        # No zombie queue: nothing is left blocked on the old queue and
+        # exactly one fc worker thread remains alive.
+        assert not old_queue._waiters and not old_queue._events
+        alive = [t for t in kernel.threads.values()
+                 if t.alive and t.name.startswith("fc/")]
+        assert len(alive) == 1
+        # Same image bytes -> the new instance reuses the cached template.
+        assert new.vm._entry is old.vm._entry
+        assert new.vm is not old.vm  # but the VM state is private
+
+        # The replacement still executes events end to end.
+        results = []
+        jit_engine.fire_hook(FC_HOOK_TIMER, b"\x00" * 8,
+                             done=lambda run: results.append(run.value))
+        kernel.run_until_idle()
+        assert results == [1]
+
+    def test_replace_resets_fault_counters(self, jit_engine, kernel):
+        crasher = assemble(
+            "lddw r1, 0xbad0000\n    ldxdw r0, [r1]\n    exit"
+        ).to_bytes()
+        old = jit_engine.load(Program.from_bytes(crasher), name="crashy")
+        jit_engine.attach(old, FC_HOOK_TIMER)
+        kernel.run(max_steps=5)
+        for _ in range(3):
+            run = jit_engine.execute(old)
+            assert not run.ok
+        assert old.fault_count == 3
+
+        new = jit_engine.replace(old, Program.from_bytes(crasher))
+        kernel.run_until_idle()
+        # Fresh instance: fault history starts at zero even though the
+        # (still-faulty) image came straight from the cache.
+        assert new.fault_count == 0
+        assert new.runs == 0
+        assert new.vm._entry is old.vm._entry
+        assert old.fault_count == 3  # history stays with the old instance

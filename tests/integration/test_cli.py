@@ -94,6 +94,21 @@ class TestCli:
         assert code == 0
         assert "sensor average over CoAP" in text
 
+    def test_fanout_scenario(self):
+        code, text = run_cli("fanout", "--tenants", "2", "--instances", "3",
+                             "--fires", "10")
+        assert code == 0
+        assert "attached 6 instances (2 tenants x 3)" in text
+        assert "compiled templates shared: 1 (for 6 instances)" in text
+        assert "-> 60 container runs" in text
+
+    def test_fanout_interpreter_impl(self):
+        code, text = run_cli("fanout", "--tenants", "1", "--instances", "2",
+                             "--fires", "1", "--impl", "femto-containers")
+        assert code == 0
+        assert "attached 2 instances" in text
+        assert "image cache:" in text
+
     def test_compile_and_run_femtoc(self, tmp_path):
         source = tmp_path / "app.fc"
         source.write_text("var a = 6;\nreturn a * 7;\n")

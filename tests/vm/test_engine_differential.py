@@ -170,6 +170,38 @@ class TestHostedWorkloads:
         for implementation, observed in outcomes.items():
             assert observed == reference, implementation
 
+    def test_shared_template_instances_differential(self):
+        """Two JIT instances stamped from one cached template must stay
+        bit-identical to each other *and* to the interpreter build —
+        per-instance state (registers, stack, access list, stats) is
+        fully separated from the shared immutable template."""
+        from repro.vm import Program
+
+        raw = thread_counter_program().to_bytes()
+        contexts = [struct.pack("<QQ", 0, pid) for pid in (3, 3, 5, 0, 3)]
+
+        def engine_outcomes(implementation, instances):
+            engine = _engine(implementation)
+            containers = [
+                engine.load(Program.from_bytes(raw), name=f"i{index}")
+                for index in range(instances)
+            ]
+            for container in containers:
+                engine.attach(container, FC_HOOK_SCHED)
+            runs = [
+                [_run_outcome(engine.execute(c, ctx), c) for ctx in contexts]
+                for c in containers
+            ]
+            return engine, containers, runs
+
+        engine, containers, jit_runs = engine_outcomes("jit", 2)
+        assert containers[0].vm._entry is containers[1].vm._entry
+        # Both instances of the shared template behave identically...
+        assert jit_runs[0] == jit_runs[1]
+        # ...and identically to a cold interpreter engine.
+        _, _, interp_runs = engine_outcomes("femto-containers", 1)
+        assert jit_runs[0] == interp_runs[0]
+
     def test_coap_handler_differential(self):
         outcomes = {}
         for implementation in IMPLEMENTATIONS:
