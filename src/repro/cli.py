@@ -12,7 +12,14 @@ Small developer tools around the library:
 * ``fanout``                    — multi-instance fan-out: K tenants x M
                                   instances of one image on one hook,
                                   reporting attach times and image-cache
-                                  hit rates.
+                                  hit rates;
+* ``deploy SPEC``               — declarative deployment: plan+apply a
+                                  spec (JSON file or builtin name) onto a
+                                  fresh device, then re-plan to show
+                                  convergence;
+* ``fleet``                     — apply one spec across N simulated
+                                  devices, reporting the warm-rollout
+                                  speedup from the shared image cache.
 """
 
 from __future__ import annotations
@@ -219,6 +226,98 @@ def cmd_fanout(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_spec(argument: str):
+    """A deployment spec: a JSON file path or a builtin spec name."""
+    import json
+
+    from repro.deploy import BUILTIN_SPECS, DeploymentSpec, builtin_spec
+
+    path = Path(argument)
+    if path.exists():
+        return DeploymentSpec.from_json(json.loads(path.read_text()))
+    if argument in BUILTIN_SPECS:
+        return builtin_spec(argument)
+    raise FileNotFoundError(
+        f"{argument!r} is neither a spec file nor a builtin spec "
+        f"(builtins: {', '.join(sorted(BUILTIN_SPECS))})"
+    )
+
+
+def cmd_deploy(args: argparse.Namespace) -> int:
+    """Converge a fresh device onto a declarative deployment spec."""
+    from repro.core import HostingEngine
+    from repro.deploy import apply, plan
+    from repro.rtos import Kernel
+
+    try:
+        spec = _resolve_spec(args.spec)
+    except Exception as error:
+        print(f"deploy error: {error}")
+        return 1
+    board = board_by_name(args.board)
+    engine = HostingEngine(Kernel(board), implementation=args.impl)
+
+    try:
+        deployment = plan(engine, spec)
+        print(f"spec {spec.name!r} -> {len(deployment.actions)} actions "
+              f"on {board.name} [{args.impl}]:")
+        print(deployment.describe())
+        result = apply(engine, deployment)
+    except Exception as error:
+        print(f"deploy error: {error}")
+        return 1
+    print(f"applied: {len(result.attached)} containers attached, "
+          f"{len(result.tenants_created)} tenants created, "
+          f"{result.cycles_charged} cycles charged "
+          f"({board.us(result.cycles_charged):.1f} us modelled)")
+    replan = plan(engine, spec)
+    print(f"re-plan: {len(replan.actions)} actions "
+          f"({'converged' if replan.empty else 'NOT converged'})")
+    return 0 if replan.empty else 1
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Roll one spec out across N devices; report the cache-warm speedup."""
+    from repro.deploy import Fleet, fanout_spec
+    from repro.vm.imagecache import IMAGE_CACHE
+
+    IMAGE_CACHE.clear()  # measure from a cold cache, deterministically
+    try:
+        boards = [board_by_name(args.board) for _ in range(args.devices)]
+        fleet = Fleet(boards, implementation=args.impl)
+        spec = fanout_spec(tenants=args.tenants,
+                           instances_per_tenant=args.instances)
+        rollout = fleet.apply(spec)
+    except Exception as error:
+        print(f"fleet error: {error}")
+        return 1
+
+    image = next(iter(spec.images.values()))
+    print(f"spec {spec.name!r}: {args.tenants} tenants x {args.instances} "
+          f"instances of {image.image_hash[:12]}... per device")
+    print(f"{'device':8} {'board':14} {'actions':>7} {'wall ms':>8} "
+          f"{'cycles':>8} {'cache':>12}")
+    for device_rollout in rollout.devices:
+        print(f"{device_rollout.device.name:8} "
+              f"{device_rollout.device.board.name:14} "
+              f"{device_rollout.actions:>7} "
+              f"{device_rollout.wall_s * 1e3:>8.2f} "
+              f"{device_rollout.cycles_charged:>8} "
+              f"{device_rollout.cache_hits:>4} hits/"
+              f"{device_rollout.cache_misses} miss")
+    speedups = rollout.speedups()
+    if speedups:
+        print(f"warm-rollout speedup over dev0: "
+              + ", ".join(f"{s:.1f}x" for s in speedups))
+    cycles = rollout.cycles_per_device()
+    print(f"modelled cycles identical across devices: "
+          f"{len(set(cycles)) == 1}")
+    print(f"fleet cache hit rate: {rollout.cache_hit_rate() * 100:.0f}%  "
+          f"fleet RAM: {fleet.total_ram_bytes()} B "
+          f"({len(fleet.containers())} containers on {len(fleet)} devices)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Femto-Containers reproduction toolkit")
@@ -270,6 +369,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_fan.add_argument("--impl", default="jit",
                        choices=sorted(_VM_FACTORIES))
     p_fan.set_defaults(fn=cmd_fanout)
+
+    p_deploy = sub.add_parser(
+        "deploy",
+        help="plan+apply a declarative deployment spec on a fresh device")
+    p_deploy.add_argument("spec",
+                          help="spec JSON file or builtin name "
+                               "(multi-tenant, fanout)")
+    p_deploy.add_argument("--board", default="cortex-m4",
+                          choices=sorted(BOARDS))
+    p_deploy.add_argument("--impl", default="femto-containers",
+                          choices=sorted(_VM_FACTORIES))
+    p_deploy.set_defaults(fn=cmd_deploy)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="apply one spec across N devices through the shared cache")
+    p_fleet.add_argument("--devices", type=int, default=4)
+    p_fleet.add_argument("--tenants", type=int, default=2)
+    p_fleet.add_argument("--instances", type=int, default=4,
+                         help="instances per tenant")
+    p_fleet.add_argument("--board", default="cortex-m4",
+                         choices=sorted(BOARDS))
+    p_fleet.add_argument("--impl", default="jit",
+                         choices=sorted(_VM_FACTORIES))
+    p_fleet.set_defaults(fn=cmd_fleet)
 
     p_shell = sub.add_parser(
         "shell", help="run device-shell commands on the showcase device")

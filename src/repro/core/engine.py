@@ -275,14 +275,21 @@ class HostingEngine:
             container.event_queue.post_new("detach")  # type: ignore[attr-defined]
 
     def replace(self, old: FemtoContainer, new_program: Program) -> FemtoContainer:
-        """Hot-swap a container's application (the SUIT update effect)."""
+        """Hot-swap a container's application (the SUIT update effect).
+
+        The replacement keeps the old container's *name*: the deployed
+        slot is the stable identity operators (and the declarative
+        deployment reconciler) track across updates — only the image
+        content changes.
+        """
         if old.hook is None:
             raise AttachError("cannot replace a detached container")
         hook_name = old.hook.name
         tenant = old.tenant
         contract = old.contract
         self.detach(old)
-        fresh = self.load(new_program, tenant=tenant, contract=contract)
+        fresh = self.load(new_program, tenant=tenant, contract=contract,
+                          name=old.name)
         return self.attach(fresh, hook_name)
 
     def _spawn_worker(self, container: FemtoContainer) -> None:

@@ -1,0 +1,73 @@
+"""Declarative deployment: spec → plan → apply, from one device to a fleet.
+
+This package is the management plane on top of the hosting engine's
+imperative ``create_tenant``/``load``/``attach`` primitives:
+
+* :mod:`repro.deploy.spec` — :class:`DeploymentSpec` describes desired
+  state (tenants, content-addressed images, per-hook attachments with
+  contracts and instance counts), JSON round-trippable;
+* :mod:`repro.deploy.plan` — :func:`plan` diffs a spec against a live
+  engine into a minimal ordered action list; :func:`apply` executes it
+  transactionally (rollback on :class:`~repro.core.errors.AttachError`),
+  hot-swapping edited images by content hash through ``engine.replace``;
+* :mod:`repro.deploy.fleet` — :class:`Fleet` stamps one spec onto N
+  simulated devices, sharing the process-wide image cache across boards
+  with per-device clock/wall/cache accounting.
+
+Applying an unchanged spec twice plans zero actions; editing one image
+plans exactly one replace.  See the module docstrings for the full
+reconcile model.
+"""
+
+from repro.deploy.fleet import DeviceRollout, Fleet, FleetDevice, FleetRollout
+from repro.deploy.plan import (
+    Action,
+    ApplyResult,
+    CreateTenant,
+    DeploymentPlan,
+    Detach,
+    Install,
+    RegisterHook,
+    Replace,
+    apply,
+    apply_spec,
+    plan,
+)
+from repro.deploy.spec import (
+    BUILTIN_SPECS,
+    AttachmentSpec,
+    DeploymentSpec,
+    HookSpec,
+    ImageSpec,
+    SpecError,
+    builtin_spec,
+    fanout_spec,
+    multi_tenant_spec,
+)
+
+__all__ = [
+    "Action",
+    "ApplyResult",
+    "AttachmentSpec",
+    "BUILTIN_SPECS",
+    "CreateTenant",
+    "DeploymentPlan",
+    "DeploymentSpec",
+    "Detach",
+    "DeviceRollout",
+    "Fleet",
+    "FleetDevice",
+    "FleetRollout",
+    "HookSpec",
+    "ImageSpec",
+    "Install",
+    "RegisterHook",
+    "Replace",
+    "SpecError",
+    "apply",
+    "apply_spec",
+    "builtin_spec",
+    "fanout_spec",
+    "multi_tenant_spec",
+    "plan",
+]

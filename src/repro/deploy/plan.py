@@ -1,0 +1,351 @@
+"""Reconciliation: diff a :class:`DeploymentSpec` against a live engine.
+
+:func:`plan` computes the minimal ordered action list that converges one
+:class:`~repro.core.engine.HostingEngine` onto a spec's desired state;
+:func:`apply` executes it transactionally.  The reconcile model:
+
+* **Idempotent** — planning a spec against a device it already describes
+  yields an empty plan; ``apply`` on an empty plan is a no-op.
+* **Minimal** — a live container whose ``image_hash`` equals the spec
+  image's hash is left untouched.  Editing one image in the spec plans
+  exactly one :class:`Replace`, which hot-swaps through
+  :meth:`~repro.core.engine.HostingEngine.replace` (the SUIT update
+  effect: same container name, same hook, new content hash).  Hashes are
+  compared, never Python object identity — a spec rebuilt from JSON or
+  from an equal program converges to zero actions.
+* **Scoped ownership** — the spec owns exactly the containers of the
+  tenants it declares, plus untenanted containers on hooks it declares
+  or attaches to.  Owned containers absent from the spec are detached;
+  anything outside that scope (other tenants, other hooks) is never
+  touched, so several specs — or a spec plus manual operator attaches —
+  can coexist on one device.
+* **Transactional** — ``apply`` keeps an undo log; if an action raises
+  :class:`~repro.core.errors.AttachError` (contract rejected, image
+  fails verification, ...), every action already executed is reverted in
+  reverse order and the error re-raised, leaving the device in its
+  pre-apply state.
+
+The virtual clock is charged exactly as by hand-written attach sequences:
+``apply`` adds no modelled cost of its own, so a device built through a
+spec is cycle-identical to the same device built imperatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Union
+from weakref import WeakKeyDictionary
+
+from repro.core.errors import AttachError
+from repro.core.hooks import Hook, HookMode
+from repro.core.policy import ContainerContract
+from repro.deploy.spec import DeploymentSpec, ImageSpec, SpecError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.container import FemtoContainer
+    from repro.core.engine import HostingEngine
+
+
+# -- actions ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CreateTenant:
+    tenant: str
+
+    def describe(self) -> str:
+        return f"create-tenant {self.tenant}"
+
+
+@dataclass(frozen=True)
+class RegisterHook:
+    hook: str
+    mode: HookMode
+
+    def describe(self) -> str:
+        return f"register-hook  {self.hook} ({self.mode.value})"
+
+
+@dataclass(frozen=True)
+class Install:
+    name: str
+    hook: str
+    tenant: str | None
+    image: ImageSpec
+    contract: ContainerContract
+    period_us: float | None = None
+
+    def describe(self) -> str:
+        period = (f" every {self.period_us:.0f} us"
+                  if self.period_us is not None else "")
+        return (f"install        {self.name} <- "
+                f"{self.image.image_hash[:12]} on {self.hook}{period}")
+
+
+@dataclass(frozen=True)
+class Replace:
+    name: str
+    hook: str
+    image: ImageSpec
+
+    def describe(self) -> str:
+        return (f"replace        {self.name} <- "
+                f"{self.image.image_hash[:12]} on {self.hook}")
+
+
+@dataclass(frozen=True)
+class Detach:
+    name: str
+    hook: str
+
+    def describe(self) -> str:
+        return f"detach         {self.name} from {self.hook}"
+
+
+Action = Union[CreateTenant, RegisterHook, Install, Replace, Detach]
+
+
+@dataclass
+class DeploymentPlan:
+    """The ordered action list converging one engine onto one spec."""
+
+    spec: DeploymentSpec
+    actions: list[Action]
+
+    @property
+    def empty(self) -> bool:
+        return not self.actions
+
+    def describe(self) -> str:
+        if self.empty:
+            return "(converged — no actions)"
+        return "\n".join(action.describe() for action in self.actions)
+
+
+# -- planning -----------------------------------------------------------------
+
+
+def _live_tenant(container: "FemtoContainer") -> str | None:
+    return container.tenant.name if container.tenant is not None else None
+
+
+def plan(engine: "HostingEngine", spec: DeploymentSpec) -> DeploymentPlan:
+    """Diff ``spec`` against ``engine`` into an ordered action list."""
+    spec.validate()
+    actions: list[Action] = []
+
+    for tenant in spec.tenants:
+        if tenant not in engine.tenants:
+            actions.append(CreateTenant(tenant))
+
+    declared_hooks = {hook.name for hook in spec.hooks}
+    for hook_spec in spec.hooks:
+        live = engine.hooks.get(hook_spec.name)
+        if live is None:
+            actions.append(RegisterHook(hook_spec.name, hook_spec.mode))
+        elif live.mode is not hook_spec.mode:
+            raise SpecError(
+                f"hook {hook_spec.name!r} is compiled as {live.mode.value} "
+                f"but the spec wants {hook_spec.mode.value} — hook modes "
+                f"are fixed in firmware and cannot be reconciled"
+            )
+    for attachment in spec.attachments:
+        if attachment.hook not in engine.hooks \
+                and attachment.hook not in declared_hooks:
+            raise SpecError(
+                f"attachment targets hook {attachment.hook!r}, which is "
+                f"neither compiled into this firmware nor declared in the "
+                f"spec's hooks"
+            )
+
+    # The containers this spec owns (see the module docstring's scope rule).
+    spec_hooks = declared_hooks | {a.hook for a in spec.attachments}
+    owned: dict[tuple[str, str], "FemtoContainer"] = {}
+    for hook in engine.hooks.values():
+        for container in hook.containers:
+            tenant_name = _live_tenant(container)
+            managed = (tenant_name in spec.tenants
+                       if tenant_name is not None
+                       else hook.name in spec_hooks)
+            if managed:
+                owned[(hook.name, container.name)] = container
+
+    for instance in spec.desired_instances():
+        key = (instance.hook, instance.name)
+        container = owned.pop(key, None)
+        if container is None:
+            actions.append(Install(
+                name=instance.name, hook=instance.hook,
+                tenant=instance.tenant, image=instance.image,
+                contract=instance.contract, period_us=instance.period_us,
+            ))
+        elif (_live_tenant(container) != instance.tenant
+              or container.contract != instance.contract):
+            # Tenancy or contract drift cannot hot-swap: re-install.
+            actions.append(Detach(instance.name, instance.hook))
+            actions.append(Install(
+                name=instance.name, hook=instance.hook,
+                tenant=instance.tenant, image=instance.image,
+                contract=instance.contract, period_us=instance.period_us,
+            ))
+        elif container.image_hash != instance.image.image_hash:
+            actions.append(Replace(instance.name, instance.hook,
+                                   instance.image))
+        # else: converged — the slot already holds this exact image.
+
+    for hook_name, name in sorted(owned):
+        actions.append(Detach(name, hook_name))
+
+    return DeploymentPlan(spec=spec, actions=actions)
+
+
+# -- applying -----------------------------------------------------------------
+
+
+@dataclass
+class ApplyResult:
+    """What one transactional apply did to the device."""
+
+    plan: DeploymentPlan
+    #: (hook, name) -> container installed or replaced by this apply,
+    #: in action order.
+    containers: dict[tuple[str, str], "FemtoContainer"] = field(
+        default_factory=dict)
+    #: Cancel functions for periodic firings armed by this apply.
+    timers: dict[tuple[str, str], Callable[[], None]] = field(
+        default_factory=dict)
+    tenants_created: list[str] = field(default_factory=list)
+    detached: list[tuple[str, str]] = field(default_factory=list)
+    #: Virtual cycles the whole apply charged (verify + install costs).
+    cycles_charged: int = 0
+
+    @property
+    def attached(self) -> list["FemtoContainer"]:
+        """Containers this apply put on hooks, in action order."""
+        return list(self.containers.values())
+
+
+def _find_container(engine: "HostingEngine", hook_name: str,
+                    name: str) -> "FemtoContainer":
+    for container in engine.hooks[hook_name].containers:
+        if container.name == name:
+            return container
+    raise AttachError(
+        f"plan is stale: no container {name!r} on hook {hook_name!r}"
+    )
+
+
+#: Periodic firings armed by past applies, per engine, keyed like plan
+#: actions by (hook, name).  Lets a later apply's Detach cancel the
+#: cadence its slot's Install armed (the spec owns the timer exactly as
+#: long as it owns the container).
+_ARMED_TIMERS: "WeakKeyDictionary[object, dict[tuple[str, str], Callable[[], None]]]" \
+    = WeakKeyDictionary()
+
+
+def apply(engine: "HostingEngine", deployment: DeploymentPlan) -> ApplyResult:
+    """Execute a plan transactionally (rollback on any failure).
+
+    Actions run in plan order; each pushes an inverse onto an undo log.
+    A failing action — an :class:`AttachError`, a plan gone stale
+    between plan() and apply(), even a malformed image that only
+    explodes at decode time — reverts everything already done, in
+    reverse order, and re-raises, so a rejected spec never leaves a
+    half-deployed device.  Rollback re-attaches through the normal
+    verify path, so it charges the virtual clock like any install (a
+    real device would pay it too).
+
+    Detaching a slot also cancels the periodic firing its install armed;
+    the cancellation is deferred until the whole plan succeeded, so
+    rollback never has to re-arm a timer.  (Changing *only* ``period_us``
+    on an otherwise-converged slot is not detected by ``plan`` — re-arm
+    by detaching the slot in one spec revision and re-adding it in the
+    next, or cancel via the install's returned handle.)
+    """
+    result = ApplyResult(plan=deployment)
+    armed = _ARMED_TIMERS.setdefault(engine, {})
+    undo: list[Callable[[], None]] = []
+    deferred_cancels: list[Callable[[], None]] = []
+    clock = engine.kernel.clock
+    cycles_before = clock.cycles
+    try:
+        for action in deployment.actions:
+            if isinstance(action, CreateTenant):
+                engine.create_tenant(action.tenant)
+                result.tenants_created.append(action.tenant)
+                undo.append(lambda name=action.tenant:
+                            engine.tenants.pop(name, None))
+            elif isinstance(action, RegisterHook):
+                hook = engine.register_hook(Hook(action.hook,
+                                                 mode=action.mode))
+
+                def _unregister(h: Hook = hook) -> None:
+                    engine.hooks.pop(h.name, None)
+                    engine.hooks_by_uuid.pop(str(h.uuid), None)
+
+                undo.append(_unregister)
+            elif isinstance(action, Install):
+                tenant = (engine.tenants[action.tenant]
+                          if action.tenant is not None else None)
+                container = engine.load(
+                    action.image.instantiate(action.name),
+                    tenant=tenant, contract=action.contract,
+                    name=action.name,
+                )
+                engine.attach(container, action.hook)
+                undo.append(lambda c=container: engine.detach(c))
+                key = (action.hook, action.name)
+                result.containers[key] = container
+                if action.period_us is not None:
+                    # attach_periodic sees the container already attached
+                    # and only arms the firing (the §8.3 sensor pattern).
+                    cancel = engine.attach_periodic(
+                        container, action.period_us, action.hook)
+                    result.timers[key] = cancel
+                    armed[key] = cancel
+
+                    def _disarm(k=key, c=cancel) -> None:
+                        c()
+                        if armed.get(k) is c:
+                            del armed[k]
+
+                    undo.append(_disarm)
+            elif isinstance(action, Replace):
+                old = _find_container(engine, action.hook, action.name)
+                old_program = old.program
+                fresh = engine.replace(
+                    old, action.image.instantiate(action.name))
+                undo.append(lambda c=fresh, p=old_program:
+                            engine.replace(c, p))
+                result.containers[(action.hook, action.name)] = fresh
+            elif isinstance(action, Detach):
+                container = _find_container(engine, action.hook, action.name)
+                engine.detach(container)
+                undo.append(lambda c=container, h=action.hook:
+                            engine.attach(c, h))
+                result.detached.append((action.hook, action.name))
+                # Pop the slot's armed cadence *now* (a later Install in
+                # this same plan may re-arm the same key) but cancel it
+                # only once the whole plan succeeded; rollback re-attaches
+                # the container, so it restores the registry entry.
+                cancel = armed.pop((action.hook, action.name), None)
+                if cancel is not None:
+                    deferred_cancels.append(cancel)
+                    undo.append(
+                        lambda k=(action.hook, action.name), c=cancel:
+                        armed.__setitem__(k, c))
+            else:  # pragma: no cover - exhaustiveness guard
+                raise TypeError(f"unknown plan action {action!r}")
+    except Exception:
+        for revert in reversed(undo):
+            revert()
+        raise
+    for cancel in deferred_cancels:
+        cancel()
+    result.cycles_charged = clock.cycles - cycles_before
+    return result
+
+
+def apply_spec(engine: "HostingEngine", spec: DeploymentSpec) -> ApplyResult:
+    """Convenience: ``apply(engine, plan(engine, spec))``."""
+    return apply(engine, plan(engine, spec))

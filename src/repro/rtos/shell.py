@@ -12,7 +12,7 @@ Commands::
     ps                        thread table (pid, name, prio, state, runs)
     uptime                    virtual clock
     hooks                     launchpads and their containers
-    fc list                   containers with accounting
+    fc list                   containers with image hash and accounting
     fc detach <name>          remove a container from its hook
     fc faults <name>          show a container's contained faults
     kv global [key]           dump / read the global store
@@ -92,13 +92,17 @@ class DeviceShell:
 
     def _cmd_fc(self, args: list[str]) -> str:
         if not args or args[0] == "list":
+            # The image column shows the content-hash prefix: instances
+            # stamped from one image share it (and, through the image
+            # cache, share one verify report and one JIT template).
             lines = [f"{'name':20} {'tenant':10} {'hook':24} "
-                     f"{'runs':>6} {'faults':>6} {'ram B':>6}"]
+                     f"{'image':12} {'runs':>6} {'faults':>6} {'ram B':>6}"]
             for container in self.engine.containers():
                 tenant = container.tenant.name if container.tenant else "-"
                 hook = container.hook.name if container.hook else "-"
                 lines.append(
                     f"{container.name:20} {tenant:10} {hook:24} "
+                    f"{container.image_hash[:12]} "
                     f"{container.runs:>6} {container.fault_count:>6} "
                     f"{container.ram_bytes:>6}"
                 )

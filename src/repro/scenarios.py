@@ -1,6 +1,13 @@
 """Pre-wired end-to-end scenarios from the paper, reused by examples,
 integration tests and benchmarks.
 
+Since PR 3 both scenarios are thin wrappers over the declarative
+deployment API (:mod:`repro.deploy`): each builds a
+:class:`~repro.deploy.DeploymentSpec` and converges the device through
+``plan``/``apply``, then wires the non-deployable plumbing (network
+endpoints, SAUL devices) around the result.  The produced systems are
+cycle-identical to the historical hand-wired attach sequences.
+
 :func:`build_multi_tenant_device` constructs the §8.3 / Fig 5 system: one
 device hosting three containers from two tenants —
 
@@ -20,20 +27,16 @@ from repro.core import (
     FC_HOOK_COAP,
     FC_HOOK_FANOUT,
     FC_HOOK_SCHED,
+    FC_HOOK_TIMER,
     FemtoContainer,
-    Hook,
-    HookMode,
     HostingEngine,
     Tenant,
 )
+from repro.deploy import apply_spec, fanout_spec, multi_tenant_spec
 from repro.net import CoapClient, CoapServer, Interface, Link, UdpStack
 from repro.rtos import Board, Kernel, nrf52840, synthetic_temperature
 from repro.vm import Program
-from repro.workloads import (
-    coap_handler_program,
-    sensor_program,
-    thread_counter_program,
-)
+from repro.workloads import thread_counter_program
 
 DEVICE_ADDR = "2001:db8::dev"
 HOST_ADDR = "2001:db8::host"
@@ -81,20 +84,14 @@ def build_multi_tenant_device(
     server = CoapServer(kernel, device_udp.socket(COAP_PORT))
     client = CoapClient(kernel, host_udp.socket(49000))
 
-    # Tenant A: sensor pipeline (Fig 5, Femto-Containers 1 and 2, Store A).
-    tenant_a = engine.create_tenant("tenant-a")
-    sensor = engine.load(sensor_program(), tenant=tenant_a, name="sensor")
-    cancel = engine.attach_periodic(sensor, sensor_period_us)
-    responder = engine.load(coap_handler_program(), tenant=tenant_a,
-                            name="coap-responder")
-    engine.attach(responder, FC_HOOK_COAP)
+    # The whole Fig 5 deployment — two tenants, three containers, the
+    # sensor's periodic firing — is one declarative spec converged in a
+    # single transactional apply.
+    result = apply_spec(engine, multi_tenant_spec(sensor_period_us))
+    sensor = result.containers[(FC_HOOK_TIMER, "sensor")]
+    responder = result.containers[(FC_HOOK_COAP, "coap-responder")]
+    counter = result.containers[(FC_HOOK_SCHED, "thread-counter")]
     server.register_container("/sensor/temp", engine, responder)
-
-    # Tenant B: kernel-debug thread counter (Fig 5, Femto-Container 3).
-    tenant_b = engine.create_tenant("tenant-b")
-    counter = engine.load(thread_counter_program(), tenant=tenant_b,
-                          name="thread-counter")
-    engine.attach(counter, FC_HOOK_SCHED)
 
     return MultiTenantDevice(
         kernel=kernel,
@@ -102,12 +99,12 @@ def build_multi_tenant_device(
         link=link,
         server=server,
         client=client,
-        tenant_a=tenant_a,
-        tenant_b=tenant_b,
+        tenant_a=engine.tenants["tenant-a"],
+        tenant_b=engine.tenants["tenant-b"],
         sensor=sensor,
         coap_responder=responder,
         thread_counter=counter,
-        cancel_sensor_timer=cancel,
+        cancel_sensor_timer=result.timers[(FC_HOOK_TIMER, "sensor")],
     )
 
 
@@ -156,31 +153,23 @@ def build_fanout_device(
 ) -> FanoutDevice:
     """Build K tenants x M instances of one image on one SYNC hook.
 
-    Every instance is loaded from a *fresh* :class:`Program` object
-    decoded from the image bytes — exactly what a SUIT deployment does —
-    so the scenario exercises the content-hash path of the image cache,
-    not Python object identity.
+    The whole system is one :func:`~repro.deploy.fanout_spec` applied
+    through the deployment reconciler.  Every instance is decoded from
+    the spec image's *bytes* into a fresh :class:`Program` — exactly
+    what a SUIT deployment does — so the scenario exercises the
+    content-hash path of the image cache, not Python object identity.
     """
     kernel = Kernel(board or nrf52840())
     engine = HostingEngine(kernel, implementation=implementation)
-    engine.register_hook(Hook(FC_HOOK_FANOUT, mode=HookMode.SYNC))
     image = program if program is not None else thread_counter_program()
-    raw = image.to_bytes()
-    device = FanoutDevice(
-        kernel=kernel, engine=engine, hook_name=FC_HOOK_FANOUT, image=image
+    result = apply_spec(engine, fanout_spec(tenants, instances_per_tenant,
+                                            image))
+    return FanoutDevice(
+        kernel=kernel,
+        engine=engine,
+        hook_name=FC_HOOK_FANOUT,
+        image=image,
+        tenants=[engine.tenants[f"tenant-{index}"]
+                 for index in range(tenants)],
+        containers=result.attached,
     )
-    for tenant_index in range(tenants):
-        tenant = engine.create_tenant(f"tenant-{tenant_index}")
-        device.tenants.append(tenant)
-        for instance_index in range(instances_per_tenant):
-            instance_image = Program.from_bytes(
-                raw, rodata=image.rodata, data=image.data,
-                name=f"{image.name}-{tenant_index}-{instance_index}",
-            )
-            container = engine.load(
-                instance_image, tenant=tenant,
-                name=f"fc-{tenant_index}-{instance_index}",
-            )
-            engine.attach(container, FC_HOOK_FANOUT)
-            device.containers.append(container)
-    return device

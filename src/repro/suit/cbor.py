@@ -163,7 +163,13 @@ class _Decoder:
                 key = self.item()
                 if isinstance(key, list):
                     key = tuple(key)
-                result[key] = self.item()
+                value = self.item()
+                try:
+                    result[key] = value
+                except TypeError:
+                    raise CBORError(
+                        f"unhashable map key of type {type(key).__name__}"
+                    ) from None
             return result
         if major == _TAG:
             return Tag(argument, self.item())

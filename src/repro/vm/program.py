@@ -75,6 +75,14 @@ class Program:
         self._hash_cache = (slots, len(slots), rodata, data, value)
         return value
 
+    def seed_hash_cache(self, image_hash: str) -> None:
+        """Prime :attr:`image_hash` with a hash already computed from the
+        same content (an installer decoding many instances of one image
+        hashes it once).  The caller owns the equality guarantee; the
+        cache layout stays private to this module."""
+        self._hash_cache = (self.slots, len(self.slots), self.rodata,
+                            self.data, image_hash)
+
     @property
     def decoded(self) -> list[Decoded]:
         """Pre-decoded slot table, computed once per image *content*.

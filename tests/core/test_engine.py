@@ -75,6 +75,21 @@ class TestLifecycle:
         assert engine.execute(new).value == 8
         assert engine.hook(FC_HOOK_TIMER).containers == [new]
 
+    def test_replace_preserves_container_name(self, engine):
+        """Hot swap keeps the deployed slot's name: the container is the
+        stable identity operators track; only the image content changes.
+        (Regression: replace used to silently rename the container to the
+        new program's name.)"""
+        old = engine.load(assemble(RETURN_7), name="slot-a")
+        engine.attach(old, FC_HOOK_TIMER)
+        new_program = assemble("mov r0, 8\n    exit")
+        new_program.name = "v2-image"
+        new = engine.replace(old, new_program)
+        assert new.name == "slot-a"
+        assert new.program is new_program
+        assert [c.name for c in engine.hook(FC_HOOK_TIMER).containers] \
+            == ["slot-a"]
+
     def test_all_implementations_attach_and_run(self, kernel):
         for implementation in VM_CLASSES:
             engine = HostingEngine(Kernel(kernel.board), implementation=implementation)

@@ -109,6 +109,48 @@ class TestCli:
         assert "attached 2 instances" in text
         assert "image cache:" in text
 
+    def test_deploy_builtin_spec(self):
+        code, text = run_cli("deploy", "multi-tenant")
+        assert code == 0
+        assert "create-tenant tenant-a" in text
+        assert "install" in text and "sensor" in text
+        assert "re-plan: 0 actions (converged)" in text
+
+    def test_deploy_spec_file(self, tmp_path):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "file-spec",
+            "tenants": ["alice"],
+            "images": {"seven": {"asm": "mov r0, 7\n    exit"}},
+            "attachments": [{"image": "seven", "hook": "fc.hook.timer",
+                             "tenant": "alice", "name": "sevener"}],
+        }))
+        code, text = run_cli("deploy", str(spec_path), "--impl", "jit")
+        assert code == 0
+        assert "spec 'file-spec' -> 2 actions" in text
+        assert "sevener" in text and "converged" in text
+
+    def test_deploy_unknown_spec(self):
+        code, text = run_cli("deploy", "no-such-spec")
+        assert code == 1 and "deploy error" in text
+
+    def test_fleet_rejects_bad_sizes(self):
+        code, text = run_cli("fleet", "--devices", "0")
+        assert code == 1 and "fleet error" in text
+        code, text = run_cli("fleet", "--instances", "0")
+        assert code == 1 and "fleet error" in text
+
+    def test_fleet_rollout(self):
+        code, text = run_cli("fleet", "--devices", "3", "--tenants", "2",
+                             "--instances", "2")
+        assert code == 0
+        assert "dev0" in text and "dev2" in text
+        assert "warm-rollout speedup over dev0:" in text
+        assert "modelled cycles identical across devices: True" in text
+        assert "12 containers on 3 devices" in text
+
     def test_compile_and_run_femtoc(self, tmp_path):
         source = tmp_path / "app.fc"
         source.write_text("var a = 6;\nreturn a * 7;\n")

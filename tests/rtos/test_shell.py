@@ -67,6 +67,25 @@ class TestShell:
     def test_fc_detach_unknown(self, shell):
         assert "no container" in shell.execute("fc detach ghost")
 
+    def test_fc_list_shows_image_hash_prefix(self, shell, engine, kernel):
+        """Operators can see instance/image sharing on-device: containers
+        stamped from one image show the same content-hash prefix."""
+        container = populate(engine, kernel)
+        twin = engine.load(
+            assemble("mov r0, 7\n    exit"), name="sevener-twin")
+        engine.attach(twin, FC_HOOK_TIMER)
+        other = engine.load(assemble("mov r0, 8\n    exit"), name="eighter")
+        engine.attach(other, FC_HOOK_TIMER)
+
+        text = shell.execute("fc list")
+        assert "image" in text.splitlines()[0]
+        rows = {line.split()[0]: line for line in text.splitlines()[1:]}
+        prefix = container.image_hash[:12]
+        assert prefix in rows["sevener"]
+        assert prefix in rows["sevener-twin"]  # same image, same prefix
+        assert other.image_hash[:12] in rows["eighter"]
+        assert other.image_hash[:12] != prefix
+
     def test_fc_faults(self, shell, engine, kernel):
         bad = engine.load(assemble(
             "lddw r1, 0x1\n    ldxb r0, [r1]\n    exit"), name="crasher")
