@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import json
 import sys
-import time
 from pathlib import Path
 
 from repro.deploy import Fleet, fanout_spec

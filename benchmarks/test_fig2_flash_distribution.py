@@ -27,12 +27,12 @@ def test_fig2_flash_distribution(benchmark):
 
     text = "\n\n".join([
         pie_breakdown(
-            f"Fig 2 (right): RIOT with rBPF Femto-Container "
+            "Fig 2 (right): RIOT with rBPF Femto-Container "
             f"({rbpf.flash_bytes / 1000:.0f} kB total; paper: 57 kB)",
             {m.name: m.flash_bytes for m in rbpf.modules},
         ),
         pie_breakdown(
-            f"Fig 2 (left): RIOT with MicroPython Femto-Container "
+            "Fig 2 (left): RIOT with MicroPython Femto-Container "
             f"({upy.flash_bytes / 1000:.0f} kB total; paper: 154 kB)",
             {m.name: m.flash_bytes for m in upy.modules},
         ),

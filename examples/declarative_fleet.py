@@ -71,7 +71,7 @@ def main() -> None:
     print(rollout_plan.describe())
     apply_spec(engine, spec_v2)
     values = {c.name: engine.execute(c).value for c in engine.containers()}
-    print(f"after rollout every instance returns 2: "
+    print("after rollout every instance returns 2: "
           f"{sorted(values.values()) == [2, 2, 2, 2]}")
 
     # 3. The same spec across a fleet: cold device 1, cache-warm 2..4.
@@ -87,7 +87,7 @@ def main() -> None:
               f"{device_rollout.cycles_charged} modelled cycles, "
               f"{device_rollout.cache_misses} cache misses")
     cycles = rollout.cycles_per_device()
-    print(f"modelled cycles identical on every device: "
+    print("modelled cycles identical on every device: "
           f"{len(set(cycles)) == 1}")
     speedups = ", ".join(f"{s:.1f}x" for s in rollout.speedups())
     print(f"cache-warm rollout speedup over dev0: {speedups}")

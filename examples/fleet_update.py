@@ -54,7 +54,7 @@ def main() -> None:
                                   repo_addr="host")
         devices.append((address, engine, worker))
     print(f"fleet of {len(devices)} devices commissioned on one "
-          f"802.15.4 domain (8% frame loss)\n")
+          "802.15.4 domain (8% frame loss)\n")
 
     # The maintainer signs one manifest per device (the storage-location
     # UUID is the same hook on every device) and staggers the triggers to
@@ -92,7 +92,7 @@ def main() -> None:
     print(f"\nradio: {stats.frames_sent} frames, {stats.bytes_sent} B on "
           f"air, {stats.frames_dropped} frames lost "
           f"(~{meter.report().radio_uj / 1000:.1f} mJ fleet-wide)")
-    print(f"vs full-firmware updates: "
+    print("vs full-firmware updates: "
           f"{FLEET_SIZE * 52_440} B would have gone on air — "
           f"{FLEET_SIZE * 52_440 / max(stats.bytes_sent, 1):.0f}x more.")
     assert all_ok, "not every device completed the update"

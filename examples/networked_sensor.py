@@ -30,7 +30,7 @@ def main() -> None:
     # Let the sensor container take a few samples.
     kernel.run(until_us=3_000_000)
     store_a = device.tenant_a.store
-    print(f"\nafter 3 s: tenant A store holds "
+    print("\nafter 3 s: tenant A store holds "
           f"avg={store_a.fetch(KEY_SENSOR_AVG)} "
           f"raw={store_a.fetch(KEY_SENSOR_RAW)} (centi-degC)")
     print(f"tenant B store holds {len(device.tenant_b.store)} entries "
@@ -44,7 +44,7 @@ def main() -> None:
         device.client.request(DEVICE_ADDR, COAP_PORT, request, replies.append)
         kernel.run(until_us=kernel.now_us + 2_000_000)
 
-    print(f"\nCoAP polls over the lossy link "
+    print("\nCoAP polls over the lossy link "
           f"({device.link.stats.frames_dropped} frames dropped, "
           "CON retransmission recovered):")
     for index, reply in enumerate(replies):

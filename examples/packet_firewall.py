@@ -136,7 +136,7 @@ def main() -> None:
     print(f"  port 7777 rate-limited to {port_7777} datagrams")
 
     print(f"\nfilter ran {container.runs + v2.runs} times, "
-          f"0 faults, packet buffer was read-only throughout.")
+          "0 faults, packet buffer was read-only throughout.")
 
 
 if __name__ == "__main__":

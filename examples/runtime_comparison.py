@@ -22,7 +22,7 @@ def main() -> None:
     for m in metrics:
         assert m.result == expected, f"{m.name} computed a wrong checksum!"
     print(f"all five runtimes computed fletcher32 = 0x{expected:08x} "
-          f"over the same 360 B input\n")
+          "over the same 360 B input\n")
 
     rows = [
         [m.name, f"{m.rom_bytes / 1024:.1f}", f"{m.ram_bytes / 1024:.2f}"]
@@ -50,7 +50,7 @@ def main() -> None:
     rbpf = next(m for m in metrics if m.name == "rBPF")
     smallest_other = min(m.rom_bytes for m in metrics
                          if m.name not in ("Native C", "rBPF"))
-    print(f"\nwhy eBPF won (§6.1):")
+    print("\nwhy eBPF won (§6.1):")
     print(f"  - ROM: {smallest_other / rbpf.rom_bytes:.0f}x smaller than the "
           "next-best runtime")
     print(f"  - cold start: {format_us(rbpf.cold_start_us)} vs tens of "

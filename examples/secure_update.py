@@ -81,11 +81,11 @@ def main() -> None:
                           payload=envelope.encode())
     trigger.add_uri_path("/suit/trigger")
     maintainer.request("2001:db8::device", 5683, trigger,
-                       lambda r: print(f"  [maintainer] trigger acknowledged "
+                       lambda r: print("  [maintainer] trigger acknowledged "
                                        f"({coap.code_string(r.code)})"))
     kernel.run(until_us=60_000_000)
     assert engine.hook(FC_HOOK_SCHED).occupied
-    print(f"container live on the scheduler hook; "
+    print("container live on the scheduler hook; "
           f"{link.stats.frames_sent} frames on air, "
           f"{link.stats.frames_dropped} lost to the radio\n")
 

@@ -19,7 +19,11 @@ Small developer tools around the library:
                                   convergence;
 * ``fleet``                     — apply one spec across N simulated
                                   devices, reporting the warm-rollout
-                                  speedup from the shared image cache.
+                                  speedup from the shared image cache;
+* ``canary``                    — canary fleet rollout: a poisoned spec
+                                  rolls back on the canary subset without
+                                  touching the rest, the fixed spec bakes
+                                  clean and promotes fleet-wide.
 """
 
 from __future__ import annotations
@@ -175,7 +179,7 @@ def cmd_demo(_args: argparse.Namespace) -> int:
     print(f"containers: {[c.name for c in device.engine.containers()]}")
     print(f"sensor average over CoAP: {replies[0].payload.decode()} "
           "centi-degC")
-    print(f"context switches observed by tenant B: "
+    print("context switches observed by tenant B: "
           f"{sum(device.engine.global_store.snapshot().values())}")
     print(f"engine RAM: {device.engine.total_ram_bytes()} B")
     return 0
@@ -307,15 +311,118 @@ def cmd_fleet(args: argparse.Namespace) -> int:
               f"{device_rollout.cache_misses} miss")
     speedups = rollout.speedups()
     if speedups:
-        print(f"warm-rollout speedup over dev0: "
+        print("warm-rollout speedup over dev0: "
               + ", ".join(f"{s:.1f}x" for s in speedups))
     cycles = rollout.cycles_per_device()
-    print(f"modelled cycles identical across devices: "
+    print("modelled cycles identical across devices: "
           f"{len(set(cycles)) == 1}")
     print(f"fleet cache hit rate: {rollout.cache_hit_rate() * 100:.0f}%  "
           f"fleet RAM: {fleet.total_ram_bytes()} B "
           f"({len(fleet.containers())} containers on {len(fleet)} devices)")
     return 0
+
+
+def _canary_specs():
+    """Baseline, poisoned and fixed specs for the canary demo.
+
+    All three share the periodic sensor slot and a fan-out pad; they
+    differ only in the image of the ``worker`` slots.  The poisoned
+    image passes the pre-flight verifier (it is well-formed bytecode)
+    but dereferences an unmapped address at runtime — exactly the class
+    of fault only a canary bake can catch.
+    """
+    from repro.core.hooks import FC_HOOK_FANOUT, FC_HOOK_TIMER, HookMode
+    from repro.deploy import (
+        AttachmentSpec,
+        DeploymentSpec,
+        HookSpec,
+        ImageSpec,
+    )
+    from repro.vm import assemble
+
+    good = ImageSpec.from_program(
+        assemble("mov r0, 7\n    exit", name="worker-v1"))
+    poisoned = ImageSpec.from_program(assemble(
+        "lddw r1, 0x10\n    ldxb r0, [r1]\n    exit", name="worker-v2-bad"))
+    fixed = ImageSpec.from_program(
+        assemble("mov r0, 8\n    exit", name="worker-v2"))
+    sensor = ImageSpec.from_program(
+        assemble("mov r0, 21\n    lsh r0, 1\n    exit", name="sensor"))
+
+    def spec(name: str, image: ImageSpec) -> DeploymentSpec:
+        return DeploymentSpec(
+            name=name,
+            tenants=("ops",),
+            hooks=(HookSpec(FC_HOOK_FANOUT, HookMode.SYNC),),
+            images={"worker": image, "sensor": sensor},
+            attachments=(
+                AttachmentSpec(image="worker", hook=FC_HOOK_FANOUT,
+                               tenant="ops", name="worker", count=2),
+                AttachmentSpec(image="sensor", hook=FC_HOOK_TIMER,
+                               tenant="ops", name="sensor",
+                               period_us=250_000.0),
+            ),
+        )
+
+    return spec("canary-base", good), spec("canary-bad", poisoned), \
+        spec("canary-fix", fixed)
+
+
+def cmd_canary(args: argparse.Namespace) -> int:
+    """Canary fleet rollout: poisoned spec rolls back, clean one promotes."""
+    from repro.deploy import Fleet, plan
+    from repro.vm.imagecache import IMAGE_CACHE
+
+    IMAGE_CACHE.clear()  # measure from a cold cache, deterministically
+    try:
+        if not 1 <= args.canaries <= args.devices:
+            raise ValueError(
+                f"--canaries {args.canaries} outside 1..{args.devices}"
+            )
+        boards = [board_by_name(args.board) for _ in range(args.devices)]
+        fleet = Fleet(boards, implementation=args.impl)
+        base, poisoned, fixed = _canary_specs()
+        fleet.apply(base)
+    except Exception as error:
+        print(f"canary error: {error}")
+        return 1
+    print(f"fleet of {args.devices} x {args.board} converged on "
+          f"{base.name!r} [{args.impl}]")
+
+    control = fleet.devices[args.canaries:]
+    cycles_before = [device.kernel.clock.cycles for device in control]
+
+    print(f"\nstage 1: roll out {poisoned.name!r} "
+          "(verifies clean, faults at runtime)")
+    bad = fleet.canary_rollout(poisoned, canary_count=args.canaries,
+                               bake_us=args.bake_us, bake_fires=args.fires)
+    print(f"  canaries: {', '.join(bad.canary_names)}  "
+          f"bake: {bad.bake_us:.0f} us virtual + {args.fires} hook fires")
+    print(f"  -> {'ROLLED BACK' if bad.rolled_back else 'PROMOTED'}: "
+          f"{bad.reason}")
+    untouched = cycles_before == [device.kernel.clock.cycles
+                                  for device in control]
+    restored = all(plan(rollback.device.engine, base).empty
+                   for rollback in bad.rollback)
+    print(f"  non-canary devices untouched: {untouched} "
+          f"({len(control)} devices, 0 actions applied)")
+    print(f"  canaries reconverged on {base.name!r}: {restored}")
+
+    print(f"\nstage 2: roll out {fixed.name!r} (the fix)")
+    good = fleet.canary_rollout(fixed, canary_count=args.canaries,
+                                bake_us=args.bake_us, bake_fires=args.fires)
+    print(f"  -> {'PROMOTED' if good.promoted else 'ROLLED BACK'}: "
+          f"{good.reason}")
+    converged = all(plan(device.engine, fixed).empty
+                    for device in fleet.devices)
+    print(f"  fleet converged on {fixed.name!r}: {converged}")
+    speedups = good.promotion_speedups()
+    if speedups:
+        print("  promotion speedup over cold canary: "
+              + ", ".join(f"{speedup:.1f}x" for speedup in speedups))
+    ok = (bad.rolled_back and untouched and restored
+          and good.promoted and converged)
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -394,6 +501,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--impl", default="jit",
                          choices=sorted(_VM_FACTORIES))
     p_fleet.set_defaults(fn=cmd_fleet)
+
+    p_canary = sub.add_parser(
+        "canary",
+        help="canary fleet rollout: poisoned spec rolls back on the "
+             "canary subset, the fixed spec promotes fleet-wide")
+    p_canary.add_argument("--devices", type=int, default=6)
+    p_canary.add_argument("--canaries", type=int, default=2,
+                          help="devices in the canary subset")
+    p_canary.add_argument("--bake-us", type=float, default=2_000_000.0,
+                          help="virtual bake duration per canary (us)")
+    p_canary.add_argument("--fires", type=int, default=5,
+                          help="extra hook firings during the bake")
+    p_canary.add_argument("--board", default="cortex-m4",
+                          choices=sorted(BOARDS))
+    p_canary.add_argument("--impl", default="jit",
+                          choices=sorted(_VM_FACTORIES))
+    p_canary.set_defaults(fn=cmd_canary)
 
     p_shell = sub.add_parser(
         "shell", help="run device-shell commands on the showcase device")

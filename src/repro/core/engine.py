@@ -113,6 +113,12 @@ class HostingEngine:
         self.hooks: dict[str, Hook] = {}
         self.hooks_by_uuid: dict[str, Hook] = {}
         self.trace_log: list[str] = []
+        #: Device-lifetime fault counter: every contained fault, including
+        #: faults of containers since detached or replaced.  This is the
+        #: monotonic signal fleet-level canary gating reads — a container
+        #: object's own ``fault_count`` dies with the container, this
+        #: number survives hot-swaps and fault-detaches.
+        self.fault_total: int = 0
         #: Execution context (valid while a container runs).
         self.current_container: FemtoContainer | None = None
         self.current_pdu: CoapResponseContext | None = None
@@ -290,7 +296,15 @@ class HostingEngine:
         self.detach(old)
         fresh = self.load(new_program, tenant=tenant, contract=contract,
                           name=old.name)
-        return self.attach(fresh, hook_name)
+        try:
+            return self.attach(fresh, hook_name)
+        except Exception:
+            # Failure-atomic: a replacement whose image is rejected must
+            # not leave the slot empty — re-attach the old container
+            # (re-verified, so the clock is charged like any install;
+            # a real device restoring its old image pays it too).
+            self.attach(old, hook_name)
+            raise
 
     def _spawn_worker(self, container: FemtoContainer) -> None:
         """Worker thread for THREAD-mode hooks (one thread per instance)."""
@@ -431,6 +445,8 @@ class HostingEngine:
             fault=fault,
         )
         container.record_run(run)
+        if fault is not None:
+            self.fault_total += 1
         if pdu is not None and value is not None:
             pdu.payload_length = max(
                 0, min(int(value) - pdu.header_length, pdu.payload_capacity)
@@ -471,6 +487,17 @@ class HostingEngine:
         for hook in self.hooks.values():
             seen.extend(hook.containers)
         return seen
+
+    def fault_counts(self) -> dict[tuple[str, str], int]:
+        """Per-slot fault counts of currently attached containers.
+
+        Keyed by ``(hook name, container name)`` — the planner's slot
+        identity — because one container name may legally appear on
+        several hooks.
+        """
+        return {(container.hook.name, container.name): container.fault_count
+                for container in self.containers()
+                if container.hook is not None}
 
     def store_ram_bytes(self) -> int:
         """RAM of all key-value stores plus housekeeping (§10.3's 340 B)."""

@@ -19,7 +19,13 @@ plans exactly one replace.  See the module docstrings for the full
 reconcile model.
 """
 
-from repro.deploy.fleet import DeviceRollout, Fleet, FleetDevice, FleetRollout
+from repro.deploy.fleet import (
+    CanaryRollout,
+    DeviceRollout,
+    Fleet,
+    FleetDevice,
+    FleetRollout,
+)
 from repro.deploy.plan import (
     Action,
     ApplyResult,
@@ -29,6 +35,7 @@ from repro.deploy.plan import (
     Install,
     RegisterHook,
     Replace,
+    SetTenantPolicy,
     apply,
     apply_spec,
     plan,
@@ -50,6 +57,7 @@ __all__ = [
     "ApplyResult",
     "AttachmentSpec",
     "BUILTIN_SPECS",
+    "CanaryRollout",
     "CreateTenant",
     "DeploymentPlan",
     "DeploymentSpec",
@@ -63,6 +71,7 @@ __all__ = [
     "Install",
     "RegisterHook",
     "Replace",
+    "SetTenantPolicy",
     "SpecError",
     "apply",
     "apply_spec",

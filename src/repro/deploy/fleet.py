@@ -20,13 +20,14 @@ devices 2..N over device 1.
 
 from __future__ import annotations
 
+import struct
 import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.engine import HostingEngine
 from repro.deploy.plan import ApplyResult, apply, plan
-from repro.deploy.spec import DeploymentSpec
+from repro.deploy.spec import DeploymentSpec, HookSpec
 from repro.rtos.board import Board, nrf52840
 from repro.rtos.kernel import Kernel
 from repro.vm.imagecache import IMAGE_CACHE
@@ -96,6 +97,50 @@ class FleetRollout:
         return hits / total if total else 0.0
 
 
+@dataclass
+class CanaryRollout:
+    """Outcome of one :meth:`Fleet.canary_rollout`.
+
+    The rollout either **promoted** (every canary baked fault-free, the
+    spec went fleet-wide) or **rolled back** (a canary faulted or failed
+    to apply; every canary was reverted to the baseline spec and the
+    non-canary devices were never touched — ``control`` stays empty).
+    """
+
+    spec: DeploymentSpec
+    baseline: DeploymentSpec
+    #: Canary-phase applies, in fleet order.
+    canary: list[DeviceRollout] = field(default_factory=list)
+    #: Promotion-phase applies (empty unless promoted).
+    control: list[DeviceRollout] = field(default_factory=list)
+    #: Rollback applies on the canary subset (empty unless rolled back).
+    rollback: list[DeviceRollout] = field(default_factory=list)
+    #: Contained faults observed per canary device across apply + bake.
+    fault_deltas: dict[str, int] = field(default_factory=dict)
+    promoted: bool = False
+    rolled_back: bool = False
+    reason: str = ""
+    #: Virtual microseconds each canary baked for.
+    bake_us: float = 0.0
+
+    @property
+    def canary_names(self) -> list[str]:
+        return [rollout.device.name for rollout in self.canary]
+
+    def promotion_speedups(self) -> list[float]:
+        """Wall speedup of each promoted device over the cold canary.
+
+        The first canary pays the cold verify/JIT-compile; promotion
+        rides the image cache the bake already proved out, so promoted
+        devices converge dramatically faster in wall time.
+        """
+        if not self.canary or not self.control:
+            return []
+        cold = self.canary[0].wall_s
+        return [cold / max(rollout.wall_s, 1e-9)
+                for rollout in self.control]
+
+
 class Fleet:
     """N devices driven as one deployment target.
 
@@ -115,6 +160,9 @@ class Fleet:
             raise ValueError("a fleet needs at least one device")
         self.implementation = implementation
         self.devices: list[FleetDevice] = []
+        #: The spec the whole fleet last converged on (the canary
+        #: rollback target when no explicit baseline is given).
+        self.current_spec: DeploymentSpec | None = None
         for index, board in enumerate(boards):
             kernel = Kernel(board)
             self.devices.append(FleetDevice(
@@ -126,24 +174,183 @@ class Fleet:
     def __len__(self) -> int:
         return len(self.devices)
 
+    def _converge(self, device: FleetDevice,
+                  spec: DeploymentSpec) -> DeviceRollout:
+        """Plan+apply ``spec`` on one device, with rollout accounting."""
+        hits_before = IMAGE_CACHE.hits
+        misses_before = IMAGE_CACHE.misses
+        cycles_before = device.kernel.clock.cycles
+        start = time.perf_counter()
+        result = apply(device.engine, plan(device.engine, spec))
+        wall_s = time.perf_counter() - start
+        return DeviceRollout(
+            device=device,
+            result=result,
+            wall_s=wall_s,
+            cycles_charged=device.kernel.clock.cycles - cycles_before,
+            cache_hits=IMAGE_CACHE.hits - hits_before,
+            cache_misses=IMAGE_CACHE.misses - misses_before,
+        )
+
     def apply(self, spec: DeploymentSpec) -> FleetRollout:
         """Plan+apply ``spec`` on every device, in fleet order."""
         rollout = FleetRollout(spec=spec)
         for device in self.devices:
-            hits_before = IMAGE_CACHE.hits
-            misses_before = IMAGE_CACHE.misses
-            cycles_before = device.kernel.clock.cycles
-            start = time.perf_counter()
-            result = apply(device.engine, plan(device.engine, spec))
-            wall_s = time.perf_counter() - start
-            rollout.devices.append(DeviceRollout(
-                device=device,
-                result=result,
-                wall_s=wall_s,
-                cycles_charged=device.kernel.clock.cycles - cycles_before,
-                cache_hits=IMAGE_CACHE.hits - hits_before,
-                cache_misses=IMAGE_CACHE.misses - misses_before,
-            ))
+            rollout.devices.append(self._converge(device, spec))
+        self.current_spec = spec
+        return rollout
+
+    # -- canary rollout --------------------------------------------------------
+
+    def canary_rollout(
+        self,
+        spec: DeploymentSpec,
+        canary_fraction: float = 0.25,
+        canary_count: int | None = None,
+        bake_us: float = 2_000_000.0,
+        bake_fires: int = 0,
+        bake_hooks: Sequence[str] | None = None,
+        bake_context: bytes | None = None,
+        baseline: DeploymentSpec | None = None,
+    ) -> CanaryRollout:
+        """Stage ``spec`` on a canary subset, bake, then promote or revert.
+
+        1. **Canary**: the first ``canary_count`` devices (default
+           ``round(canary_fraction * N)``, at least one) are converged
+           onto the spec.  A device whose apply fails (pre-flight
+           rejection, contract mismatch, ...) is already restored by the
+           transactional apply; the rollout aborts and reverts any
+           earlier canaries.
+        2. **Bake**: each canary runs its own virtual clock forward by
+           ``bake_us`` — periodic attachments fire on their declared
+           cadence — and every spec hook is additionally fired
+           ``bake_fires`` times (SYNC hooks run inline, THREAD hooks
+           drain through their worker threads before faults are read).
+        3. **Gate**: the canaries' device-lifetime fault counters
+           (:attr:`~repro.core.engine.HostingEngine.fault_total`) must
+           not have moved.  Zero faults promotes the spec to the
+           remaining devices (which ride the image cache the canaries
+           warmed); any fault rolls every canary back to ``baseline``
+           (default: the spec this fleet last converged on, or an empty
+           spec of the same scope) and leaves the rest of the fleet
+           untouched.
+        """
+        if not 0.0 < canary_fraction <= 1.0:
+            raise ValueError("canary_fraction must be in (0, 1]")
+        if canary_count is None:
+            canary_count = max(1, round(canary_fraction * len(self.devices)))
+        if not 1 <= canary_count <= len(self.devices):
+            raise ValueError(
+                f"canary_count {canary_count} outside 1..{len(self.devices)}"
+            )
+        canaries = self.devices[:canary_count]
+        rest = self.devices[canary_count:]
+        if baseline is None:
+            baseline = self.current_spec
+        if baseline is None:
+            # Nothing ever applied: rolling back means detaching
+            # everything the spec owns.  The synthesized baseline must
+            # claim the same scope as the spec — its declared hooks
+            # *plus* the firmware hooks its attachments target —
+            # otherwise tenantless containers on compiled-in hooks
+            # would survive the rollback.
+            hooks = {hook.name: hook for hook in spec.hooks}
+            live = canaries[0].engine.hooks
+            for attachment in spec.attachments:
+                if attachment.hook not in hooks and attachment.hook in live:
+                    hooks[attachment.hook] = HookSpec(
+                        attachment.hook, live[attachment.hook].mode)
+            baseline = DeploymentSpec(
+                name=f"{spec.name}-rollback",
+                tenants=spec.tenants,
+                hooks=tuple(hooks.values()),
+            )
+        rollout = CanaryRollout(spec=spec, baseline=baseline, bake_us=bake_us)
+
+        def revert(staged_rollouts: list[DeviceRollout]) -> None:
+            """Best-effort re-apply of the baseline; never raises (a
+            device whose revert fails is recorded in the reason, the
+            remaining devices still get reverted)."""
+            for staged in staged_rollouts:
+                try:
+                    rollout.rollback.append(
+                        self._converge(staged.device, baseline))
+                except Exception as exc:
+                    rollout.reason += (
+                        f"; rollback failed on {staged.device.name}: {exc}")
+            rollout.rolled_back = True
+
+        # 1. Converge the canary subset.
+        for device in canaries:
+            try:
+                rollout.canary.append(self._converge(device, spec))
+            except Exception as exc:
+                # apply() already rolled this device back; revert the
+                # canaries staged before it.
+                rollout.reason = (f"apply failed on {device.name}: {exc}")
+                revert(rollout.canary)
+                return rollout
+
+        # 2. Bake: run the canaries' own workloads on their own clocks.
+        fired_hooks = list(bake_hooks) if bake_hooks is not None else sorted(
+            {a.hook for a in spec.attachments if a.period_us is None}
+        )
+        context = (bake_context if bake_context is not None
+                   else struct.pack("<QQ", 0, 0))
+        for device in canaries:
+            faults_before = device.engine.fault_total
+            kernel = device.kernel
+            kernel.run(until_us=kernel.now_us + bake_us)
+            for _ in range(bake_fires):
+                for hook_name in fired_hooks:
+                    if not device.engine.hooks[hook_name].containers:
+                        continue
+                    device.engine.fire_hook(hook_name, context)
+            if bake_fires:
+                # Drain THREAD-mode worker queues before reading the
+                # fault counters: windows, not run_until_idle (a
+                # periodic attachment keeps a timer pending forever),
+                # repeated until every attached worker's backlog is
+                # empty so no queued fault escapes the gate.
+                for _ in range(1000):
+                    if not any(
+                        container.event_queue is not None
+                        and container.event_queue.pending
+                        for container in device.engine.containers()
+                    ):
+                        break
+                    kernel.run(until_us=kernel.now_us + 10_000.0)
+            rollout.fault_deltas[device.name] = (
+                device.engine.fault_total - faults_before)
+
+        # 3. Gate on the fault counters.
+        faulted = {name: delta
+                   for name, delta in rollout.fault_deltas.items() if delta}
+        if faulted:
+            rollout.reason = "faults during bake: " + ", ".join(
+                f"{name} (+{delta})" for name, delta in sorted(faulted.items())
+            )
+            revert(rollout.canary)
+            return rollout
+
+        # Promote: the rest of the fleet rides the warmed image cache.
+        for device in rest:
+            try:
+                rollout.control.append(self._converge(device, spec))
+            except Exception as exc:
+                # This device is already restored by the transactional
+                # apply; take the whole fleet back to the baseline so it
+                # never stays half-promoted.
+                rollout.reason = (
+                    f"promotion failed on {device.name}: {exc}")
+                revert(rollout.canary + rollout.control)
+                rollout.control = []
+                return rollout
+        rollout.promoted = True
+        rollout.reason = (
+            f"{len(canaries)} canaries baked {bake_us:.0f} us fault-free"
+        )
+        self.current_spec = spec
         return rollout
 
     def fire_all(self, hook_name: str, context: bytes = b"") -> int:

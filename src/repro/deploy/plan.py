@@ -24,6 +24,12 @@
   fails verification, ...), every action already executed is reverted in
   reverse order and the error re-raised, leaving the device in its
   pre-apply state.
+* **Policy-aware** — per-tenant hook-policy overrides declared by the
+  spec (:attr:`~repro.deploy.spec.AttachmentSpec.tenant_policies`) are
+  diffed into :class:`SetTenantPolicy` actions; slots whose ceiling
+  changed are re-installed so their containers are re-granted under the
+  new policy, and only the spec's own tenants' overrides are ever set
+  or cleared.
 
 The virtual clock is charged exactly as by hand-written attach sequences:
 ``apply`` adds no modelled cost of its own, so a device built through a
@@ -38,7 +44,7 @@ from weakref import WeakKeyDictionary
 
 from repro.core.errors import AttachError
 from repro.core.hooks import Hook, HookMode
-from repro.core.policy import ContainerContract
+from repro.core.policy import ContainerContract, HookPolicy
 from repro.deploy.spec import DeploymentSpec, ImageSpec, SpecError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -64,6 +70,24 @@ class RegisterHook:
 
     def describe(self) -> str:
         return f"register-hook  {self.hook} ({self.mode.value})"
+
+
+@dataclass(frozen=True)
+class SetTenantPolicy:
+    """Reconcile one tenant's privilege ceiling on one hook.
+
+    ``policy=None`` clears the override (the tenant falls back to the
+    hook's base policy).  Ordered before installs so re-granted slots
+    attach under the new ceiling.
+    """
+
+    hook: str
+    tenant: str
+    policy: HookPolicy | None
+
+    def describe(self) -> str:
+        action = "clear" if self.policy is None else "set"
+        return f"tenant-policy  {action} {self.tenant} on {self.hook}"
 
 
 @dataclass(frozen=True)
@@ -102,7 +126,8 @@ class Detach:
         return f"detach         {self.name} from {self.hook}"
 
 
-Action = Union[CreateTenant, RegisterHook, Install, Replace, Detach]
+Action = Union[CreateTenant, RegisterHook, SetTenantPolicy, Install,
+               Replace, Detach]
 
 
 @dataclass
@@ -147,19 +172,40 @@ def plan(engine: "HostingEngine", spec: DeploymentSpec) -> DeploymentPlan:
             raise SpecError(
                 f"hook {hook_spec.name!r} is compiled as {live.mode.value} "
                 f"but the spec wants {hook_spec.mode.value} — hook modes "
-                f"are fixed in firmware and cannot be reconciled"
+                "are fixed in firmware and cannot be reconciled"
             )
     for attachment in spec.attachments:
         if attachment.hook not in engine.hooks \
                 and attachment.hook not in declared_hooks:
             raise SpecError(
                 f"attachment targets hook {attachment.hook!r}, which is "
-                f"neither compiled into this firmware nor declared in the "
-                f"spec's hooks"
+                "neither compiled into this firmware nor declared in the "
+                "spec's hooks"
             )
 
-    # The containers this spec owns (see the module docstring's scope rule).
     spec_hooks = declared_hooks | {a.hook for a in spec.attachments}
+
+    # Per-tenant privilege ceilings on the spec's hooks (the §11 Hook
+    # extension).  The spec owns the overrides of exactly the tenants it
+    # declares: an owned tenant's live override absent from the spec is
+    # cleared, other tenants' overrides are never touched.  A changed
+    # ceiling re-installs the tenant's slots on that hook below, so the
+    # running containers are re-granted under the new policy.
+    desired_policies = spec.hook_tenant_policies()
+    policy_actions: list[Action] = []
+    policy_changed: set[tuple[str, str]] = set()
+    for hook_name in sorted(spec_hooks):
+        live_hook = engine.hooks.get(hook_name)
+        live_policies = (live_hook.tenant_policies
+                         if live_hook is not None else {})
+        wanted = desired_policies.get(hook_name, {})
+        for tenant in spec.tenants:
+            if live_policies.get(tenant) != wanted.get(tenant):
+                policy_actions.append(SetTenantPolicy(hook_name, tenant,
+                                                      wanted.get(tenant)))
+                policy_changed.add((hook_name, tenant))
+
+    # The containers this spec owns (see the module docstring's scope rule).
     owned: dict[tuple[str, str], "FemtoContainer"] = {}
     for hook in engine.hooks.values():
         for container in hook.containers:
@@ -170,29 +216,46 @@ def plan(engine: "HostingEngine", spec: DeploymentSpec) -> DeploymentPlan:
             if managed:
                 owned[(hook.name, container.name)] = container
 
+    # Slots granted under a changed ceiling detach *before* the policy
+    # flips, installs come after: a failing apply then unwinds in the
+    # only safe order (restore the old ceiling first, then re-attach the
+    # old containers under it).
+    pre_detach: list[Action] = []
+    converge: list[Action] = []
     for instance in spec.desired_instances():
         key = (instance.hook, instance.name)
         container = owned.pop(key, None)
         if container is None:
-            actions.append(Install(
+            converge.append(Install(
+                name=instance.name, hook=instance.hook,
+                tenant=instance.tenant, image=instance.image,
+                contract=instance.contract, period_us=instance.period_us,
+            ))
+        elif (instance.hook, instance.tenant) in policy_changed:
+            pre_detach.append(Detach(instance.name, instance.hook))
+            converge.append(Install(
                 name=instance.name, hook=instance.hook,
                 tenant=instance.tenant, image=instance.image,
                 contract=instance.contract, period_us=instance.period_us,
             ))
         elif (_live_tenant(container) != instance.tenant
               or container.contract != instance.contract):
-            # Tenancy or contract drift cannot hot-swap: re-install.
-            actions.append(Detach(instance.name, instance.hook))
-            actions.append(Install(
+            # Tenancy or contract drift cannot hot-swap: re-install
+            # (the attach re-runs the grant intersection).
+            converge.append(Detach(instance.name, instance.hook))
+            converge.append(Install(
                 name=instance.name, hook=instance.hook,
                 tenant=instance.tenant, image=instance.image,
                 contract=instance.contract, period_us=instance.period_us,
             ))
         elif container.image_hash != instance.image.image_hash:
-            actions.append(Replace(instance.name, instance.hook,
-                                   instance.image))
+            converge.append(Replace(instance.name, instance.hook,
+                                    instance.image))
         # else: converged — the slot already holds this exact image.
 
+    actions.extend(pre_detach)
+    actions.extend(policy_actions)
+    actions.extend(converge)
     for hook_name, name in sorted(owned):
         actions.append(Detach(name, hook_name))
 
@@ -284,6 +347,22 @@ def apply(engine: "HostingEngine", deployment: DeploymentPlan) -> ApplyResult:
                     engine.hooks_by_uuid.pop(str(h.uuid), None)
 
                 undo.append(_unregister)
+            elif isinstance(action, SetTenantPolicy):
+                hook = engine.hooks[action.hook]
+                previous = hook.tenant_policies.get(action.tenant)
+                if action.policy is None:
+                    hook.tenant_policies.pop(action.tenant, None)
+                else:
+                    hook.tenant_policies[action.tenant] = action.policy
+
+                def _restore(h: Hook = hook, tenant: str = action.tenant,
+                             old: HookPolicy | None = previous) -> None:
+                    if old is None:
+                        h.tenant_policies.pop(tenant, None)
+                    else:
+                        h.tenant_policies[tenant] = old
+
+                undo.append(_restore)
             elif isinstance(action, Install):
                 tenant = (engine.tenants[action.tenant]
                           if action.tenant is not None else None)
@@ -297,6 +376,13 @@ def apply(engine: "HostingEngine", deployment: DeploymentPlan) -> ApplyResult:
                 key = (action.hook, action.name)
                 result.containers[key] = container
                 if action.period_us is not None:
+                    # A stale cadence can survive on this key when the
+                    # slot's container was fault-detached by the engine
+                    # (not by a plan): one slot owns one cadence, so
+                    # retire it before arming the new one.
+                    stale = armed.pop(key, None)
+                    if stale is not None:
+                        stale()
                     # attach_periodic sees the container already attached
                     # and only arms the firing (the §8.3 sensor pattern).
                     cancel = engine.attach_periodic(

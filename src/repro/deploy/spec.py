@@ -36,7 +36,8 @@ from repro.core.hooks import (
     FC_HOOK_TIMER,
     HookMode,
 )
-from repro.core.policy import ContainerContract
+from repro.core.policy import ContainerContract, HookPolicy, MemoryGrant
+from repro.vm.memory import Permission
 from repro.vm.program import Program
 
 
@@ -183,6 +184,13 @@ class AttachmentSpec:
     ``-{i}`` appended).  ``period_us`` declares the §8.3 timer pattern —
     the reconciler arms a periodic firing of the hook immediately after
     the install, so a spec fully describes a self-driving sensor pipeline.
+
+    ``tenant_policies`` maps tenant names to the per-tenant
+    :class:`HookPolicy` overrides the attachment's hook should carry (the
+    §11 Hook extension; the OS-side ceiling the grant intersection uses).
+    The reconciler diffs them against the live hook and re-installs
+    affected slots, so a policy edit in the spec re-grants running
+    containers under the new ceiling.
     """
 
     image: str
@@ -192,6 +200,7 @@ class AttachmentSpec:
     count: int = 1
     contract: ContainerContract = field(default_factory=ContainerContract)
     period_us: float | None = None
+    tenant_policies: Mapping[str, HookPolicy] = field(default_factory=dict)
 
     def instance_names(self) -> list[str]:
         base = self.name or self.image
@@ -212,6 +221,11 @@ class AttachmentSpec:
             doc["contract"] = _contract_to_json(self.contract)
         if self.period_us is not None:
             doc["period_us"] = self.period_us
+        if self.tenant_policies:
+            doc["tenant_policies"] = {
+                tenant: _policy_to_json(policy)
+                for tenant, policy in sorted(self.tenant_policies.items())
+            }
         return doc
 
     @classmethod
@@ -224,6 +238,11 @@ class AttachmentSpec:
             count=doc.get("count", 1),
             contract=_contract_from_json(doc.get("contract", {})),
             period_us=doc.get("period_us"),
+            tenant_policies={
+                tenant: _policy_from_json(policy_doc)
+                for tenant, policy_doc
+                in doc.get("tenant_policies", {}).items()
+            },
         )
 
 
@@ -253,6 +272,48 @@ def _contract_from_json(doc: dict) -> ContainerContract:
         branch_limit=doc.get("branch_limit", defaults.branch_limit),
         memory_regions=tuple(doc.get("memory_regions", ())),
         stack_size=doc.get("stack_size", defaults.stack_size),
+    )
+
+
+def _policy_to_json(policy: HookPolicy) -> dict:
+    defaults = HookPolicy()
+    doc: dict = {}
+    if policy.allowed_helpers is not None:
+        doc["allowed_helpers"] = sorted(policy.allowed_helpers)
+    if policy.max_instructions != defaults.max_instructions:
+        doc["max_instructions"] = policy.max_instructions
+    if policy.branch_limit != defaults.branch_limit:
+        doc["branch_limit"] = policy.branch_limit
+    if policy.context_writable != defaults.context_writable:
+        doc["context_writable"] = policy.context_writable
+    if policy.memory_grants:
+        doc["memory_grants"] = [
+            {"name": grant.name, "start": grant.start,
+             "size": grant.size, "perms": int(grant.perms)}
+            for grant in policy.memory_grants
+        ]
+    if policy.max_stack_size != defaults.max_stack_size:
+        doc["max_stack_size"] = policy.max_stack_size
+    return doc
+
+
+def _policy_from_json(doc: dict) -> HookPolicy:
+    defaults = HookPolicy()
+    helpers = doc.get("allowed_helpers")
+    return HookPolicy(
+        allowed_helpers=frozenset(helpers) if helpers is not None else None,
+        max_instructions=doc.get("max_instructions",
+                                 defaults.max_instructions),
+        branch_limit=doc.get("branch_limit", defaults.branch_limit),
+        context_writable=doc.get("context_writable",
+                                 defaults.context_writable),
+        memory_grants=tuple(
+            MemoryGrant(name=grant["name"], start=grant["start"],
+                        size=grant["size"],
+                        perms=Permission(grant["perms"]))
+            for grant in doc.get("memory_grants", ())
+        ),
+        max_stack_size=doc.get("max_stack_size", defaults.max_stack_size),
     )
 
 
@@ -288,6 +349,7 @@ class DeploymentSpec:
         if len(set(hook_names)) != len(hook_names):
             raise SpecError("duplicate hook declarations in spec")
         seen: set[tuple[str, str]] = set()
+        policies: dict[tuple[str, str], HookPolicy] = {}
         for attachment in self.attachments:
             if attachment.count < 1:
                 raise SpecError(
@@ -296,23 +358,48 @@ class DeploymentSpec:
                 )
             if attachment.image not in self.images:
                 raise SpecError(
-                    f"attachment references unknown image "
+                    "attachment references unknown image "
                     f"{attachment.image!r}"
                 )
             if (attachment.tenant is not None
                     and attachment.tenant not in self.tenants):
                 raise SpecError(
-                    f"attachment references unknown tenant "
+                    "attachment references unknown tenant "
                     f"{attachment.tenant!r}"
                 )
+            for tenant_name, policy in attachment.tenant_policies.items():
+                if tenant_name not in self.tenants:
+                    raise SpecError(
+                        "tenant policy references unknown tenant "
+                        f"{tenant_name!r}"
+                    )
+                previous = policies.setdefault(
+                    (attachment.hook, tenant_name), policy)
+                if previous != policy:
+                    raise SpecError(
+                        f"conflicting policies for tenant {tenant_name!r} "
+                        f"on hook {attachment.hook!r}"
+                    )
             for instance_name in attachment.instance_names():
                 key = (attachment.hook, instance_name)
                 if key in seen:
                     raise SpecError(
-                        f"two attachments produce container "
+                        "two attachments produce container "
                         f"{instance_name!r} on hook {attachment.hook!r}"
                     )
                 seen.add(key)
+
+    def hook_tenant_policies(self) -> dict[str, dict[str, HookPolicy]]:
+        """Merged desired per-tenant policies, hook -> tenant -> policy.
+
+        ``validate`` guarantees attachments never disagree about one
+        (hook, tenant) pair, so merging is conflict-free.
+        """
+        merged: dict[str, dict[str, HookPolicy]] = {}
+        for attachment in self.attachments:
+            for tenant_name, policy in attachment.tenant_policies.items():
+                merged.setdefault(attachment.hook, {})[tenant_name] = policy
+        return merged
 
     def desired_instances(self) -> list[DesiredInstance]:
         """Flatten attachments into (hook, name) slots, in spec order."""
@@ -355,6 +442,25 @@ class DeploymentSpec:
         )
         spec.validate()
         return spec
+
+    def to_cbor(self) -> bytes:
+        """Canonical CBOR encoding — the OTA spec-manifest payload shape.
+
+        Deterministic (sorted map keys, definite lengths), so the SHA-256
+        digest a signed spec manifest carries is stable across encoders.
+        """
+        from repro.suit import cbor
+
+        return cbor.encode(self.to_json())
+
+    @classmethod
+    def from_cbor(cls, raw: bytes) -> "DeploymentSpec":
+        from repro.suit import cbor
+
+        doc = cbor.decode(raw)
+        if not isinstance(doc, dict):
+            raise SpecError("spec payload must be a CBOR map")
+        return cls.from_json(doc)
 
 
 # -- canonical specs ----------------------------------------------------------

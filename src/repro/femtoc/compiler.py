@@ -192,7 +192,7 @@ class Compiler:
                 value = int(value)
             if not isinstance(value, int):
                 raise CompileError(
-                    f"only integer literals compile to eBPF, got "
+                    "only integer literals compile to eBPF, got "
                     f"{type(node.value).__name__}", node.line)
             if -(1 << 31) <= value < (1 << 31):
                 b.mov(R(reg), value)

@@ -231,9 +231,18 @@ class CoapClient:
         on_complete: Callable[[bytes], None],
         on_error: Callable[[str], None] | None = None,
         szx: int = 5,
+        max_size: int | None = None,
     ) -> None:
-        """Fetch a blob block by block, then call ``on_complete``."""
+        """Fetch a blob block by block, then call ``on_complete``.
+
+        ``max_size`` bounds the reassembly buffer: a transfer that grows
+        beyond it is aborted with ``on_error`` instead of completing.  A
+        SUIT worker passes the manifest's signed payload size here, so a
+        lying repository cannot make a constrained device buffer (or keep
+        radio-receiving) more bytes than the manifest promised.
+        """
         chunks: list[bytes] = []
+        received = 0
 
         def fetch(num: int) -> None:
             request = CoapMessage(mtype=coap.CON, code=coap.GET)
@@ -243,9 +252,18 @@ class CoapClient:
             )
 
             def on_response(reply: CoapMessage) -> None:
+                nonlocal received
                 if reply.code != coap.CONTENT:
                     if on_error is not None:
                         on_error(f"unexpected code {coap.code_string(reply.code)}")
+                    return
+                received += len(reply.payload)
+                if max_size is not None and received > max_size:
+                    if on_error is not None:
+                        on_error(
+                            f"transfer of {path} exceeds the promised "
+                            f"{max_size} bytes — aborted"
+                        )
                     return
                 chunks.append(reply.payload)
                 option = reply.option(coap.OPT_BLOCK2)

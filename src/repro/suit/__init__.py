@@ -3,18 +3,30 @@
 from repro.suit import cbor, ed25519
 from repro.suit.cose import CoseSign1, CoseError
 from repro.suit.manifest import (
+    KIND_IMAGE,
+    KIND_SPEC,
     ManifestError,
     SuitEnvelope,
     SuitManifest,
     payload_digest,
 )
-from repro.suit.storage import StorageRegistry, StorageSlot
+from repro.suit.specworker import (
+    SpecUpdateWorker,
+    make_spec_manifest,
+    sign_spec,
+    spec_slot,
+)
+from repro.suit.storage import StorageFullError, StorageRegistry, StorageSlot
 from repro.suit.worker import SuitUpdateWorker, UpdateResult, UpdateStatus
 
 __all__ = [
     "CoseError",
     "CoseSign1",
+    "KIND_IMAGE",
+    "KIND_SPEC",
     "ManifestError",
+    "SpecUpdateWorker",
+    "StorageFullError",
     "StorageRegistry",
     "StorageSlot",
     "SuitEnvelope",
@@ -24,5 +36,8 @@ __all__ = [
     "UpdateStatus",
     "cbor",
     "ed25519",
+    "make_spec_manifest",
     "payload_digest",
+    "sign_spec",
+    "spec_slot",
 ]

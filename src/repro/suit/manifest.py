@@ -27,8 +27,17 @@ KEY_DIGEST = 4
 KEY_SIZE = 5
 KEY_URI = 6
 KEY_NAME = 7
+KEY_KIND = 8
 
 MANIFEST_VERSION = 1
+
+#: Payload kinds a manifest can describe.  ``image`` (the default, and
+#: the only kind before spec updates existed) ships one container image
+#: for one hook; ``spec`` ships a whole-device deployment spec that the
+#: device reconciles through plan/apply.
+KIND_IMAGE = "image"
+KIND_SPEC = "spec"
+MANIFEST_KINDS = (KIND_IMAGE, KIND_SPEC)
 
 
 class ManifestError(Exception):
@@ -45,15 +54,16 @@ class SuitManifest:
     """The signed part of an update description."""
 
     sequence_number: int
-    storage_location: str      # hook UUID string
+    storage_location: str      # hook UUID string (or spec slot name)
     digest: bytes              # sha256 of the payload
     size: int                  # payload size in bytes
     uri: str                   # where to fetch the payload (CoAP path)
     name: str = "app"
     version: int = MANIFEST_VERSION
+    kind: str = KIND_IMAGE
 
     def to_cbor(self) -> bytes:
-        return cbor.encode({
+        doc = {
             KEY_VERSION: self.version,
             KEY_SEQUENCE: self.sequence_number,
             KEY_STORAGE_LOCATION: self.storage_location,
@@ -61,7 +71,12 @@ class SuitManifest:
             KEY_SIZE: self.size,
             KEY_URI: self.uri,
             KEY_NAME: self.name,
-        })
+        }
+        if self.kind != KIND_IMAGE:
+            # Image manifests stay byte-identical to the pre-spec wire
+            # format, so old signatures keep verifying.
+            doc[KEY_KIND] = self.kind
+        return cbor.encode(doc)
 
     @classmethod
     def from_cbor(cls, raw: bytes) -> "SuitManifest":
@@ -77,6 +92,7 @@ class SuitManifest:
                 size=item[KEY_SIZE],
                 uri=item[KEY_URI],
                 name=item.get(KEY_NAME, "app"),
+                kind=item.get(KEY_KIND, KIND_IMAGE),
             )
         except KeyError as exc:
             raise ManifestError(f"manifest missing key {exc}") from None
@@ -84,6 +100,8 @@ class SuitManifest:
             raise ManifestError(
                 f"unsupported manifest version {manifest.version}"
             )
+        if manifest.kind not in MANIFEST_KINDS:
+            raise ManifestError(f"unknown manifest kind {manifest.kind!r}")
         if len(manifest.digest) != 32:
             raise ManifestError("digest must be 32 bytes of SHA-256")
         return manifest

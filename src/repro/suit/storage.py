@@ -3,11 +3,20 @@
 The paper stores deployed applications in RAM, addressed by the SUIT
 storage-location identifier (the hook UUID).  A slot remembers the image
 and the sequence number that installed it — the anti-rollback state.
+
+A registry may be bounded (``max_slots``): a real device has a fixed
+storage budget, and an update naming a storage location the device has no
+room for must fail cleanly *before* any install happens — the update
+worker turns :class:`StorageFullError` into a distinct rejection status.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+
+class StorageFullError(Exception):
+    """No free slot for a new storage location (device budget exhausted)."""
 
 
 @dataclass
@@ -29,11 +38,30 @@ class StorageRegistry:
     """All slots of one device."""
 
     slots: dict[str, StorageSlot] = field(default_factory=dict)
+    #: Maximum number of distinct storage locations; None means unbounded.
+    max_slots: int | None = None
+
+    def peek(self, location: str) -> StorageSlot | None:
+        """The slot for ``location`` if it exists, without creating it."""
+        return self.slots.get(location)
 
     def slot(self, location: str) -> StorageSlot:
         if location not in self.slots:
+            if (self.max_slots is not None
+                    and len(self.slots) >= self.max_slots):
+                raise StorageFullError(
+                    f"no free storage slot for {location!r} "
+                    f"({len(self.slots)}/{self.max_slots} in use)"
+                )
             self.slots[location] = StorageSlot(location=location)
         return self.slots[location]
+
+    def release_if_empty(self, location: str) -> None:
+        """Drop an unoccupied slot (undo a reservation that never
+        installed — a failed fetch must not consume the budget)."""
+        slot = self.slots.get(location)
+        if slot is not None and not slot.occupied:
+            del self.slots[location]
 
     def install(self, location: str, image: bytes,
                 sequence_number: int) -> StorageSlot:
@@ -44,7 +72,8 @@ class StorageRegistry:
         return slot
 
     def highest_sequence(self, location: str) -> int:
-        return self.slot(location).sequence_number
+        slot = self.peek(location)
+        return slot.sequence_number if slot is not None else -1
 
     @property
     def ram_bytes(self) -> int:

@@ -15,6 +15,13 @@ The full over-the-air deployment path of the paper:
 Every failure mode is a distinct status, and none of them disturb the
 running system: a malicious client (threat model §3) can at worst waste
 some radio budget.
+
+The pipeline is deliberately split into overridable steps —
+:meth:`SuitUpdateWorker._resolve_target` and
+:meth:`SuitUpdateWorker._activate` — so the whole-device *spec* update
+worker (:class:`~repro.suit.specworker.SpecUpdateWorker`) reuses the
+authentication, anti-rollback, storage-budget and block-transfer
+machinery and only swaps what a verified payload *means*.
 """
 
 from __future__ import annotations
@@ -25,8 +32,8 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.core.errors import UnknownHookError
 from repro.net.coap import CHANGED, BAD_REQUEST, CoapMessage
-from repro.suit.manifest import SuitEnvelope, SuitManifest
-from repro.suit.storage import StorageRegistry
+from repro.suit.manifest import KIND_IMAGE, SuitEnvelope, SuitManifest
+from repro.suit.storage import StorageFullError, StorageRegistry
 from repro.rtos.thread import Wait
 from repro.vm.program import Program
 
@@ -47,8 +54,11 @@ class UpdateStatus(enum.Enum):
     SIGNATURE_INVALID = "signature-invalid"
     SEQUENCE_REPLAY = "sequence-replay"
     UNKNOWN_HOOK = "unknown-storage-location"
+    WRONG_KIND = "manifest-kind-mismatch"
+    STORAGE_FULL = "storage-exhausted"
     FETCH_FAILED = "payload-fetch-failed"
     DIGEST_MISMATCH = "payload-digest-mismatch"
+    SPEC_INVALID = "spec-invalid"
     REJECTED = "pre-flight-rejected"
 
 
@@ -58,6 +68,8 @@ class UpdateResult:
     message: str = ""
     manifest: SuitManifest | None = None
     container: object = None
+    #: The :class:`~repro.deploy.plan.ApplyResult` of a spec update.
+    applied: object = None
     duration_us: float = 0.0
 
     @property
@@ -68,6 +80,12 @@ class UpdateResult:
 class SuitUpdateWorker:
     """One device's update processor, running in its own thread."""
 
+    #: Manifest kind this worker accepts; anything else is refused
+    #: before any radio budget is spent on the payload.
+    expected_kind = KIND_IMAGE
+    #: Name of the worker thread (one per worker flavour per device).
+    thread_name = "suit-worker"
+
     def __init__(
         self,
         engine: "HostingEngine",
@@ -76,6 +94,7 @@ class SuitUpdateWorker:
         repo_addr: str,
         repo_port: int = 5683,
         tenant: "Tenant | None" = None,
+        max_storage_slots: int | None = None,
     ) -> None:
         self.engine = engine
         self.kernel = engine.kernel
@@ -84,13 +103,13 @@ class SuitUpdateWorker:
         self.repo_addr = repo_addr
         self.repo_port = repo_port
         self.tenant = tenant
-        self.storage = StorageRegistry()
+        self.storage = StorageRegistry(max_slots=max_storage_slots)
         self.results: list[UpdateResult] = []
         self.on_result: Callable[[UpdateResult], None] | None = None
-        self._queue = self.kernel.new_event_queue("suit-worker")
+        self._queue = self.kernel.new_event_queue(self.thread_name)
         self._backlog: list[bytes] = []
         self.thread = self.kernel.create_thread(
-            "suit-worker", self._worker, priority=8, stack_size=4096
+            self.thread_name, self._worker, priority=8, stack_size=4096
         )
 
     # -- triggers ----------------------------------------------------------
@@ -143,12 +162,18 @@ class SuitUpdateWorker:
                 "COSE signature does not verify against the trust anchor",
                 manifest,
             )
+        if manifest.kind != self.expected_kind:
+            return UpdateResult(
+                UpdateStatus.WRONG_KIND,
+                f"this worker processes {self.expected_kind!r} manifests, "
+                f"got {manifest.kind!r}",
+                manifest,
+            )
 
-        # 2. Resolve the storage location and check anti-rollback state.
-        try:
-            hook = self.engine.hook_by_uuid(manifest.storage_location)
-        except UnknownHookError as exc:
-            return UpdateResult(UpdateStatus.UNKNOWN_HOOK, str(exc), manifest)
+        # 2. Resolve the target and check anti-rollback state.
+        target, failure = self._resolve_target(manifest)
+        if failure is not None:
+            return failure
         if manifest.sequence_number <= self.storage.highest_sequence(
             manifest.storage_location
         ):
@@ -158,6 +183,12 @@ class SuitUpdateWorker:
                 f"{self.storage.highest_sequence(manifest.storage_location)}",
                 manifest,
             )
+        # Reserve the storage slot *before* burning radio budget on a
+        # payload the device has no room to keep.
+        try:
+            self.storage.slot(manifest.storage_location)
+        except StorageFullError as exc:
+            return UpdateResult(UpdateStatus.STORAGE_FULL, str(exc), manifest)
 
         # 3. Fetch the payload block-wise from the repository.
         self.client.get_blockwise(
@@ -166,6 +197,7 @@ class SuitUpdateWorker:
             manifest.uri,
             on_complete=lambda blob: self._queue.post_new("payload", blob),
             on_error=lambda msg: self._queue.post_new("fetch-error", msg),
+            max_size=manifest.size,
         )
         while True:
             event = yield Wait(self._queue)
@@ -174,13 +206,17 @@ class SuitUpdateWorker:
                 continue
             break
         if event.kind == "fetch-error":
+            # Return the reservation: a failed fetch must not turn the
+            # bounded storage budget into a dead empty slot.
+            self.storage.release_if_empty(manifest.storage_location)
             return UpdateResult(UpdateStatus.FETCH_FAILED, event.payload,
                                 manifest)
         payload: bytes = event.payload
 
-        # 4. Integrity check, then install + attach.
+        # 4. Integrity check, then store and activate.
         thread.charge(SHA256_CYCLES_PER_BYTE * len(payload))
         if not manifest.matches_payload(payload):
+            self.storage.release_if_empty(manifest.storage_location)
             return UpdateResult(
                 UpdateStatus.DIGEST_MISMATCH,
                 "payload size/digest does not match the signed manifest",
@@ -188,6 +224,27 @@ class SuitUpdateWorker:
             )
         self.storage.install(manifest.storage_location, payload,
                              manifest.sequence_number)
+        return self._activate(manifest, target, payload)
+
+    # -- overridable steps -----------------------------------------------------
+
+    def _resolve_target(self, manifest: SuitManifest):
+        """Map the manifest's storage location onto a device object.
+
+        Returns ``(target, None)`` on success or ``(None, UpdateResult)``
+        when the location cannot be resolved.  The image worker resolves
+        a hook; the spec worker has no per-hook target.
+        """
+        try:
+            return self.engine.hook_by_uuid(manifest.storage_location), None
+        except UnknownHookError as exc:
+            return None, UpdateResult(UpdateStatus.UNKNOWN_HOOK, str(exc),
+                                      manifest)
+
+    def _activate(self, manifest: SuitManifest, target,
+                  payload: bytes) -> UpdateResult:
+        """Turn a stored, integrity-checked payload into running state."""
+        hook = target
         try:
             program = Program.from_bytes(payload, name=manifest.name)
             if hook.containers:

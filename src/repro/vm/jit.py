@@ -52,6 +52,8 @@ transpile/compile work once per image, not once per instance.
 
 from __future__ import annotations
 
+import struct as _struct
+
 from repro.vm import isa
 from repro.vm.imagecache import IMAGE_CACHE, CompiledTemplate
 from repro.vm.predecode import basic_blocks, find_leaders
@@ -124,8 +126,6 @@ def _bswap32(value: int) -> int:
 def _bswap64(value: int) -> int:
     return int.from_bytes((value & _M64).to_bytes(8, "little"), "big")
 
-
-import struct as _struct
 
 _JIT_GLOBALS = {
     "_div_fault": _div_fault,
@@ -467,7 +467,7 @@ class _Codegen:
         size = d.size
         self.emit(f"_a = {self.addr(d.src, d.offset)}")
         self.emit("_r = _mem._mru")
-        self.emit(f"if _r is not None and _r.start <= _a "
+        self.emit("if _r is not None and _r.start <= _a "
                   f"and _a + {size} <= _r._end and _r._perm_bits & 1:")
         self.emit(f"    r{d.dst} = _u{size}(_r._view, _a - _r.start)[0]")
         self.emit("else:")
@@ -478,7 +478,7 @@ class _Codegen:
         size = d.size
         self.emit(f"_a = {self.addr(d.dst, d.offset)}")
         self.emit("_r = _mem._mru")
-        self.emit(f"if _r is not None and _r.start <= _a "
+        self.emit("if _r is not None and _r.start <= _a "
                   f"and _a + {size} <= _r._end and _r._perm_bits & 2:")
         self.emit(f"    _p{size}(_r._view, _a - _r.start, "
                   f"{value} & {_SIZE_MASK[size]:#x})")

@@ -21,7 +21,7 @@ from repro.core import (
 from repro.core.container import VM_CLASSES
 from repro.rtos import Kernel, Sleep
 from repro.vm import assemble
-from repro.vm.helpers import BPF_FETCH_GLOBAL, BPF_STORE_GLOBAL
+from repro.vm.helpers import BPF_FETCH_GLOBAL
 from repro.workloads import thread_counter_program
 
 RETURN_7 = "mov r0, 7\n    exit"
@@ -89,6 +89,32 @@ class TestLifecycle:
         assert new.program is new_program
         assert [c.name for c in engine.hook(FC_HOOK_TIMER).containers] \
             == ["slot-a"]
+
+    def test_replace_with_rejected_image_restores_old_container(self, engine):
+        """Replace is failure-atomic: a new image the verifier rejects
+        must not leave the slot empty (regression: the old container
+        stayed detached)."""
+        old = engine.load(assemble(RETURN_7), name="slot-a")
+        engine.attach(old, FC_HOOK_TIMER)
+        with pytest.raises(AttachError, match="rejected"):
+            engine.replace(old, assemble("mov r10, 1\n    exit"))
+        assert engine.hook(FC_HOOK_TIMER).containers == [old]
+        assert old.state is ContainerState.ATTACHED
+        assert engine.execute(old).value == 7
+
+    def test_fault_total_survives_detach_and_replace(self, engine):
+        """The device-lifetime fault counter outlives the containers that
+        faulted — the signal canary gating reads."""
+        faulty = engine.load(
+            assemble("lddw r1, 0x10\n    ldxb r0, [r1]\n    exit"))
+        engine.attach(faulty, FC_HOOK_TIMER)
+        assert engine.fault_total == 0
+        engine.execute(faulty)
+        engine.execute(faulty)
+        assert engine.fault_total == 2
+        assert engine.fault_counts() == {(FC_HOOK_TIMER, "app"): 2}
+        engine.replace(faulty, assemble(RETURN_7))
+        assert engine.fault_total == 2  # survives the hot swap
 
     def test_all_implementations_attach_and_run(self, kernel):
         for implementation in VM_CLASSES:

@@ -8,7 +8,6 @@ import pytest
 from repro.core import (
     AttachError,
     FC_HOOK_FANOUT,
-    FC_HOOK_SCHED,
     FC_HOOK_TIMER,
     Hook,
     HookMode,
@@ -19,7 +18,6 @@ from repro.deploy import (
     CreateTenant,
     Detach,
     DeploymentSpec,
-    HookSpec,
     ImageSpec,
     Install,
     RegisterHook,

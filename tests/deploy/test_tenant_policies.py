@@ -1,0 +1,217 @@
+"""Per-tenant hook policies in the spec: round-trip, diffing, re-grant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FC_HOOK_TIMER
+from repro.core.policy import HookPolicy
+from repro.deploy import (
+    AttachmentSpec,
+    DeploymentSpec,
+    ImageSpec,
+    SetTenantPolicy,
+    SpecError,
+    apply_spec,
+    plan,
+)
+from repro.vm import assemble
+
+RETURN_7 = "mov r0, 7\n    exit"
+
+TIGHT = HookPolicy(max_instructions=64, branch_limit=100)
+TIGHTER = HookPolicy(max_instructions=16, branch_limit=100)
+
+
+def spec_with_policy(policy: HookPolicy | None, **overrides) -> DeploymentSpec:
+    fields = dict(
+        name="policied",
+        tenants=("alice",),
+        images={"seven": ImageSpec.from_program(
+            assemble(RETURN_7, name="seven"))},
+        attachments=(AttachmentSpec(
+            image="seven", hook=FC_HOOK_TIMER, tenant="alice",
+            name="sevener",
+            tenant_policies=({"alice": policy} if policy is not None
+                             else {}),
+        ),),
+    )
+    fields.update(overrides)
+    return DeploymentSpec(**fields)
+
+
+class TestRoundTrip:
+    def test_policies_survive_json(self):
+        spec = spec_with_policy(TIGHT)
+        rebuilt = DeploymentSpec.from_json(spec.to_json())
+        attachment = rebuilt.attachments[0]
+        assert attachment.tenant_policies == {"alice": TIGHT}
+        assert rebuilt.to_json() == spec.to_json()
+
+    def test_policies_survive_cbor(self):
+        spec = spec_with_policy(TIGHT)
+        rebuilt = DeploymentSpec.from_cbor(spec.to_cbor())
+        assert rebuilt.attachments[0].tenant_policies == {"alice": TIGHT}
+
+    def test_default_policy_fields_stay_compact(self):
+        doc = spec_with_policy(HookPolicy()).to_json()
+        assert doc["attachments"][0]["tenant_policies"] == {"alice": {}}
+
+    def test_no_policies_no_key(self):
+        doc = spec_with_policy(None).to_json()
+        assert "tenant_policies" not in doc["attachments"][0]
+
+    def test_memory_grants_round_trip(self):
+        from repro.core.policy import MemoryGrant
+        from repro.vm.memory import Permission
+
+        policy = HookPolicy(memory_grants=(
+            MemoryGrant("pkt", 0x2000, 128, Permission.READ_WRITE),
+        ))
+        spec = spec_with_policy(policy)
+        rebuilt = DeploymentSpec.from_json(spec.to_json())
+        assert rebuilt.attachments[0].tenant_policies["alice"] == policy
+
+
+class TestValidation:
+    def test_policy_for_unknown_tenant_rejected(self):
+        spec = spec_with_policy(None)
+        bad = DeploymentSpec(
+            name=spec.name, tenants=spec.tenants, images=spec.images,
+            attachments=(AttachmentSpec(
+                image="seven", hook=FC_HOOK_TIMER, tenant="alice",
+                name="sevener", tenant_policies={"mallory": TIGHT}),),
+        )
+        with pytest.raises(SpecError, match="unknown tenant"):
+            bad.validate()
+
+    def test_conflicting_policies_on_one_hook_rejected(self):
+        images = {"seven": ImageSpec.from_program(
+            assemble(RETURN_7, name="seven"))}
+        bad = DeploymentSpec(
+            name="conflict", tenants=("alice",), images=images,
+            attachments=(
+                AttachmentSpec(image="seven", hook=FC_HOOK_TIMER,
+                               tenant="alice", name="a",
+                               tenant_policies={"alice": TIGHT}),
+                AttachmentSpec(image="seven", hook=FC_HOOK_TIMER,
+                               tenant="alice", name="b",
+                               tenant_policies={"alice": TIGHTER}),
+            ),
+        )
+        with pytest.raises(SpecError, match="conflicting"):
+            bad.validate()
+
+    def test_agreeing_policies_merge(self):
+        images = {"seven": ImageSpec.from_program(
+            assemble(RETURN_7, name="seven"))}
+        spec = DeploymentSpec(
+            name="agree", tenants=("alice",), images=images,
+            attachments=(
+                AttachmentSpec(image="seven", hook=FC_HOOK_TIMER,
+                               tenant="alice", name="a",
+                               tenant_policies={"alice": TIGHT}),
+                AttachmentSpec(image="seven", hook=FC_HOOK_TIMER,
+                               tenant="alice", name="b",
+                               tenant_policies={"alice": TIGHT}),
+            ),
+        )
+        spec.validate()
+        assert spec.hook_tenant_policies() \
+            == {FC_HOOK_TIMER: {"alice": TIGHT}}
+
+
+class TestPlanDiffing:
+    def test_fresh_device_plans_policy_before_install(self, engine):
+        deployment = plan(engine, spec_with_policy(TIGHT))
+        kinds = [type(action).__name__ for action in deployment.actions]
+        assert kinds == ["CreateTenant", "SetTenantPolicy", "Install"]
+        policy_action = deployment.actions[1]
+        assert policy_action.tenant == "alice"
+        assert policy_action.policy == TIGHT
+
+    def test_apply_sets_live_hook_policy(self, engine):
+        apply_spec(engine, spec_with_policy(TIGHT))
+        hook = engine.hook(FC_HOOK_TIMER)
+        assert hook.tenant_policies == {"alice": TIGHT}
+        assert hook.policy_for("alice") is TIGHT
+        # The attached container was granted under the override.
+        container = hook.containers[0]
+        assert container.granted.max_instructions == 64
+
+    def test_converged_policy_plans_nothing(self, engine):
+        spec = spec_with_policy(TIGHT)
+        apply_spec(engine, spec)
+        assert plan(engine, spec).empty
+
+    def test_policy_edit_reinstalls_tenant_slots(self, engine):
+        apply_spec(engine, spec_with_policy(TIGHT))
+        deployment = plan(engine, spec_with_policy(TIGHTER))
+        kinds = [type(action).__name__ for action in deployment.actions]
+        # Detach precedes the policy flip so a failing apply unwinds
+        # back through the *old* ceiling.
+        assert kinds == ["Detach", "SetTenantPolicy", "Install"]
+
+    def test_policy_removal_clears_override_and_regrants(self, engine):
+        apply_spec(engine, spec_with_policy(TIGHT))
+        deployment = plan(engine, spec_with_policy(None))
+        actions = deployment.actions
+        assert isinstance(actions[1], SetTenantPolicy)
+        assert actions[1].policy is None
+        from repro.deploy import apply as apply_plan
+
+        apply_plan(engine, deployment)
+        hook = engine.hook(FC_HOOK_TIMER)
+        assert hook.tenant_policies == {}
+        assert hook.containers[0].granted.max_instructions \
+            == HookPolicy().max_instructions
+
+    def test_other_tenants_policies_never_touched(self, engine):
+        hook = engine.hook(FC_HOOK_TIMER)
+        foreign = HookPolicy(max_instructions=7)
+        hook.tenant_policies["mallory"] = foreign
+        apply_spec(engine, spec_with_policy(TIGHT))
+        assert hook.tenant_policies["mallory"] is foreign
+        deployment = plan(engine, spec_with_policy(None))
+        assert all(
+            not (isinstance(action, SetTenantPolicy)
+                 and action.tenant == "mallory")
+            for action in deployment.actions
+        )
+
+    def test_describe_mentions_policy_actions(self, engine):
+        text = plan(engine, spec_with_policy(TIGHT)).describe()
+        assert "tenant-policy" in text and "alice" in text
+
+
+class TestTransactionality:
+    def test_failed_apply_restores_previous_policy(self, engine):
+        apply_spec(engine, spec_with_policy(TIGHT))
+        # New policy is too tight for the image to verify: max 1
+        # instruction but the program has two.
+        impossible = HookPolicy(max_instructions=1)
+        with pytest.raises(Exception):
+            apply_spec(engine, spec_with_policy(impossible))
+        hook = engine.hook(FC_HOOK_TIMER)
+        assert hook.tenant_policies == {"alice": TIGHT}
+        assert hook.containers[0].granted.max_instructions == 64
+        assert plan(engine, spec_with_policy(TIGHT)).empty
+
+    def test_policy_that_rejects_contract_rolls_back(self, engine):
+        from repro.core.errors import AttachError
+        from repro.core.policy import ContainerContract
+
+        spec = spec_with_policy(None)
+        greedy = DeploymentSpec(
+            name=spec.name, tenants=spec.tenants, images=spec.images,
+            attachments=(AttachmentSpec(
+                image="seven", hook=FC_HOOK_TIMER, tenant="alice",
+                name="sevener",
+                contract=ContainerContract(stack_size=2048),
+                tenant_policies={"alice": HookPolicy(max_stack_size=512)},
+            ),),
+        )
+        with pytest.raises(AttachError, match="2048 B of stack"):
+            apply_spec(engine, greedy)
+        assert not engine.tenants
+        assert engine.hook(FC_HOOK_TIMER).tenant_policies == {}

@@ -12,7 +12,7 @@ import struct
 from repro.core import FC_HOOK_TIMER, HostingEngine
 from repro.femtoc import compile_source
 from repro.rtos import Kernel, nrf52840, synthetic_temperature
-from repro.workloads import KEY_SENSOR_AVG, KEY_SENSOR_RAW, sensor_program
+from repro.workloads import KEY_SENSOR_AVG, sensor_program
 
 SENSOR_FEMTOC = """
 var handle = saul_find(0x82);

@@ -1,0 +1,92 @@
+"""The CI bench-record checker must accept the repo and catch tampering."""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_bench  # noqa: E402  (path set up above)
+
+BENCH_FILES = sorted(check_bench.CHECKS)
+
+
+@pytest.fixture
+def bench_dir(tmp_path):
+    """A copy of the repo's bench records, safe to tamper with."""
+    for name in BENCH_FILES:
+        shutil.copy(REPO_ROOT / name, tmp_path / name)
+    return tmp_path
+
+
+def test_repo_records_pass(capsys):
+    assert check_bench.main([str(REPO_ROOT)]) == 0
+    out = capsys.readouterr().out
+    assert out.count("OK") >= len(BENCH_FILES)
+    assert "FAIL" not in out
+
+
+def test_all_expected_files_are_covered():
+    stray = sorted(path.name for path in REPO_ROOT.glob("BENCH_*.json")
+                   if path.name not in check_bench.CHECKS)
+    assert stray == [], f"bench records without a schema: {stray}"
+
+
+def test_missing_file_fails(bench_dir, capsys):
+    (bench_dir / "BENCH_canary.json").unlink()
+    assert check_bench.main([str(bench_dir)]) == 1
+    assert "file missing" in capsys.readouterr().out
+
+
+def test_malformed_json_fails(bench_dir, capsys):
+    (bench_dir / "BENCH_attach.json").write_text("{not json")
+    assert check_bench.main([str(bench_dir)]) == 1
+    assert "invalid JSON" in capsys.readouterr().out
+
+
+def test_missing_key_fails(bench_dir, capsys):
+    record = json.loads((bench_dir / "BENCH_deploy.json").read_text())
+    del record["warm_speedup_bar"]
+    (bench_dir / "BENCH_deploy.json").write_text(json.dumps(record))
+    assert check_bench.main([str(bench_dir)]) == 1
+    assert "missing required keys" in capsys.readouterr().out
+
+
+def test_regressed_ratio_fails(bench_dir, capsys):
+    record = json.loads((bench_dir / "BENCH_canary.json").read_text())
+    slow = record["devices"][0]["rollout_us"] * 0.9  # barely faster now
+    for row in record["devices"][1:]:
+        row["rollout_us"] = slow
+        row["speedup_vs_canary"] = round(
+            record["devices"][0]["rollout_us"] / slow, 2)
+    (bench_dir / "BENCH_canary.json").write_text(json.dumps(record))
+    assert check_bench.main([str(bench_dir)]) == 1
+    assert "bar" in capsys.readouterr().out
+
+
+def test_disturbed_control_devices_fail(bench_dir, capsys):
+    record = json.loads((bench_dir / "BENCH_canary.json").read_text())
+    record["rollback"]["control_devices_disturbed"] = 1
+    (bench_dir / "BENCH_canary.json").write_text(json.dumps(record))
+    assert check_bench.main([str(bench_dir)]) == 1
+    assert "disturbed" in capsys.readouterr().out
+
+
+def test_inconsistent_speedup_fails(bench_dir, capsys):
+    record = json.loads((bench_dir / "BENCH_throughput.json").read_text())
+    record["jit_speedup_vs_interpreter"] = 99.0  # lies about the ratio
+    (bench_dir / "BENCH_throughput.json").write_text(json.dumps(record))
+    assert check_bench.main([str(bench_dir)]) == 1
+    assert "does not match" in capsys.readouterr().out
+
+
+def test_stray_record_fails(bench_dir, capsys):
+    (bench_dir / "BENCH_mystery.json").write_text("{}")
+    assert check_bench.main([str(bench_dir)]) == 1
+    assert "without a schema" in capsys.readouterr().out

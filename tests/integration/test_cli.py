@@ -151,6 +151,20 @@ class TestCli:
         assert "modelled cycles identical across devices: True" in text
         assert "12 containers on 3 devices" in text
 
+    def test_canary_demo(self):
+        code, text = run_cli("canary", "--devices", "4", "--canaries", "1",
+                             "--bake-us", "600000", "--fires", "2")
+        assert code == 0
+        assert "ROLLED BACK" in text and "faults during bake" in text
+        assert "non-canary devices untouched: True" in text
+        assert "canaries reconverged on 'canary-base': True" in text
+        assert "PROMOTED" in text
+        assert "fleet converged on 'canary-fix': True" in text
+
+    def test_canary_rejects_bad_sizes(self):
+        code, text = run_cli("canary", "--devices", "2", "--canaries", "5")
+        assert code == 1 and "canary error" in text
+
     def test_compile_and_run_femtoc(self, tmp_path):
         source = tmp_path / "app.fc"
         source.write_text("var a = 6;\nreturn a * 7;\n")

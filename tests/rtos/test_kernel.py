@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.rtos import (
-    Kernel,
     Sleep,
     ThreadState,
     Wait,

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-from repro.rtos import Kernel
-
 
 class TestTimerEdgeCases:
     def test_same_deadline_fires_in_arming_order(self, kernel):

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.vm import DivisionFault, Interpreter, assemble, verify
+from repro.vm import DivisionFault, Interpreter, assemble
 
 from tests.conftest import run_program
 

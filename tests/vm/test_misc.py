@@ -16,7 +16,6 @@ from repro.vm import (
     assemble,
     compile_program,
     isa,
-    verify,
 )
 from repro.vm.compress import analyze, compress, decompress
 from repro.vm.instruction import make_wide

@@ -1,0 +1,265 @@
+#!/usr/bin/env python3
+"""Validate the repository's BENCH_*.json benchmark records.
+
+Every benchmark guard writes a machine-readable record at the repository
+root; this checker is the CI gate that keeps those records honest:
+
+* every expected ``BENCH_*.json`` exists and parses;
+* each record carries its required keys (schema drift fails CI);
+* every performance ratio is at (or above) the bar its guard enforces —
+  a regenerated record showing a regression fails even if someone forgot
+  to run the guard's own assertion.
+
+Run:  python tools/check_bench.py [repo_root]
+Exit status 0 when everything passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+class BenchError(Exception):
+    """A bench record is missing, malformed, or below its bar."""
+
+
+def _require(record: dict, keys: list[str], name: str) -> None:
+    missing = [key for key in keys if key not in record]
+    if missing:
+        raise BenchError(f"{name}: missing required keys {missing}")
+
+
+def _positive_number(value, what: str) -> float:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise BenchError(f"{what} must be a number, got {value!r}")
+    if value <= 0:
+        raise BenchError(f"{what} must be positive, got {value!r}")
+    return float(value)
+
+
+def check_throughput(record: dict) -> list[str]:
+    _require(
+        record,
+        [
+            "workload",
+            "unit",
+            "python",
+            "engines",
+            "jit_speedup_vs_interpreter",
+        ],
+        "BENCH_throughput",
+    )
+    engines = record["engines"]
+    for engine in ("interpreter", "certfc", "jit"):
+        if engine not in engines:
+            raise BenchError(f"BENCH_throughput: engine {engine!r} missing")
+        _positive_number(engines[engine], f"engines.{engine}")
+    # The simulator-performance bar: the template JIT must out-run the
+    # interpreter by 3x in wall time.
+    bar = 3.0
+    speedup = engines["jit"] / engines["interpreter"]
+    if speedup < bar:
+        raise BenchError(
+            f"BENCH_throughput: jit only {speedup:.2f}x interpreter "
+            f"(bar {bar}x)"
+        )
+    recorded = _positive_number(
+        record["jit_speedup_vs_interpreter"], "jit_speedup_vs_interpreter"
+    )
+    if abs(recorded - speedup) > 0.5:
+        raise BenchError(
+            f"BENCH_throughput: recorded speedup {recorded} does not match "
+            f"engines ratio {speedup:.2f}"
+        )
+    return [f"jit {speedup:.2f}x interpreter (bar {bar}x)"]
+
+
+def check_attach(record: dict) -> list[str]:
+    _require(
+        record,
+        ["workload", "unit", "python", "engines", "jit_speedup_bar"],
+        "BENCH_attach",
+    )
+    bar = _positive_number(record["jit_speedup_bar"], "jit_speedup_bar")
+    for engine, row in record["engines"].items():
+        _require(
+            row,
+            ["cold_us", "cached_us", "speedup", "attach_cycles"],
+            f"BENCH_attach.engines.{engine}",
+        )
+        cold = _positive_number(row["cold_us"], f"{engine}.cold_us")
+        cached = _positive_number(row["cached_us"], f"{engine}.cached_us")
+        ratio = cold / cached
+        recorded = _positive_number(row["speedup"], f"{engine}.speedup")
+        if abs(ratio - recorded) > max(0.5, 0.1 * ratio):
+            raise BenchError(
+                f"BENCH_attach: {engine} speedup {recorded} does not match "
+                f"cold/cached ratio {ratio:.2f}"
+            )
+    jit = record["engines"].get("jit")
+    if jit is None:
+        raise BenchError("BENCH_attach: jit engine missing")
+    if jit["speedup"] < bar:
+        raise BenchError(
+            f"BENCH_attach: cached jit attach only {jit['speedup']:.2f}x "
+            f"faster than cold (bar {bar}x)"
+        )
+    return [f"cached jit attach {jit['speedup']:.2f}x (bar {bar}x)"]
+
+
+def _check_device_speedups(
+    record: dict, name: str, bar_key: str, speedup_key: str, baseline_role: str
+) -> list[str]:
+    bar = _positive_number(record[bar_key], f"{name}.{bar_key}")
+    devices = record["devices"]
+    if not isinstance(devices, list) or len(devices) < 2:
+        raise BenchError(f"{name}: needs at least two device rows")
+    cold_us = _positive_number(
+        devices[0]["rollout_us"], f"{name}.devices[0].rollout_us"
+    )
+    warm = []
+    for row in devices[1:]:
+        _require(
+            row, ["device", "rollout_us", speedup_key], f"{name}.devices[]"
+        )
+        speedup = _positive_number(
+            row[speedup_key], f"{name}.{row['device']}.{speedup_key}"
+        )
+        row_us = _positive_number(
+            row["rollout_us"], f"{name}.{row['device']}.rollout_us"
+        )
+        ratio = cold_us / row_us
+        if abs(ratio - speedup) > max(0.5, 0.1 * ratio):
+            raise BenchError(
+                f"{name}: {row['device']} speedup {speedup} does not match "
+                f"rollout_us ratio {ratio:.2f}"
+            )
+        if speedup < bar:
+            raise BenchError(
+                f"{name}: {row['device']} only {speedup:.2f}x faster than "
+                f"{baseline_role} (bar {bar}x)"
+            )
+        warm.append(speedup)
+    return [
+        f"{len(warm)} warm devices {min(warm):.2f}..{max(warm):.2f}x "
+        f"over {baseline_role} (bar {bar}x)"
+    ]
+
+
+def check_deploy(record: dict) -> list[str]:
+    _require(
+        record,
+        [
+            "workload",
+            "unit",
+            "python",
+            "devices",
+            "cycles_per_device",
+            "warm_speedup_bar",
+        ],
+        "BENCH_deploy",
+    )
+    _positive_number(record["cycles_per_device"], "cycles_per_device")
+    return _check_device_speedups(
+        record,
+        "BENCH_deploy",
+        "warm_speedup_bar",
+        "speedup_vs_dev0",
+        "cold dev0",
+    )
+
+
+def check_canary(record: dict) -> list[str]:
+    _require(
+        record,
+        [
+            "workload",
+            "unit",
+            "python",
+            "rollback",
+            "devices",
+            "promoted_speedup_bar",
+        ],
+        "BENCH_canary",
+    )
+    rollback = record["rollback"]
+    _require(
+        rollback,
+        ["canary_faults", "control_devices_disturbed"],
+        "BENCH_canary.rollback",
+    )
+    if rollback["control_devices_disturbed"] != 0:
+        raise BenchError(
+            "BENCH_canary: rollback disturbed "
+            f"{rollback['control_devices_disturbed']} non-canary device(s)"
+        )
+    _positive_number(rollback["canary_faults"], "rollback.canary_faults")
+    if record["devices"][0].get("role") != "canary":
+        raise BenchError("BENCH_canary: first device row must be the canary")
+    notes = _check_device_speedups(
+        record,
+        "BENCH_canary",
+        "promoted_speedup_bar",
+        "speedup_vs_canary",
+        "cold canary",
+    )
+    notes.append(
+        f"poisoned bake faulted {rollback['canary_faults']}x on the canary, "
+        "0 control devices disturbed"
+    )
+    return notes
+
+
+#: File name -> checker.  Every entry is required to exist.
+CHECKS = {
+    "BENCH_throughput.json": check_throughput,
+    "BENCH_attach.json": check_attach,
+    "BENCH_deploy.json": check_deploy,
+    "BENCH_canary.json": check_canary,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+    failures = 0
+    for name, checker in CHECKS.items():
+        path = root / name
+        try:
+            if not path.exists():
+                raise BenchError(f"{name}: file missing at {path}")
+            try:
+                record = json.loads(path.read_text())
+            except json.JSONDecodeError as exc:
+                raise BenchError(f"{name}: invalid JSON ({exc})") from None
+            if not isinstance(record, dict):
+                raise BenchError(f"{name}: top level must be an object")
+            notes = checker(record)
+        except BenchError as error:
+            print(f"FAIL {error}")
+            failures += 1
+            continue
+        for note in notes:
+            print(f"OK   {name}: {note}")
+    stray = sorted(
+        path.name
+        for path in root.glob("BENCH_*.json")
+        if path.name not in CHECKS
+    )
+    if stray:
+        print(
+            f"FAIL unknown bench records without a schema: {stray} "
+            "(add a checker to tools/check_bench.py)"
+        )
+        failures += 1
+    if failures:
+        print(f"{failures} bench check(s) failed")
+        return 1
+    print(f"all {len(CHECKS)} bench records valid and above their bars")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
