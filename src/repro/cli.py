@@ -23,7 +23,13 @@ Small developer tools around the library:
 * ``canary``                    — canary fleet rollout: a poisoned spec
                                   rolls back on the canary subset without
                                   touching the rest, the fixed spec bakes
-                                  clean and promotes fleet-wide.
+                                  clean and promotes fleet-wide;
+* ``publish``                   — fleet-wide OTA publish: one signed spec
+                                  manifest fans out over a shared radio
+                                  link to every device's SpecUpdateWorker,
+                                  with anti-rollback, idempotent
+                                  republish, and a health-gated canary
+                                  stage for the poisoned/fixed pair.
 """
 
 from __future__ import annotations
@@ -425,6 +431,89 @@ def cmd_canary(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_publish(args: argparse.Namespace) -> int:
+    """Fleet-wide OTA publish demo: radio fan-out, replay, canary gate."""
+    from repro.deploy import plan
+    from repro.scenarios import build_fleet_publisher
+    from repro.vm.imagecache import IMAGE_CACHE
+
+    IMAGE_CACHE.clear()  # measure from a cold cache, deterministically
+    try:
+        if not 1 <= args.canaries <= args.devices:
+            raise ValueError(
+                f"--canaries {args.canaries} outside 1..{args.devices}"
+            )
+        boards = [board_by_name(args.board) for _ in range(args.devices)]
+        publisher = build_fleet_publisher(
+            boards=boards, implementation=args.impl, loss=args.loss)
+    except Exception as error:
+        print(f"publish error: {error}")
+        return 1
+    fleet = publisher.fleet
+    base, poisoned, fixed = _canary_specs()
+
+    def table(result) -> None:
+        print(f"{'device':8} {'role':9} {'status':17} {'actions':>7} "
+              f"{'wall ms':>8} {'cache':>12}")
+        for row in result.devices:
+            print(f"{row.device.name:8} {row.role:9} "
+                  f"{row.result.status.value:17} {row.actions:>7} "
+                  f"{row.wall_s * 1e3:>8.2f} "
+                  f"{row.cache_hits:>4} hits/{row.cache_misses} miss")
+
+    print(f"stage 1: publish {base.name!r} to all {args.devices} devices "
+          f"(one signed manifest, seq {publisher.sequence + 1})")
+    rollout = publisher.publish(base)
+    table(rollout)
+    speedups = rollout.speedups()
+    if speedups:
+        print("  cache-warm convergence speedup over dev0: "
+              + ", ".join(f"{s:.1f}x" for s in speedups))
+    converged = all(plan(device.engine, base).empty
+                    for device in fleet.devices)
+    print(f"  fleet converged off one publish: {converged}")
+
+    print("\nstage 2: replay the same sequence (anti-rollback, per device)")
+    replay = publisher.publish(base, sequence_number=rollout.sequence_number)
+    refused = all(row.result.status.value == "sequence-replay"
+                  for row in replay.devices)
+    print(f"  refused fleet-wide: {refused}")
+
+    print("\nstage 3: republish the same spec under a new sequence")
+    republish = publisher.publish(base)
+    idempotent = (republish.converged
+                  and all(row.actions == 0 for row in republish.devices))
+    print(f"  idempotent (zero actions everywhere): {idempotent}")
+
+    print(f"\nstage 4: canary publish of {poisoned.name!r} "
+          f"({args.canaries} canaries, health-gated)")
+    bad = publisher.publish(poisoned, canary_count=args.canaries,
+                            bake_us=args.bake_us, bake_fires=args.fires)
+    print(f"  -> {'ROLLED BACK' if bad.rolled_back else 'PROMOTED'}: "
+          f"{bad.reason}")
+    controls = fleet.devices[args.canaries:]
+    untouched = all(
+        all(res.manifest is None or res.manifest.name != poisoned.name
+            for res in device.radio.worker.results)
+        for device in controls)
+    print(f"  control devices never saw the poisoned manifest: {untouched}")
+
+    print(f"\nstage 5: canary publish of {fixed.name!r} (the fix)")
+    good = publisher.publish(fixed, canary_count=args.canaries,
+                             bake_us=args.bake_us, bake_fires=args.fires)
+    print(f"  -> {'PROMOTED' if good.promoted else 'ROLLED BACK'}: "
+          f"{good.reason}")
+    fixed_converged = all(plan(device.engine, fixed).empty
+                          for device in fleet.devices)
+    print(f"  fleet converged on {fixed.name!r}: {fixed_converged}")
+    ok = (rollout.converged
+          and (len(fleet.devices) < 2 or bool(speedups))
+          and refused and idempotent
+          and bad.rolled_back and untouched and good.promoted
+          and fixed_converged)
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Femto-Containers reproduction toolkit")
@@ -518,6 +607,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_canary.add_argument("--impl", default="jit",
                           choices=sorted(_VM_FACTORIES))
     p_canary.set_defaults(fn=cmd_canary)
+
+    p_publish = sub.add_parser(
+        "publish",
+        help="fleet-wide OTA publish over a shared radio link: fan-out, "
+             "anti-rollback replay, idempotent republish, health-gated "
+             "canary stage")
+    p_publish.add_argument("--devices", type=int, default=4)
+    p_publish.add_argument("--canaries", type=int, default=1,
+                           help="devices in the canary subset")
+    p_publish.add_argument("--loss", type=float, default=0.0,
+                           help="radio frame-loss probability")
+    p_publish.add_argument("--bake-us", type=float, default=1_000_000.0,
+                           help="virtual bake duration per canary (us)")
+    p_publish.add_argument("--fires", type=int, default=3,
+                           help="extra hook firings during the bake")
+    p_publish.add_argument("--board", default="cortex-m4",
+                           choices=sorted(BOARDS))
+    p_publish.add_argument("--impl", default="jit",
+                           choices=sorted(_VM_FACTORIES))
+    p_publish.set_defaults(fn=cmd_publish)
 
     p_shell = sub.add_parser(
         "shell", help="run device-shell commands on the showcase device")

@@ -488,6 +488,23 @@ class HostingEngine:
             seen.extend(hook.containers)
         return seen
 
+    def runtime_snapshot(
+        self,
+    ) -> dict[tuple[str, str], tuple[FemtoContainer, int, int]]:
+        """Per-slot ``(container, runs, modelled cycles)`` baseline.
+
+        Keyed by ``(hook name, container name)`` like
+        :meth:`fault_counts`.  The container *object* is part of the
+        snapshot on purpose: run and cycle counters live on the
+        instance, so a later reader can compute deltas even for a
+        container the engine fault-detached in the meantime (fleet
+        canary health gates rely on exactly that).
+        """
+        return {(container.hook.name, container.name):
+                (container, container.runs, container.total_cycles)
+                for container in self.containers()
+                if container.hook is not None}
+
     def fault_counts(self) -> dict[tuple[str, str], int]:
         """Per-slot fault counts of currently attached containers.
 

@@ -12,7 +12,12 @@ imperative ``create_tenant``/``load``/``attach`` primitives:
   hot-swapping edited images by content hash through ``engine.replace``;
 * :mod:`repro.deploy.fleet` — :class:`Fleet` stamps one spec onto N
   simulated devices, sharing the process-wide image cache across boards
-  with per-device clock/wall/cache accounting.
+  with per-device clock/wall/cache accounting; :class:`HealthGate`
+  judges canary bakes on faults, cycle budgets and store divergence;
+* :mod:`repro.deploy.publish` — :class:`FleetPublisher` signs one spec
+  manifest and fans it out over a shared radio link to every device's
+  ``SpecUpdateWorker`` trigger endpoint, with an optional health-gated
+  canary phase.
 
 Applying an unchanged spec twice plans zero actions; editing one image
 plans exactly one replace.  See the module docstrings for the full
@@ -25,6 +30,13 @@ from repro.deploy.fleet import (
     Fleet,
     FleetDevice,
     FleetRollout,
+    HealthGate,
+)
+from repro.deploy.publish import (
+    DevicePublish,
+    DeviceRadio,
+    FleetPublisher,
+    PublishResult,
 )
 from repro.deploy.plan import (
     Action,
@@ -62,11 +74,16 @@ __all__ = [
     "DeploymentPlan",
     "DeploymentSpec",
     "Detach",
+    "DevicePublish",
+    "DeviceRadio",
     "DeviceRollout",
     "Fleet",
     "FleetDevice",
+    "FleetPublisher",
     "FleetRollout",
+    "HealthGate",
     "HookSpec",
+    "PublishResult",
     "ImageSpec",
     "Install",
     "RegisterHook",

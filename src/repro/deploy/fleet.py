@@ -23,13 +23,14 @@ from __future__ import annotations
 import struct
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.core.engine import HostingEngine
 from repro.deploy.plan import ApplyResult, apply, plan
 from repro.deploy.spec import DeploymentSpec, HookSpec
 from repro.rtos.board import Board, nrf52840
 from repro.rtos.kernel import Kernel
+from repro.rtos.thread import ThreadState
 from repro.vm.imagecache import IMAGE_CACHE
 
 
@@ -40,10 +41,85 @@ class FleetDevice:
     name: str
     kernel: Kernel
     engine: HostingEngine
+    #: Radio rig (interface, CoAP endpoints, spec-update worker) wired by
+    #: :class:`~repro.deploy.publish.FleetPublisher`; ``None`` on a fleet
+    #: that is only driven directly by the simulator.
+    radio: object = None
 
     @property
     def board(self) -> Board:
         return self.kernel.board
+
+
+@dataclass(frozen=True)
+class HealthGate:
+    """Pluggable canary health policy, checked after the bake.
+
+    The default gate reproduces the PR 4 behavior: any contained fault
+    during the bake rolls the canaries back.  Beyond faults, a gate can
+    hold canaries to **modelled-cycle budgets** (a container whose new
+    image suddenly burns more cycles per run than the budget allows is
+    unhealthy even if it never faults) and to **KV-store agreement** with
+    the control devices (a new image that corrupts device-wide state in
+    the global store is caught by comparing the listed keys against a
+    control device still running the baseline).
+
+    All checks read simulator-observable state only — the gate never
+    fires hooks or advances any clock itself.
+    """
+
+    #: Contained faults tolerated per canary during the bake.
+    max_fault_delta: int = 0
+    #: Container name -> max modelled cycles per run during the bake.
+    #: A budget for a name no canary hosts is simply never checked.
+    cycle_budgets: Mapping[str, int] = field(default_factory=dict)
+    #: Global-store keys that must agree between each canary and every
+    #: control device (empty: no store check; no controls: skipped).
+    store_keys: tuple[int, ...] = ()
+
+    def breaches(
+        self,
+        device: FleetDevice,
+        before: dict,
+        fault_delta: int,
+        controls: Sequence[FleetDevice],
+    ) -> list[str]:
+        """Health violations of one baked canary (empty when healthy).
+
+        ``before`` is the engine's
+        :meth:`~repro.core.engine.HostingEngine.runtime_snapshot` taken
+        after the canary converged on the spec but before the bake.
+        """
+        problems: list[str] = []
+        if fault_delta > self.max_fault_delta:
+            problems.append(f"+{fault_delta} faults during bake")
+        for slot, (container, runs0, cycles0) in before.items():
+            budget = self.cycle_budgets.get(slot[1])
+            if budget is None:
+                continue
+            # The snapshot pins the container object, so a slot that
+            # fault-detached mid-bake is still accounted.
+            runs = container.runs - runs0
+            cycles = container.total_cycles - cycles0
+            if runs > 0 and cycles > budget * runs:
+                problems.append(
+                    f"{slot[1]} burned {cycles // runs} cycles/run "
+                    f"(budget {budget})"
+                )
+        if self.store_keys and controls:
+            canary_store = device.engine.global_store.snapshot()
+            for control in controls:
+                control_store = control.engine.global_store.snapshot()
+                for key in self.store_keys:
+                    mine = canary_store.get(key, 0)
+                    theirs = control_store.get(key, 0)
+                    if mine != theirs:
+                        problems.append(
+                            f"store key {key} diverged: {mine} vs "
+                            f"{theirs} on {control.name}"
+                        )
+                        break
+        return problems
 
 
 @dataclass
@@ -117,6 +193,8 @@ class CanaryRollout:
     rollback: list[DeviceRollout] = field(default_factory=list)
     #: Contained faults observed per canary device across apply + bake.
     fault_deltas: dict[str, int] = field(default_factory=dict)
+    #: Health-gate breaches per canary device (empty when healthy).
+    health: dict[str, list[str]] = field(default_factory=dict)
     promoted: bool = False
     rolled_back: bool = False
     reason: str = ""
@@ -202,6 +280,124 @@ class Fleet:
 
     # -- canary rollout --------------------------------------------------------
 
+    def _rollback_baseline(
+        self,
+        spec: DeploymentSpec,
+        canaries: Sequence[FleetDevice],
+    ) -> DeploymentSpec:
+        """Synthesize the rollback target when nothing was ever applied.
+
+        Rolling back then means detaching everything the spec owns, so
+        the synthesized baseline must claim the same scope as the spec —
+        its declared hooks *plus* the firmware hooks its attachments
+        target.  Firmware builds may differ across the fleet, so the
+        hook lookup is the **union across all canaries**: a pad compiled
+        only into a later canary's firmware still enters the baseline
+        scope (taking that canary's mode), otherwise tenantless
+        containers on it would survive the rollback.
+        """
+        hooks = {hook.name: hook for hook in spec.hooks}
+        for attachment in spec.attachments:
+            if attachment.hook in hooks:
+                continue
+            for canary in canaries:
+                live = canary.engine.hooks.get(attachment.hook)
+                if live is not None:
+                    hooks[attachment.hook] = HookSpec(attachment.hook,
+                                                      live.mode)
+                    break
+        return DeploymentSpec(
+            name=f"{spec.name}-rollback",
+            tenants=spec.tenants,
+            hooks=tuple(hooks.values()),
+        )
+
+    @staticmethod
+    def _worker_backlog(device: FleetDevice) -> bool:
+        """True while any THREAD-mode container still has unrun work.
+
+        Two places hide queued work: events sitting in a worker's queue
+        (``pending``) *and* an event already popped and delivered to a
+        worker thread that has not been scheduled since (the thread is
+        READY but its run — and any fault it would record — has not
+        happened yet).  The gate must wait out both.
+        """
+        for container in device.engine.containers():
+            queue = container.event_queue
+            if queue is None:
+                continue
+            if queue.pending:
+                return True
+            worker = container.worker
+            if worker is not None and worker.state is ThreadState.READY:
+                return True
+        return False
+
+    def _bake_device(
+        self,
+        device: FleetDevice,
+        bake_us: float,
+        bake_fires: int,
+        fired_hooks: Sequence[str],
+        context: bytes,
+    ) -> None:
+        """Run one canary's own workloads on its own virtual clock.
+
+        Periodic attachments fire on their declared cadence during the
+        ``bake_us`` window; every hook in ``fired_hooks`` is additionally
+        fired ``bake_fires`` times.  Before returning, THREAD-mode
+        worker backlogs are drained **unconditionally** — a periodic
+        attachment that enqueued work right at the end of the bake
+        window must still deliver its faults to the gate even when
+        ``bake_fires`` is zero (windows, not ``run_until_idle``: a
+        periodic attachment keeps a timer pending forever).
+        """
+        kernel = device.kernel
+        kernel.run(until_us=kernel.now_us + bake_us)
+        for _ in range(bake_fires):
+            for hook_name in fired_hooks:
+                if not device.engine.hooks[hook_name].containers:
+                    continue
+                device.engine.fire_hook(hook_name, context)
+        for _ in range(1000):
+            if not self._worker_backlog(device):
+                break
+            kernel.run(until_us=kernel.now_us + 10_000.0)
+
+    def _bake_and_gate(
+        self,
+        canaries: Sequence[FleetDevice],
+        controls: Sequence[FleetDevice],
+        spec: DeploymentSpec,
+        bake_us: float,
+        bake_fires: int,
+        bake_hooks: Sequence[str] | None,
+        bake_context: bytes | None,
+        health_gate: HealthGate,
+    ) -> tuple[dict[str, int], dict[str, list[str]]]:
+        """Bake every canary, then judge each against the health gate.
+
+        Returns ``(fault deltas, health breaches)`` per canary name;
+        the rollout is healthy iff every breach list is empty.
+        """
+        fired_hooks = list(bake_hooks) if bake_hooks is not None else sorted(
+            {a.hook for a in spec.attachments if a.period_us is None}
+        )
+        context = (bake_context if bake_context is not None
+                   else struct.pack("<QQ", 0, 0))
+        fault_deltas: dict[str, int] = {}
+        health: dict[str, list[str]] = {}
+        for device in canaries:
+            faults_before = device.engine.fault_total
+            snapshot_before = device.engine.runtime_snapshot()
+            self._bake_device(device, bake_us, bake_fires, fired_hooks,
+                              context)
+            delta = device.engine.fault_total - faults_before
+            fault_deltas[device.name] = delta
+            health[device.name] = health_gate.breaches(
+                device, snapshot_before, delta, controls)
+        return fault_deltas, health
+
     def canary_rollout(
         self,
         spec: DeploymentSpec,
@@ -212,6 +408,7 @@ class Fleet:
         bake_hooks: Sequence[str] | None = None,
         bake_context: bytes | None = None,
         baseline: DeploymentSpec | None = None,
+        health_gate: HealthGate | None = None,
     ) -> CanaryRollout:
         """Stage ``spec`` on a canary subset, bake, then promote or revert.
 
@@ -225,15 +422,19 @@ class Fleet:
            ``bake_us`` — periodic attachments fire on their declared
            cadence — and every spec hook is additionally fired
            ``bake_fires`` times (SYNC hooks run inline, THREAD hooks
-           drain through their worker threads before faults are read).
-        3. **Gate**: the canaries' device-lifetime fault counters
-           (:attr:`~repro.core.engine.HostingEngine.fault_total`) must
-           not have moved.  Zero faults promotes the spec to the
-           remaining devices (which ride the image cache the canaries
-           warmed); any fault rolls every canary back to ``baseline``
-           (default: the spec this fleet last converged on, or an empty
-           spec of the same scope) and leaves the rest of the fleet
-           untouched.
+           drain through their worker threads before the gate reads any
+           counter, whether or not extra fires were requested).
+        3. **Gate**: each canary must pass ``health_gate`` (default: the
+           device-lifetime fault counter
+           :attr:`~repro.core.engine.HostingEngine.fault_total` must not
+           have moved; a custom :class:`HealthGate` can additionally
+           hold per-container modelled-cycle budgets and global-store
+           agreement with the control devices).  A healthy bake promotes
+           the spec to the remaining devices (which ride the image cache
+           the canaries warmed); any breach rolls every canary back to
+           ``baseline`` (default: the spec this fleet last converged on,
+           or an empty spec of the same scope) and leaves the rest of
+           the fleet untouched.
         """
         if not 0.0 < canary_fraction <= 1.0:
             raise ValueError("canary_fraction must be in (0, 1]")
@@ -243,28 +444,14 @@ class Fleet:
             raise ValueError(
                 f"canary_count {canary_count} outside 1..{len(self.devices)}"
             )
+        if health_gate is None:
+            health_gate = HealthGate()
         canaries = self.devices[:canary_count]
         rest = self.devices[canary_count:]
         if baseline is None:
             baseline = self.current_spec
         if baseline is None:
-            # Nothing ever applied: rolling back means detaching
-            # everything the spec owns.  The synthesized baseline must
-            # claim the same scope as the spec — its declared hooks
-            # *plus* the firmware hooks its attachments target —
-            # otherwise tenantless containers on compiled-in hooks
-            # would survive the rollback.
-            hooks = {hook.name: hook for hook in spec.hooks}
-            live = canaries[0].engine.hooks
-            for attachment in spec.attachments:
-                if attachment.hook not in hooks and attachment.hook in live:
-                    hooks[attachment.hook] = HookSpec(
-                        attachment.hook, live[attachment.hook].mode)
-            baseline = DeploymentSpec(
-                name=f"{spec.name}-rollback",
-                tenants=spec.tenants,
-                hooks=tuple(hooks.values()),
-            )
+            baseline = self._rollback_baseline(spec, canaries)
         rollout = CanaryRollout(spec=spec, baseline=baseline, bake_us=bake_us)
 
         def revert(staged_rollouts: list[DeviceRollout]) -> None:
@@ -291,44 +478,20 @@ class Fleet:
                 revert(rollout.canary)
                 return rollout
 
-        # 2. Bake: run the canaries' own workloads on their own clocks.
-        fired_hooks = list(bake_hooks) if bake_hooks is not None else sorted(
-            {a.hook for a in spec.attachments if a.period_us is None}
+        # 2. Bake: run the canaries' own workloads on their own clocks,
+        # then judge each against the health gate.
+        rollout.fault_deltas, rollout.health = self._bake_and_gate(
+            canaries, rest, spec, bake_us, bake_fires, bake_hooks,
+            bake_context, health_gate,
         )
-        context = (bake_context if bake_context is not None
-                   else struct.pack("<QQ", 0, 0))
-        for device in canaries:
-            faults_before = device.engine.fault_total
-            kernel = device.kernel
-            kernel.run(until_us=kernel.now_us + bake_us)
-            for _ in range(bake_fires):
-                for hook_name in fired_hooks:
-                    if not device.engine.hooks[hook_name].containers:
-                        continue
-                    device.engine.fire_hook(hook_name, context)
-            if bake_fires:
-                # Drain THREAD-mode worker queues before reading the
-                # fault counters: windows, not run_until_idle (a
-                # periodic attachment keeps a timer pending forever),
-                # repeated until every attached worker's backlog is
-                # empty so no queued fault escapes the gate.
-                for _ in range(1000):
-                    if not any(
-                        container.event_queue is not None
-                        and container.event_queue.pending
-                        for container in device.engine.containers()
-                    ):
-                        break
-                    kernel.run(until_us=kernel.now_us + 10_000.0)
-            rollout.fault_deltas[device.name] = (
-                device.engine.fault_total - faults_before)
 
-        # 3. Gate on the fault counters.
-        faulted = {name: delta
-                   for name, delta in rollout.fault_deltas.items() if delta}
-        if faulted:
-            rollout.reason = "faults during bake: " + ", ".join(
-                f"{name} (+{delta})" for name, delta in sorted(faulted.items())
+        # 3. Gate: any breach reverts the canary subset.
+        unhealthy = {name: problems
+                     for name, problems in rollout.health.items() if problems}
+        if unhealthy:
+            rollout.reason = "health gate: " + "; ".join(
+                f"{name}: {', '.join(problems)}"
+                for name, problems in sorted(unhealthy.items())
             )
             revert(rollout.canary)
             return rollout
@@ -354,9 +517,17 @@ class Fleet:
         return rollout
 
     def fire_all(self, hook_name: str, context: bytes = b"") -> int:
-        """Fire one hook on every device; returns total container runs."""
+        """Fire one hook on every device; returns total container runs.
+
+        Heterogeneous firmware is expected: a device whose build does
+        not compile the pad simply does not participate (the fire is a
+        no-op there, not an error), and the runs of the devices that do
+        have it are still returned.
+        """
         runs = 0
         for device in self.devices:
+            if hook_name not in device.engine.hooks:
+                continue
             runs += len(device.engine.fire_hook(hook_name, context).runs)
         return runs
 

@@ -1,0 +1,433 @@
+"""Fleet-wide OTA publish: one signed spec fanned out over the radio.
+
+PR 4 closed the loop from signed spec to *single-device* reconciliation
+(:class:`~repro.suit.specworker.SpecUpdateWorker`), but the fleet still
+converged by the simulator reaching into each engine.  This module adds
+the missing radio path: a :class:`FleetPublisher` wires every
+:class:`~repro.deploy.fleet.FleetDevice` with a radio rig — an interface
+on one **shared broadcast link**, a device-side gcoap server exposing the
+worker's ``/suit/trigger`` endpoint, a CoAP client for the block-wise
+payload fetch, and a per-device ``SpecUpdateWorker`` — plus a
+maintainer-side repository serving the spec payload.
+
+:meth:`FleetPublisher.publish` then signs **one** manifest (one COSE
+envelope, one canonical CBOR payload) and POSTs it to every device's
+trigger endpoint.  Each device independently authenticates the envelope,
+enforces *its own* anti-rollback sequence, fetches the payload block-wise
+from the repository, and reconciles itself through ``plan``/``apply`` —
+so one publish produces N per-device convergences.  The wire payload is
+one; the *host-side* verify and JIT compile are also one, because every
+device's apply resolves through the content-addressed
+:data:`~repro.vm.imagecache.IMAGE_CACHE` — device 1 pays the cold
+compile in its apply slice and devices 2..N ride it (the
+``BENCH_publish.json`` guard holds that at >=5x).
+
+Each device keeps its **own virtual clock**, as everywhere in the fleet
+layer: the signature check, the SHA-256 digest, and the full modelled
+verify+install cost are charged per device, cold or cached.  The
+maintainer runs on a separate backhaul kernel that owns the link's
+airtime timers; :meth:`FleetPublisher.publish` co-runs all kernels in
+small interleaved windows until every triggered worker reported.
+
+With ``canary_count`` the publish is staged like
+:meth:`~repro.deploy.fleet.Fleet.canary_rollout`, but entirely over the
+radio: trigger the canaries, bake them, judge them against a
+:class:`~repro.deploy.fleet.HealthGate`, and only then trigger the rest
+of the fleet.  An unhealthy bake publishes the *baseline* spec back to
+the canaries — under a **new, higher** sequence number, because
+anti-rollback forbids re-announcing an old one — and never touches the
+control devices at all.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.deploy.fleet import Fleet, FleetDevice, HealthGate
+from repro.deploy.spec import DeploymentSpec
+from repro.net import coap
+from repro.net.coap import CoapMessage
+from repro.net.gcoap import CoapClient, CoapServer
+from repro.net.link import Interface, Link
+from repro.net.udp import UdpStack
+from repro.rtos.kernel import Kernel
+from repro.suit import ed25519
+from repro.suit.specworker import SpecUpdateWorker
+from repro.suit.worker import UpdateResult
+from repro.vm.imagecache import IMAGE_CACHE
+
+MAINTAINER_ADDR = "2001:db8::maint"
+DEVICE_ADDR_TEMPLATE = "2001:db8::dev{index}"
+COAP_PORT = 5683
+TRIGGER_PATH = "/suit/trigger"
+
+
+@dataclass
+class DeviceRadio:
+    """One fleet device's end of the shared link."""
+
+    addr: str
+    iface: Interface
+    udp: UdpStack
+    server: CoapServer
+    client: CoapClient
+    worker: SpecUpdateWorker
+
+
+@dataclass
+class DevicePublish:
+    """Accounting for one device's OTA convergence off one publish."""
+
+    device: FleetDevice
+    role: str
+    result: UpdateResult
+    wall_s: float
+    cycles_charged: int
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok
+
+    @property
+    def actions(self) -> int:
+        """Plan actions the device's reconcile executed (0 if refused)."""
+        applied = self.result.applied
+        return len(applied.plan.actions) if applied is not None else 0
+
+
+@dataclass
+class PublishResult:
+    """Outcome of one :meth:`FleetPublisher.publish`."""
+
+    spec: DeploymentSpec
+    sequence_number: int
+    payload_bytes: int
+    #: Per-device convergences in trigger order; on a canary publish the
+    #: canary entries come first, followed by control (promotion) or
+    #: rollback entries.
+    devices: list[DevicePublish] = field(default_factory=list)
+    #: Contained faults per canary during the bake (canary publish only).
+    fault_deltas: dict[str, int] = field(default_factory=dict)
+    #: Health-gate breaches per canary (canary publish only).
+    health: dict[str, list[str]] = field(default_factory=dict)
+    promoted: bool = False
+    rolled_back: bool = False
+    reason: str = ""
+
+    @property
+    def converged(self) -> bool:
+        """Every triggered device reconciled OK (no refusals)."""
+        return bool(self.devices) and all(row.ok for row in self.devices)
+
+    def by_role(self, role: str) -> list[DevicePublish]:
+        return [row for row in self.devices if row.role == role]
+
+    def speedups(self) -> list[float]:
+        """Wall speedup of each later device over the first (cold) one.
+
+        The first triggered device's apply slice pays the cold verify +
+        JIT compile; every later device converges off the same publish
+        through pure image-cache hits.
+        """
+        rows = [row for row in self.devices if row.role != "rollback"]
+        if len(rows) < 2:
+            return []
+        cold = rows[0].wall_s
+        return [cold / max(row.wall_s, 1e-9) for row in rows[1:]]
+
+
+class FleetPublisher:
+    """Maintainer-side OTA publisher for one :class:`Fleet`.
+
+    Construction wires the radio: one shared :class:`Link` (owned by a
+    dedicated backhaul kernel), the maintainer repository + trigger
+    client, and a full :class:`DeviceRadio` rig per fleet device
+    (stored on ``device.radio``).  Sequence numbers come from one
+    maintainer-wide epoch counter, which is also what makes the storage
+    registry's cross-location GC horizon meaningful.
+    """
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        maintainer_seed: bytes = bytes(range(32)),
+        loss: float = 0.0,
+        seed: int = 1234,
+        spec_uri: str = "/specs/fleet",
+        slot: str = "spec:fleet",
+        max_storage_slots: int | None = None,
+        storage_gc_horizon: int | None = None,
+    ) -> None:
+        self.fleet = fleet
+        self.maintainer_seed = maintainer_seed
+        self.spec_uri = spec_uri
+        self.slot = slot
+        self.sequence = 0
+        self.kernel = Kernel()  # the maintainer/backhaul side
+        self.link = Link(self.kernel, loss=loss, seed=seed)
+        maint_if = self.link.attach(Interface(MAINTAINER_ADDR))
+        maint_udp = UdpStack(maint_if)
+        self.repo = CoapServer(self.kernel, maint_udp.socket(COAP_PORT),
+                               threaded=False, name="spec-repo")
+        self.trigger_client = CoapClient(self.kernel,
+                                         maint_udp.socket(49900))
+        trust_anchor = ed25519.public_key(maintainer_seed)
+        for index, device in enumerate(fleet.devices):
+            addr = DEVICE_ADDR_TEMPLATE.format(index=index)
+            iface = self.link.attach(Interface(addr))
+            udp = UdpStack(iface)
+            server = CoapServer(device.kernel, udp.socket(COAP_PORT),
+                                threaded=False, name=f"{device.name}-coap")
+            client = CoapClient(device.kernel, udp.socket(49001))
+            worker = SpecUpdateWorker(
+                device.engine,
+                client,
+                trust_anchor=trust_anchor,
+                repo_addr=MAINTAINER_ADDR,
+                repo_port=COAP_PORT,
+                max_storage_slots=max_storage_slots,
+                storage_gc_horizon=storage_gc_horizon,
+            )
+            worker.register_trigger_resource(server, TRIGGER_PATH)
+            device.radio = DeviceRadio(addr=addr, iface=iface, udp=udp,
+                                       server=server, client=client,
+                                       worker=worker)
+
+    # -- wire plumbing -----------------------------------------------------
+
+    def _sign(self, spec: DeploymentSpec, sequence_number: int | None,
+              signer_seed: bytes | None) -> tuple[bytes, bytes, int]:
+        from repro.suit.specworker import sign_spec
+
+        if sequence_number is None:
+            self.sequence += 1
+            sequence_number = self.sequence
+        else:
+            self.sequence = max(self.sequence, sequence_number)
+        envelope, payload = sign_spec(
+            spec, sequence_number, self.spec_uri,
+            signer_seed if signer_seed is not None else self.maintainer_seed,
+            slot=self.slot,
+        )
+        self.repo.register_blob(self.spec_uri, lambda: payload)
+        return envelope, payload, sequence_number
+
+    def _trigger(self, devices: Sequence[FleetDevice],
+                 envelope: bytes) -> None:
+        """POST one envelope to each device's trigger endpoint."""
+        for device in devices:
+            request = CoapMessage(mtype=coap.CON, code=coap.POST,
+                                  payload=envelope)
+            request.add_uri_path(TRIGGER_PATH)
+            self.trigger_client.request(
+                device.radio.addr, COAP_PORT, request,
+                on_response=lambda _reply: None,
+            )
+
+    def _converge(
+        self,
+        devices: Sequence[FleetDevice],
+        role: str,
+        window_us: float,
+        max_windows: int,
+    ) -> list[DevicePublish]:
+        """Co-run all kernels until every triggered worker reported.
+
+        The backhaul kernel (which owns the link's delivery timers) and
+        each still-converging device kernel advance in interleaved
+        ``window_us`` slices of their own virtual clocks.  Wall time,
+        cycles and image-cache traffic are attributed to a device by
+        measuring around *its* kernel's slices — only one kernel runs at
+        a time, so the deltas are unambiguous.
+        """
+        state = {
+            device.name: {
+                "device": device,
+                "results_before": len(device.radio.worker.results),
+                "wall_s": 0.0,
+                "cycles_before": device.kernel.clock.cycles,
+                "hits": 0,
+                "misses": 0,
+            }
+            for device in devices
+        }
+        pending = {device.name for device in devices}
+        rows: list[DevicePublish] = []
+        for _ in range(max_windows):
+            self.kernel.run(until_us=self.kernel.now_us + window_us)
+            for device in devices:
+                if device.name not in pending:
+                    continue
+                entry = state[device.name]
+                hits_before = IMAGE_CACHE.hits
+                misses_before = IMAGE_CACHE.misses
+                start = time.perf_counter()
+                device.kernel.run(
+                    until_us=device.kernel.now_us + window_us)
+                entry["wall_s"] += time.perf_counter() - start
+                entry["hits"] += IMAGE_CACHE.hits - hits_before
+                entry["misses"] += IMAGE_CACHE.misses - misses_before
+                worker = device.radio.worker
+                if len(worker.results) > entry["results_before"]:
+                    pending.discard(device.name)
+                    rows.append(DevicePublish(
+                        device=device,
+                        role=role,
+                        result=worker.results[-1],
+                        wall_s=entry["wall_s"],
+                        cycles_charged=(device.kernel.clock.cycles
+                                        - entry["cycles_before"]),
+                        cache_hits=entry["hits"],
+                        cache_misses=entry["misses"],
+                    ))
+            if not pending:
+                break
+        if pending:
+            raise RuntimeError(
+                f"publish did not converge on {sorted(pending)} within "
+                f"{max_windows} windows of {window_us:.0f} us"
+            )
+        return rows
+
+    # -- the publish -------------------------------------------------------
+
+    def publish(
+        self,
+        spec: DeploymentSpec,
+        sequence_number: int | None = None,
+        signer_seed: bytes | None = None,
+        canary_count: int | None = None,
+        health_gate: HealthGate | None = None,
+        bake_us: float = 2_000_000.0,
+        bake_fires: int = 0,
+        bake_hooks: Sequence[str] | None = None,
+        bake_context: bytes | None = None,
+        window_us: float = 20_000.0,
+        max_windows: int = 4000,
+    ) -> PublishResult:
+        """Sign ``spec`` once and fan it out to the fleet over the radio.
+
+        Without ``canary_count`` every device is triggered at once off
+        the one envelope.  With it, the publish is health-gated: only
+        the first ``canary_count`` devices are triggered; after they
+        converge they are baked (``bake_us`` virtual microseconds each,
+        plus ``bake_fires`` explicit firings of the spec's hooks) and
+        judged against ``health_gate`` (default: zero contained faults).
+        A healthy bake triggers the remaining devices with the *same*
+        envelope — their applies ride the canary-warmed image cache; an
+        unhealthy one publishes the fleet baseline back to the canaries
+        under the next sequence number and leaves the rest untouched.
+
+        Anti-rollback holds per device: a ``sequence_number`` at or
+        below a device's stored sequence is refused by that device
+        (``SEQUENCE_REPLAY``) without any payload fetch.
+        """
+        fleet = self.fleet
+        envelope, payload, sequence_number = self._sign(
+            spec, sequence_number, signer_seed)
+        result = PublishResult(spec=spec, sequence_number=sequence_number,
+                               payload_bytes=len(payload))
+
+        if canary_count is None:
+            self._trigger(fleet.devices, envelope)
+            result.devices = self._converge(fleet.devices, "device",
+                                            window_us, max_windows)
+            if result.converged:
+                fleet.current_spec = spec
+                result.reason = (f"{len(result.devices)} devices "
+                                 "reconciled off one publish")
+            else:
+                refused = sorted(row.device.name for row in result.devices
+                                 if not row.ok)
+                result.reason = f"refused by {', '.join(refused)}"
+            return result
+
+        if not 1 <= canary_count <= len(fleet.devices):
+            raise ValueError(
+                f"canary_count {canary_count} outside 1..{len(fleet.devices)}"
+            )
+        if health_gate is None:
+            health_gate = HealthGate()
+        canaries = fleet.devices[:canary_count]
+        rest = fleet.devices[canary_count:]
+        baseline = fleet.current_spec
+        if baseline is None:
+            baseline = fleet._rollback_baseline(spec, canaries)
+
+        def publish_rollback(reason: str,
+                             targets: Sequence[FleetDevice]) -> PublishResult:
+            """OTA rollback: the baseline goes out as a *new* sequence
+            (anti-rollback forbids re-announcing an old one) and only to
+            the devices that converged on the bad spec — a control that
+            was never triggered is never touched."""
+            result.rolled_back = True
+            result.reason = reason
+            rollback_envelope, _, _ = self._sign(baseline, None, None)
+            self._trigger(targets, rollback_envelope)
+            result.devices.extend(self._converge(targets, "rollback",
+                                                 window_us, max_windows))
+            return result
+
+        # 1. Canary: trigger and converge the subset only.
+        self._trigger(canaries, envelope)
+        canary_rows = self._converge(canaries, "canary", window_us,
+                                     max_windows)
+        result.devices = canary_rows
+        refused = sorted(row.device.name for row in canary_rows
+                         if not row.ok)
+        if refused:
+            # A refused spec (replay, bad signature, rejected apply)
+            # never changed the refusing device — the worker's pipeline
+            # and the transactional apply guarantee that.  Canaries that
+            # *did* accept it, however, now run an unbaked spec and must
+            # be taken back to the baseline over the air.
+            accepted = [row.device for row in canary_rows if row.ok]
+            if accepted:
+                return publish_rollback(
+                    f"refused by canaries {', '.join(refused)}", accepted)
+            result.rolled_back = True
+            result.reason = (f"refused by canaries {', '.join(refused)}; "
+                             "devices unchanged")
+            return result
+
+        # 2. Bake + health gate, exactly as the direct canary rollout.
+        result.fault_deltas, result.health = fleet._bake_and_gate(
+            canaries, rest, spec, bake_us, bake_fires, bake_hooks,
+            bake_context, health_gate,
+        )
+        unhealthy = {name: problems
+                     for name, problems in result.health.items() if problems}
+        if unhealthy:
+            return publish_rollback(
+                "health gate: " + "; ".join(
+                    f"{name}: {', '.join(problems)}"
+                    for name, problems in sorted(unhealthy.items())
+                ),
+                canaries,
+            )
+
+        # 3. Promote: the rest of the fleet rides the warmed cache.
+        self._trigger(rest, envelope)
+        control_rows = self._converge(rest, "control", window_us,
+                                      max_windows)
+        result.devices.extend(control_rows)
+        refused = sorted(row.device.name for row in control_rows
+                         if not row.ok)
+        if refused:
+            # Take the whole fleet back: canaries plus every control
+            # that did accept the spec, so it never stays half-promoted.
+            promoted_ok = [row.device for row in control_rows if row.ok]
+            return publish_rollback(
+                f"promotion refused by {', '.join(refused)}",
+                list(canaries) + promoted_ok)
+        result.promoted = True
+        result.reason = (
+            f"{len(canaries)} canaries baked {bake_us:.0f} us healthy, "
+            f"{len(rest)} devices promoted"
+        )
+        fleet.current_spec = spec
+        return result

@@ -217,6 +217,39 @@ def build_spec_ota_rig(
     )
 
 
+def build_fleet_publisher(
+    devices: int = 4,
+    boards: list[Board] | None = None,
+    implementation: str = "jit",
+    loss: float = 0.0,
+    seed: int = 1234,
+    maintainer_seed: bytes = bytes(range(32)),
+    max_storage_slots: int | None = None,
+    storage_gc_horizon: int | None = None,
+):
+    """Fleet + maintainer wired for over-the-air fleet publishes.
+
+    The N-device analogue of :func:`build_spec_ota_rig`: every device
+    of a fresh :class:`~repro.deploy.Fleet` gets a radio rig on one
+    shared link and a :class:`~repro.suit.SpecUpdateWorker`, and the
+    returned :class:`~repro.deploy.FleetPublisher` signs one manifest
+    per publish and fans it out to all of them (``publisher.fleet`` is
+    the fleet).
+    """
+    from repro.deploy import Fleet, FleetPublisher
+
+    fleet = Fleet(boards if boards is not None else devices,
+                  implementation=implementation)
+    return FleetPublisher(
+        fleet,
+        maintainer_seed=maintainer_seed,
+        loss=loss,
+        seed=seed,
+        max_storage_slots=max_storage_slots,
+        storage_gc_horizon=storage_gc_horizon,
+    )
+
+
 def build_fanout_device(
     tenants: int = 2,
     instances_per_tenant: int = 4,

@@ -8,6 +8,17 @@ A registry may be bounded (``max_slots``): a real device has a fixed
 storage budget, and an update naming a storage location the device has no
 room for must fail cleanly *before* any install happens — the update
 worker turns :class:`StorageFullError` into a distinct rejection status.
+
+A registry may also garbage-collect (``gc_horizon``): a slot whose image
+was superseded long ago — its install sequence is ``gc_horizon`` or more
+behind the registry's newest sequence — has its image *bytes* dropped so
+detached-but-stored payloads stop pinning ``ram_bytes`` forever.  GC
+never touches anti-rollback state: the slot (and its sequence number)
+survives eviction, so a replayed old manifest is still refused, and the
+slot holding the newest sequence — the live one — is never evicted.
+Sequences are assumed to be drawn from one maintainer-wide epoch counter
+(as :class:`~repro.deploy.publish.FleetPublisher` does), which is what
+makes cross-location comparison meaningful.
 """
 
 from __future__ import annotations
@@ -40,6 +51,12 @@ class StorageRegistry:
     slots: dict[str, StorageSlot] = field(default_factory=dict)
     #: Maximum number of distinct storage locations; None means unbounded.
     max_slots: int | None = None
+    #: Auto-GC horizon: after every install, occupied slots whose
+    #: sequence is this far (or further) behind the newest sequence are
+    #: evicted.  None disables automatic GC; :meth:`gc` still works.
+    gc_horizon: int | None = None
+    #: Lifetime count of images dropped by GC (observability).
+    gc_evictions: int = 0
 
     def peek(self, location: str) -> StorageSlot | None:
         """The slot for ``location`` if it exists, without creating it."""
@@ -69,7 +86,35 @@ class StorageRegistry:
         slot.image = bytes(image)
         slot.sequence_number = sequence_number
         slot.installs += 1
+        if self.gc_horizon is not None:
+            self.gc()
         return slot
+
+    def gc(self, horizon: int | None = None) -> list[str]:
+        """Age out images whose sequence is ``horizon`` or more behind.
+
+        Drops the image *bytes* of every occupied slot with
+        ``sequence <= newest - horizon``; the slot itself — and with it
+        the anti-rollback sequence — is kept, so storage freed by GC
+        can never be re-filled by a replayed manifest.  The newest
+        sequence's slot is by construction never evicted (``horizon``
+        must be positive).  Returns the evicted locations.
+        """
+        if horizon is None:
+            horizon = self.gc_horizon
+        if horizon is None:
+            return []
+        if horizon < 1:
+            raise ValueError(f"gc horizon must be >= 1, got {horizon}")
+        newest = max((slot.sequence_number
+                      for slot in self.slots.values()), default=-1)
+        evicted = []
+        for slot in self.slots.values():
+            if slot.occupied and slot.sequence_number <= newest - horizon:
+                slot.image = b""
+                evicted.append(slot.location)
+        self.gc_evictions += len(evicted)
+        return evicted
 
     def highest_sequence(self, location: str) -> int:
         slot = self.peek(location)

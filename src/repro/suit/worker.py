@@ -95,6 +95,7 @@ class SuitUpdateWorker:
         repo_port: int = 5683,
         tenant: "Tenant | None" = None,
         max_storage_slots: int | None = None,
+        storage_gc_horizon: int | None = None,
     ) -> None:
         self.engine = engine
         self.kernel = engine.kernel
@@ -103,7 +104,8 @@ class SuitUpdateWorker:
         self.repo_addr = repo_addr
         self.repo_port = repo_port
         self.tenant = tenant
-        self.storage = StorageRegistry(max_slots=max_storage_slots)
+        self.storage = StorageRegistry(max_slots=max_storage_slots,
+                                       gc_horizon=storage_gc_horizon)
         self.results: list[UpdateResult] = []
         self.on_result: Callable[[UpdateResult], None] | None = None
         self._queue = self.kernel.new_event_queue(self.thread_name)

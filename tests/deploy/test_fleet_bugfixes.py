@@ -1,0 +1,199 @@
+"""Regression tests for the PR 5 canary-gate and fleet robustness fixes.
+
+Three bugs let faults (or stray containers) slip through the fleet layer:
+
+1. **Gate leak** — the bake drained THREAD-mode worker backlogs only when
+   ``bake_fires`` was non-zero, so a periodic THREAD attachment whose
+   firing landed at the very end of the ``kernel.run(bake_us)`` window
+   left its fault undelivered and the canary was *promoted*.
+2. **Heterogeneous rollback** — the synthesized rollback baseline looked
+   at ``canaries[0]``'s firmware hooks only; a pad compiled only into a
+   later canary was omitted from the baseline scope, so tenantless
+   containers on it survived rollback.
+3. **fire_all robustness** — firing a hook fleet-wide raised on the first
+   device whose firmware lacks the pad instead of skipping it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FC_HOOK_TIMER
+from repro.core.errors import UnknownHookError
+from repro.core.hooks import Hook, HookMode
+from repro.deploy import (
+    AttachmentSpec,
+    DeploymentSpec,
+    Fleet,
+    ImageSpec,
+    apply_spec,
+    plan,
+)
+from repro.vm import assemble
+from repro.vm.imagecache import IMAGE_CACHE
+
+GOOD = "mov r0, 7\n    exit"
+#: Verifies clean, dereferences an unmapped address at runtime.
+POISON = "lddw r1, 0x10\n    ldxb r0, [r1]\n    exit"
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    IMAGE_CACHE.clear()
+    yield
+    IMAGE_CACHE.clear()
+
+
+class TestBakeDrainGate:
+    """Satellite 1: the THREAD-backlog drain must not depend on bake_fires."""
+
+    @staticmethod
+    def _spec(name: str, victim_src: str) -> DeploymentSpec:
+        """A healthy periodic slot plus a passive victim on the same
+        THREAD hook: each periodic firing runs *both* containers, and
+        the healthy one (first in attach order) is scheduled first."""
+        return DeploymentSpec(
+            name=name, tenants=("ops",),
+            images={
+                "ok": ImageSpec.from_program(assemble(GOOD, name="ok")),
+                "app": ImageSpec.from_program(
+                    assemble(victim_src, name="app")),
+            },
+            attachments=(
+                AttachmentSpec(image="ok", hook=FC_HOOK_TIMER, tenant="ops",
+                               name="healthy", period_us=100_000.0),
+                AttachmentSpec(image="app", hook=FC_HOOK_TIMER, tenant="ops",
+                               name="victim"),
+            ),
+        )
+
+    def _offset_to_first_bake_firing(self) -> float:
+        """Virtual microseconds from bake start to the first periodic
+        firing, measured on a probe fleet that replays the exact staging
+        sequence (the simulator is deterministic, so a fresh identical
+        fleet reproduces the timing bit-for-bit)."""
+        fleet = Fleet(2)
+        fleet.apply(self._spec("base", GOOD))
+        device = fleet.devices[0]
+        fleet._converge(device, self._spec("v2", POISON))
+        deadline_cycles = device.kernel.timers.next_deadline()
+        return deadline_cycles / device.board.mhz - device.kernel.now_us
+
+    @pytest.mark.parametrize("epsilon_us", [1.0, 2.0, 5.0])
+    def test_tail_firing_fault_caught_with_zero_bake_fires(self, epsilon_us):
+        """Regression: the bake window ends between the periodic firing
+        and the poisoned worker's run.  The fault is only visible to the
+        gate if the drain runs even with ``bake_fires=0`` — the old
+        ``if bake_fires:`` guard promoted this faulting canary."""
+        offset = self._offset_to_first_bake_firing()
+        IMAGE_CACHE.clear()
+        fleet = Fleet(2)
+        base = self._spec("base", GOOD)
+        fleet.apply(base)
+        rollout = fleet.canary_rollout(
+            self._spec("v2", POISON), canary_count=1,
+            bake_us=offset + epsilon_us, bake_fires=0,
+        )
+        assert rollout.rolled_back and not rollout.promoted, (
+            "a faulting canary was promoted: the tail firing's fault "
+            "never reached the gate"
+        )
+        assert rollout.fault_deltas["dev0"] >= 1
+        assert plan(fleet.devices[0].engine, base).empty
+
+    def test_promotion_with_zero_fires_still_works_when_healthy(self):
+        offset = self._offset_to_first_bake_firing()
+        IMAGE_CACHE.clear()
+        fleet = Fleet(2)
+        fleet.apply(self._spec("base", GOOD))
+        release = self._spec("v2", "mov r0, 8\n    exit")
+        rollout = fleet.canary_rollout(release, canary_count=1,
+                                       bake_us=offset + 2.0, bake_fires=0)
+        assert rollout.promoted
+        # The drain ran the tail firing's work before the gate read it.
+        assert rollout.fault_deltas == {"dev0": 0}
+
+
+class TestHeterogeneousRollbackBaseline:
+    """Satellite 2: the synthesized baseline unions hooks of all canaries."""
+
+    @staticmethod
+    def _spec() -> DeploymentSpec:
+        return DeploymentSpec(
+            name="tenantless",
+            images={"app": ImageSpec.from_program(
+                assemble(POISON, name="app"))},
+            attachments=(
+                AttachmentSpec(image="app", hook="debug.pad", name="w"),
+            ),
+        )
+
+    def test_baseline_includes_later_canaries_firmware_hooks(self):
+        """Regression: ``debug.pad`` is compiled only into dev1's
+        firmware.  The old synthesis read ``canaries[0].engine.hooks``
+        only and dropped the pad from the baseline scope."""
+        fleet = Fleet(2)
+        fleet.devices[1].engine.register_hook(
+            Hook("debug.pad", mode=HookMode.SYNC))
+        baseline = fleet._rollback_baseline(self._spec(), fleet.devices)
+        pads = {hook.name: hook for hook in baseline.hooks}
+        assert "debug.pad" in pads
+        assert pads["debug.pad"].mode is HookMode.SYNC
+
+    def test_baseline_detaches_stray_container_on_later_canary(self):
+        """The unioned baseline actually owns — and detaches — the
+        tenantless container a heterogeneous canary hosts on its extra
+        pad (the container that previously survived rollback)."""
+        fleet = Fleet(2)
+        device = fleet.devices[1]
+        device.engine.register_hook(Hook("debug.pad", mode=HookMode.SYNC))
+        spec = self._spec()
+        apply_spec(device.engine, spec)
+        assert [c.name for c in device.engine.containers()] == ["w"]
+        baseline = fleet._rollback_baseline(spec, fleet.devices)
+        apply_spec(device.engine, baseline)
+        assert device.engine.containers() == []
+
+    def test_declared_hooks_keep_their_spec_modes(self):
+        fleet = Fleet(2)
+        fleet.devices[0].engine.register_hook(
+            Hook("debug.pad", mode=HookMode.THREAD))
+        baseline = fleet._rollback_baseline(self._spec(), fleet.devices)
+        pads = {hook.name: hook for hook in baseline.hooks}
+        # dev0 has the pad, so its mode (THREAD) wins over dev1's absence.
+        assert pads["debug.pad"].mode is HookMode.THREAD
+
+
+class TestFireAllHeterogeneous:
+    """Satellite 3: fire_all skips devices whose firmware lacks the pad."""
+
+    def test_fire_all_skips_devices_without_the_hook(self):
+        fleet = Fleet(3)
+        image = assemble(GOOD, name="app")
+        for index in (0, 2):
+            engine = fleet.devices[index].engine
+            engine.register_hook(Hook("debug.pad", mode=HookMode.SYNC))
+            engine.attach(engine.load(image, name=f"w{index}"), "debug.pad")
+        # dev1 has no debug.pad; previously this raised UnknownHookError.
+        runs = fleet.fire_all("debug.pad", b"")
+        assert runs == 2
+
+    def test_fire_all_on_universal_hook_unchanged(self):
+        fleet = Fleet(2)
+        image = assemble(GOOD, name="app")
+        for device in fleet.devices:
+            device.engine.attach(device.engine.load(image, name="w"),
+                                 FC_HOOK_TIMER)
+        # THREAD hooks enqueue rather than run inline: zero sync runs,
+        # but no error, and both devices' workers got the event.
+        fleet.fire_all(FC_HOOK_TIMER, b"\x00" * 16)
+        for device in fleet.devices:
+            device.kernel.run(until_us=device.kernel.now_us + 50_000.0)
+            assert device.engine.containers()[0].runs == 1
+
+    def test_fire_all_nowhere_returns_zero(self):
+        fleet = Fleet(2)
+        assert fleet.fire_all("debug.pad") == 0
+        with pytest.raises(UnknownHookError):
+            # Direct single-engine fires still surface the error.
+            fleet.devices[0].engine.fire_hook("debug.pad")

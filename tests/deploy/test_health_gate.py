@@ -1,0 +1,207 @@
+"""Canary health beyond faults: cycle budgets and store divergence.
+
+The :class:`~repro.deploy.HealthGate` extends the PR 4 fault-only gate:
+a canary whose new image never faults can still be unhealthy — it may
+burn far more modelled cycles per run than budgeted, or corrupt
+device-wide state in the global key-value store.  Both must roll the
+canaries back exactly like a fault; a canary that passes every check
+must still promote.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FC_HOOK_FANOUT
+from repro.core.hooks import HookMode
+from repro.deploy import (
+    AttachmentSpec,
+    DeploymentSpec,
+    Fleet,
+    HealthGate,
+    HookSpec,
+    ImageSpec,
+    plan,
+)
+from repro.vm import assemble
+from repro.vm.imagecache import IMAGE_CACHE
+
+#: Writes value ``v`` under global key 42 each run (a device-wide
+#: "status register" every device of the fleet must agree on).
+STORE = """
+    mov r1, 42
+    mov r2, {value}
+    call bpf_store_global
+    mov r0, 0
+    exit
+"""
+
+#: Burns ~{count} loop iterations of modelled cycles per run.
+SPIN = """
+    mov r6, {count}
+loop:
+    sub r6, 1
+    jne r6, 0, loop
+    mov r0, 0
+    exit
+"""
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    IMAGE_CACHE.clear()
+    yield
+    IMAGE_CACHE.clear()
+
+
+def make_spec(name: str, source: str) -> DeploymentSpec:
+    return DeploymentSpec(
+        name=name,
+        tenants=("ops",),
+        hooks=(HookSpec(FC_HOOK_FANOUT, HookMode.SYNC),),
+        images={"app": ImageSpec.from_program(assemble(source, name="app"))},
+        attachments=(AttachmentSpec(image="app", hook=FC_HOOK_FANOUT,
+                                    tenant="ops", name="worker"),),
+    )
+
+
+def converge_fleet(fleet: Fleet, spec: DeploymentSpec, fires: int) -> None:
+    """Apply ``spec`` everywhere and run it so every device has state."""
+    fleet.apply(spec)
+    for _ in range(fires):
+        fleet.fire_all(FC_HOOK_FANOUT, b"")
+
+
+class TestCycleBudget:
+    def test_cycle_budget_breach_rolls_back(self):
+        fleet = Fleet(3)
+        base = make_spec("base", SPIN.format(count=4))
+        fleet.apply(base)
+        hungry = make_spec("v2", SPIN.format(count=400))
+        rollout = fleet.canary_rollout(
+            hungry, canary_count=1, bake_us=100_000.0, bake_fires=2,
+            health_gate=HealthGate(cycle_budgets={"worker": 100}),
+        )
+        assert rollout.rolled_back and not rollout.promoted
+        assert "cycles/run" in rollout.reason
+        assert rollout.fault_deltas == {"dev0": 0}  # no fault, still bad
+        assert plan(fleet.devices[0].engine, base).empty
+
+    def test_generous_budget_promotes(self):
+        fleet = Fleet(3)
+        fleet.apply(make_spec("base", SPIN.format(count=4)))
+        release = make_spec("v2", SPIN.format(count=400))
+        rollout = fleet.canary_rollout(
+            release, canary_count=1, bake_us=100_000.0, bake_fires=2,
+            health_gate=HealthGate(cycle_budgets={"worker": 10_000_000}),
+        )
+        assert rollout.promoted
+        assert all(plan(device.engine, release).empty
+                   for device in fleet.devices)
+
+    def test_budget_for_unknown_slot_is_ignored(self):
+        fleet = Fleet(2)
+        fleet.apply(make_spec("base", SPIN.format(count=4)))
+        rollout = fleet.canary_rollout(
+            make_spec("v2", SPIN.format(count=8)), canary_count=1,
+            bake_us=50_000.0, bake_fires=1,
+            health_gate=HealthGate(cycle_budgets={"no-such-slot": 1}),
+        )
+        assert rollout.promoted
+
+    def test_slot_that_never_ran_passes(self):
+        """A budgeted slot with zero bake runs has nothing to judge."""
+        fleet = Fleet(2)
+        fleet.apply(make_spec("base", SPIN.format(count=4)))
+        rollout = fleet.canary_rollout(
+            make_spec("v2", SPIN.format(count=400)), canary_count=1,
+            bake_us=50_000.0, bake_fires=0,
+            health_gate=HealthGate(cycle_budgets={"worker": 1}),
+        )
+        assert rollout.promoted
+
+
+class TestStoreDivergence:
+    def test_store_divergence_rolls_back(self):
+        """The new image flips a device-wide status key the controls
+        still hold at the baseline value: unhealthy without any fault."""
+        fleet = Fleet(3)
+        base = make_spec("base", STORE.format(value=7))
+        converge_fleet(fleet, base, fires=1)
+        rollout = fleet.canary_rollout(
+            make_spec("v2", STORE.format(value=9)), canary_count=1,
+            bake_us=50_000.0, bake_fires=1,
+            health_gate=HealthGate(store_keys=(42,)),
+        )
+        assert rollout.rolled_back and not rollout.promoted
+        assert "store key 42 diverged" in rollout.reason
+        assert rollout.fault_deltas == {"dev0": 0}
+        assert plan(fleet.devices[0].engine, base).empty
+        # Control devices still hold the baseline value, untouched.
+        for device in fleet.devices[1:]:
+            assert device.engine.global_store.snapshot()[42] == 7
+
+    def test_agreeing_stores_promote(self):
+        """A rewrite that keeps the status key stable passes the gate."""
+        fleet = Fleet(3)
+        converge_fleet(fleet, make_spec("base", STORE.format(value=7)),
+                       fires=1)
+        same_value = make_spec(
+            "v2", "    mov r3, 0\n" + STORE.format(value=7).lstrip("\n"))
+        rollout = fleet.canary_rollout(
+            same_value, canary_count=1, bake_us=50_000.0, bake_fires=1,
+            health_gate=HealthGate(store_keys=(42,)),
+        )
+        assert rollout.promoted, rollout.reason
+
+    def test_all_canary_fleet_skips_store_check(self):
+        """With no control devices there is nothing to diverge from."""
+        fleet = Fleet(2)
+        converge_fleet(fleet, make_spec("base", STORE.format(value=7)),
+                       fires=1)
+        rollout = fleet.canary_rollout(
+            make_spec("v2", STORE.format(value=9)), canary_count=2,
+            bake_us=50_000.0, bake_fires=1,
+            health_gate=HealthGate(store_keys=(42,)),
+        )
+        assert rollout.promoted
+
+
+class TestGateComposition:
+    def test_default_gate_still_faults_only(self):
+        """No explicit gate: behavior identical to PR 4 (fault == bad)."""
+        poison = "lddw r1, 0x10\n    ldxb r0, [r1]\n    exit"
+        fleet = Fleet(2)
+        base = make_spec("base", SPIN.format(count=4))
+        fleet.apply(base)
+        rollout = fleet.canary_rollout(make_spec("v2", poison),
+                                       canary_count=1,
+                                       bake_us=50_000.0, bake_fires=1)
+        assert rollout.rolled_back
+        assert "faults during bake" in rollout.reason
+
+    def test_max_fault_delta_tolerance(self):
+        """A gate may tolerate a bounded number of contained faults."""
+        poison = "lddw r1, 0x10\n    ldxb r0, [r1]\n    exit"
+        fleet = Fleet(2)
+        fleet.apply(make_spec("base", SPIN.format(count=4)))
+        rollout = fleet.canary_rollout(
+            make_spec("v2", poison), canary_count=1,
+            bake_us=50_000.0, bake_fires=2,
+            health_gate=HealthGate(max_fault_delta=5),
+        )
+        assert rollout.promoted
+        assert rollout.fault_deltas["dev0"] == 2
+
+    def test_breaches_reported_per_canary(self):
+        fleet = Fleet(3)
+        converge_fleet(fleet, make_spec("base", STORE.format(value=7)),
+                       fires=1)
+        rollout = fleet.canary_rollout(
+            make_spec("v2", STORE.format(value=9)), canary_count=2,
+            bake_us=50_000.0, bake_fires=1,
+            health_gate=HealthGate(store_keys=(42,)),
+        )
+        assert rollout.rolled_back
+        assert set(rollout.health) == {"dev0", "dev1"}
+        assert all(problems for problems in rollout.health.values())

@@ -1,0 +1,226 @@
+"""Fleet-wide OTA publish: one signed manifest, N device convergences.
+
+:class:`~repro.deploy.FleetPublisher` signs one spec manifest and fans it
+out over a shared radio link to every device's
+:class:`~repro.suit.SpecUpdateWorker` trigger endpoint.  These tests hold
+the wire-level invariants: per-device anti-rollback, idempotent
+republish, per-device virtual-clock charging, and the health-gated
+canary stage that never touches untriggered control devices.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FC_HOOK_FANOUT
+from repro.core.hooks import HookMode
+from repro.deploy import (
+    AttachmentSpec,
+    DeploymentSpec,
+    HealthGate,
+    HookSpec,
+    ImageSpec,
+    plan,
+)
+from repro.scenarios import build_fleet_publisher
+from repro.suit import UpdateStatus
+from repro.suit.worker import SIG_VERIFY_CYCLES
+from repro.vm import assemble
+from repro.vm.imagecache import IMAGE_CACHE
+
+GOOD = "mov r0, 7\n    exit"
+BETTER = "mov r0, 8\n    exit"
+#: Verifies clean, dereferences an unmapped address at runtime.
+POISON = "lddw r1, 0x10\n    ldxb r0, [r1]\n    exit"
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    IMAGE_CACHE.clear()
+    yield
+    IMAGE_CACHE.clear()
+
+
+def make_spec(source: str, name: str = "release") -> DeploymentSpec:
+    return DeploymentSpec(
+        name=name,
+        tenants=("ops",),
+        hooks=(HookSpec(FC_HOOK_FANOUT, HookMode.SYNC),),
+        images={"app": ImageSpec.from_program(assemble(source, name="app"))},
+        attachments=(AttachmentSpec(image="app", hook=FC_HOOK_FANOUT,
+                                    tenant="ops", name="worker", count=2),),
+    )
+
+
+class TestPublishRoundTrip:
+    def test_one_publish_converges_the_fleet(self):
+        publisher = build_fleet_publisher(devices=3)
+        spec = make_spec(GOOD, "v1")
+        result = publisher.publish(spec)
+        assert result.converged
+        assert result.sequence_number == 1
+        assert [row.result.status for row in result.devices] \
+            == [UpdateStatus.OK] * 3
+        assert all(plan(device.engine, spec).empty
+                   for device in publisher.fleet.devices)
+        assert publisher.fleet.current_spec is spec
+
+    def test_virtual_clock_charged_per_device(self):
+        """The radio path charges every device its own signature-check,
+        digest and verify+install cycles — cache warmth is wall-clock
+        only, exactly the fleet-apply invariant."""
+        publisher = build_fleet_publisher(devices=3)
+        result = publisher.publish(make_spec(GOOD, "v1"))
+        for row in result.devices:
+            assert row.cycles_charged >= SIG_VERIFY_CYCLES
+        # Identical devices converging off one wire payload charge
+        # identical modelled cycles, cold or cache-warm.
+        assert len({row.cycles_charged for row in result.devices}) == 1
+
+    def test_warm_devices_ride_the_image_cache(self):
+        publisher = build_fleet_publisher(devices=3)
+        result = publisher.publish(make_spec(GOOD, "v1"))
+        first, *rest = result.devices
+        assert first.cache_misses > 0
+        assert all(row.cache_misses == 0 for row in rest)
+
+    def test_replayed_sequence_refused_fleet_wide(self):
+        publisher = build_fleet_publisher(devices=3)
+        spec = make_spec(GOOD, "v1")
+        publisher.publish(spec)
+        replay = publisher.publish(make_spec(BETTER, "v2"),
+                                   sequence_number=1)
+        assert not replay.converged
+        assert [row.result.status for row in replay.devices] \
+            == [UpdateStatus.SEQUENCE_REPLAY] * 3
+        # The refused spec changed nothing anywhere.
+        assert all(plan(device.engine, spec).empty
+                   for device in publisher.fleet.devices)
+        assert publisher.fleet.current_spec is spec
+
+    def test_idempotent_republish_converges_with_zero_actions(self):
+        publisher = build_fleet_publisher(devices=3)
+        spec = make_spec(GOOD, "v1")
+        publisher.publish(spec)
+        again = publisher.publish(spec)
+        assert again.converged
+        assert again.sequence_number == 2
+        assert all(row.actions == 0 for row in again.devices)
+        assert all("no actions" in row.result.message
+                   for row in again.devices)
+
+    def test_bad_signer_refused_without_device_changes(self):
+        publisher = build_fleet_publisher(devices=2)
+        spec = make_spec(GOOD, "v1")
+        publisher.publish(spec)
+        forged = publisher.publish(make_spec(BETTER, "v2"),
+                                   signer_seed=bytes(32))
+        assert not forged.converged
+        assert [row.result.status for row in forged.devices] \
+            == [UpdateStatus.SIGNATURE_INVALID] * 2
+        assert all(plan(device.engine, spec).empty
+                   for device in publisher.fleet.devices)
+
+    def test_lossy_link_still_converges(self):
+        """CoAP CON retransmission rides out frame loss on the shared
+        medium; the publish just takes more virtual time."""
+        publisher = build_fleet_publisher(devices=2, loss=0.05)
+        result = publisher.publish(make_spec(GOOD, "v1"))
+        assert result.converged
+
+
+class TestCanaryPublish:
+    def test_poisoned_publish_rolls_back_over_the_radio(self):
+        publisher = build_fleet_publisher(devices=4)
+        fleet = publisher.fleet
+        base = make_spec(GOOD, "base")
+        publisher.publish(base)
+        control_results = [len(device.radio.worker.results)
+                           for device in fleet.devices[1:]]
+        result = publisher.publish(make_spec(POISON, "v2"), canary_count=1,
+                                   bake_us=200_000.0, bake_fires=2)
+        assert result.rolled_back and not result.promoted
+        assert "faults during bake" in result.reason
+        assert result.fault_deltas["dev0"] > 0
+        # The rollback itself travelled over the radio as a *new*
+        # sequence (anti-rollback forbids re-announcing the old one).
+        rollback_rows = result.by_role("rollback")
+        assert len(rollback_rows) == 1 and rollback_rows[0].ok
+        assert publisher.sequence > result.sequence_number
+        # Control devices were never even triggered.
+        assert [len(device.radio.worker.results)
+                for device in fleet.devices[1:]] == control_results
+        # And the canary reconverged on the baseline.
+        assert plan(fleet.devices[0].engine, base).empty
+        assert fleet.current_spec is base
+
+    def test_healthy_canary_publish_promotes(self):
+        publisher = build_fleet_publisher(devices=4)
+        fleet = publisher.fleet
+        publisher.publish(make_spec(GOOD, "base"))
+        release = make_spec(BETTER, "v2")
+        result = publisher.publish(release, canary_count=1,
+                                   bake_us=200_000.0, bake_fires=2)
+        assert result.promoted and not result.rolled_back
+        assert len(result.by_role("canary")) == 1
+        assert len(result.by_role("control")) == 3
+        assert all(plan(device.engine, release).empty
+                   for device in fleet.devices)
+        assert fleet.current_spec is release
+        # Promotion rode the canary-warmed cache.
+        assert all(row.cache_misses == 0
+                   for row in result.by_role("control"))
+
+    def test_health_gate_applies_to_canary_publish(self):
+        publisher = build_fleet_publisher(devices=3)
+        publisher.publish(make_spec(GOOD, "base"))
+        result = publisher.publish(
+            make_spec(BETTER, "v2"), canary_count=1,
+            bake_us=100_000.0, bake_fires=2,
+            health_gate=HealthGate(cycle_budgets={"worker-0": 1}),
+        )
+        assert result.rolled_back
+        assert "cycles/run" in result.reason
+
+    def test_partial_canary_refusal_rolls_back_accepted_canaries(self):
+        """One canary's firmware cannot reconcile the spec (hook mode
+        mismatch); the other accepted it.  The accepted canary must not
+        be left running the unbaked spec — it gets the baseline back
+        over the air."""
+        from repro.core.hooks import Hook
+
+        publisher = build_fleet_publisher(devices=3)
+        fleet = publisher.fleet
+        base = DeploymentSpec(
+            name="base", tenants=("ops",),
+            images={"app": ImageSpec.from_program(
+                assemble(GOOD, name="app"))},
+            attachments=(AttachmentSpec(image="app", hook="fc.hook.timer",
+                                        tenant="ops", name="w"),),
+        )
+        publisher.publish(base)
+        # dev1's firmware compiles the fan-out pad in THREAD mode: a
+        # SYNC-declaring spec is irreconcilable there.
+        fleet.devices[1].engine.register_hook(
+            Hook(FC_HOOK_FANOUT, mode=HookMode.THREAD))
+        result = publisher.publish(make_spec(BETTER, "v2"), canary_count=2)
+        assert result.rolled_back
+        assert "refused by canaries dev1" in result.reason
+        rollback_rows = result.by_role("rollback")
+        assert [row.device.name for row in rollback_rows] == ["dev0"]
+        assert rollback_rows[0].ok
+        # Both canaries are back on (or still on) the baseline.
+        assert plan(fleet.devices[0].engine, base).empty
+        assert plan(fleet.devices[1].engine, base).empty
+        assert fleet.current_spec is base
+
+    def test_replay_to_canaries_aborts_without_rollback_traffic(self):
+        publisher = build_fleet_publisher(devices=3)
+        base = make_spec(GOOD, "base")
+        publisher.publish(base)
+        result = publisher.publish(make_spec(BETTER, "v2"),
+                                   sequence_number=1, canary_count=1)
+        assert result.rolled_back
+        assert "refused by canaries" in result.reason
+        assert result.by_role("rollback") == []
+        assert plan(publisher.fleet.devices[0].engine, base).empty

@@ -86,6 +86,51 @@ def test_inconsistent_speedup_fails(bench_dir, capsys):
     assert "does not match" in capsys.readouterr().out
 
 
+def test_accepted_replay_fails(bench_dir, capsys):
+    record = json.loads((bench_dir / "BENCH_publish.json").read_text())
+    record["replay_refused"] = False
+    (bench_dir / "BENCH_publish.json").write_text(json.dumps(record))
+    assert check_bench.main([str(bench_dir)]) == 1
+    assert "not refused" in capsys.readouterr().out
+
+
+def test_non_idempotent_republish_fails(bench_dir, capsys):
+    record = json.loads((bench_dir / "BENCH_publish.json").read_text())
+    record["republish_actions"] = 3
+    (bench_dir / "BENCH_publish.json").write_text(json.dumps(record))
+    assert check_bench.main([str(bench_dir)]) == 1
+    assert "republish" in capsys.readouterr().out
+
+
+def test_regressed_publish_speedup_fails(bench_dir, capsys):
+    record = json.loads((bench_dir / "BENCH_publish.json").read_text())
+    slow = record["devices"][0]["rollout_us"] * 0.9
+    for row in record["devices"][1:]:
+        row["rollout_us"] = slow
+        row["speedup_vs_dev0"] = round(
+            record["devices"][0]["rollout_us"] / slow, 2)
+    (bench_dir / "BENCH_publish.json").write_text(json.dumps(record))
+    assert check_bench.main([str(bench_dir)]) == 1
+    assert "bar" in capsys.readouterr().out
+
+
+def test_malformed_first_device_row_fails_cleanly(bench_dir, capsys):
+    """A broken first row must produce a FAIL report, not a traceback."""
+    record = json.loads((bench_dir / "BENCH_publish.json").read_text())
+    del record["devices"][0]["rollout_us"]
+    (bench_dir / "BENCH_publish.json").write_text(json.dumps(record))
+    assert check_bench.main([str(bench_dir)]) == 1
+    assert "missing required keys" in capsys.readouterr().out
+
+
+def test_empty_device_list_fails_cleanly(bench_dir, capsys):
+    record = json.loads((bench_dir / "BENCH_canary.json").read_text())
+    record["devices"] = []
+    (bench_dir / "BENCH_canary.json").write_text(json.dumps(record))
+    assert check_bench.main([str(bench_dir)]) == 1
+    assert "at least two device rows" in capsys.readouterr().out
+
+
 def test_stray_record_fails(bench_dir, capsys):
     (bench_dir / "BENCH_mystery.json").write_text("{}")
     assert check_bench.main([str(bench_dir)]) == 1

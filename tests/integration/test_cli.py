@@ -158,8 +158,21 @@ class TestCli:
         assert "ROLLED BACK" in text and "faults during bake" in text
         assert "non-canary devices untouched: True" in text
         assert "canaries reconverged on 'canary-base': True" in text
-        assert "PROMOTED" in text
+
+    def test_publish_demo(self):
+        code, text = run_cli("publish", "--devices", "3", "--canaries", "1",
+                             "--bake-us", "400000", "--fires", "2")
+        assert code == 0
+        assert "fleet converged off one publish: True" in text
+        assert "refused fleet-wide: True" in text
+        assert "idempotent (zero actions everywhere): True" in text
+        assert "ROLLED BACK" in text
+        assert "control devices never saw the poisoned manifest: True" in text
         assert "fleet converged on 'canary-fix': True" in text
+
+    def test_publish_rejects_bad_canary_count(self):
+        code, text = run_cli("publish", "--devices", "2", "--canaries", "3")
+        assert code == 1 and "publish error" in text
 
     def test_canary_rejects_bad_sizes(self):
         code, text = run_cli("canary", "--devices", "2", "--canaries", "5")

@@ -109,13 +109,23 @@ def check_attach(record: dict) -> list[str]:
     return [f"cached jit attach {jit['speedup']:.2f}x (bar {bar}x)"]
 
 
+def _device_rows(record: dict, name: str) -> list[dict]:
+    """The record's device rows, shape-checked before any indexing."""
+    devices = record.get("devices")
+    if not isinstance(devices, list) or len(devices) < 2:
+        raise BenchError(f"{name}: needs at least two device rows")
+    for row in devices:
+        if not isinstance(row, dict):
+            raise BenchError(f"{name}: device rows must be objects")
+    return devices
+
+
 def _check_device_speedups(
     record: dict, name: str, bar_key: str, speedup_key: str, baseline_role: str
 ) -> list[str]:
     bar = _positive_number(record[bar_key], f"{name}.{bar_key}")
-    devices = record["devices"]
-    if not isinstance(devices, list) or len(devices) < 2:
-        raise BenchError(f"{name}: needs at least two device rows")
+    devices = _device_rows(record, name)
+    _require(devices[0], ["device", "rollout_us"], f"{name}.devices[0]")
     cold_us = _positive_number(
         devices[0]["rollout_us"], f"{name}.devices[0].rollout_us"
     )
@@ -196,7 +206,7 @@ def check_canary(record: dict) -> list[str]:
             f"{rollback['control_devices_disturbed']} non-canary device(s)"
         )
     _positive_number(rollback["canary_faults"], "rollback.canary_faults")
-    if record["devices"][0].get("role") != "canary":
+    if _device_rows(record, "BENCH_canary")[0].get("role") != "canary":
         raise BenchError("BENCH_canary: first device row must be the canary")
     notes = _check_device_speedups(
         record,
@@ -212,12 +222,56 @@ def check_canary(record: dict) -> list[str]:
     return notes
 
 
+def check_publish(record: dict) -> list[str]:
+    _require(
+        record,
+        [
+            "workload",
+            "unit",
+            "python",
+            "payload_bytes",
+            "replay_refused",
+            "republish_actions",
+            "devices",
+            "warm_speedup_bar",
+        ],
+        "BENCH_publish",
+    )
+    _positive_number(record["payload_bytes"], "payload_bytes")
+    if record["replay_refused"] is not True:
+        raise BenchError(
+            "BENCH_publish: a replayed sequence number was not refused"
+        )
+    if record["republish_actions"] != 0:
+        raise BenchError(
+            "BENCH_publish: an idempotent republish planned "
+            f"{record['republish_actions']} action(s)"
+        )
+    if _device_rows(record, "BENCH_publish")[0].get("role") != "cold":
+        raise BenchError(
+            "BENCH_publish: first device row must be the cold device"
+        )
+    notes = _check_device_speedups(
+        record,
+        "BENCH_publish",
+        "warm_speedup_bar",
+        "speedup_vs_dev0",
+        "cold dev0",
+    )
+    notes.append(
+        f"one {record['payload_bytes']} B signed payload, replay refused, "
+        "republish idempotent"
+    )
+    return notes
+
+
 #: File name -> checker.  Every entry is required to exist.
 CHECKS = {
     "BENCH_throughput.json": check_throughput,
     "BENCH_attach.json": check_attach,
     "BENCH_deploy.json": check_deploy,
     "BENCH_canary.json": check_canary,
+    "BENCH_publish.json": check_publish,
 }
 
 
