@@ -29,7 +29,13 @@ Small developer tools around the library:
                                   link to every device's SpecUpdateWorker,
                                   with anti-rollback, idempotent
                                   republish, and a health-gated canary
-                                  stage for the poisoned/fixed pair.
+                                  stage for the poisoned/fixed pair;
+* ``chaos``                     — chaos-hardened publish: a seeded fault
+                                  plan crashes, stalls and loss-bursts
+                                  the fleet mid-publish and the rollout
+                                  still converges; a permanently dead
+                                  device degrades the result to an
+                                  UNREACHABLE row instead of raising.
 """
 
 from __future__ import annotations
@@ -514,6 +520,68 @@ def cmd_publish(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Chaos-hardened publish demo: crashes, loss bursts, self-healing."""
+    from repro.deploy import CrashAt, FaultInjector
+    from repro.scenarios import build_fleet_publisher
+    from repro.vm.imagecache import IMAGE_CACHE
+
+    IMAGE_CACHE.clear()
+    try:
+        boards = [board_by_name(args.board) for _ in range(args.devices)]
+        publisher = build_fleet_publisher(
+            boards=boards, implementation=args.impl, loss=args.loss)
+    except Exception as error:
+        print(f"chaos error: {error}")
+        return 1
+    names = [device.name for device in publisher.fleet.devices]
+    plan = FaultInjector.random_plan(
+        names, seed=args.seed, horizon_us=args.horizon_us,
+        crashes=args.crashes, bursts=args.bursts, stalls=args.stalls)
+    publisher.chaos = injector = FaultInjector(plan)
+    base, _, _ = _canary_specs()
+
+    def table(result) -> None:
+        print(f"{'device':8} {'status':17} {'retries':>7} {'reboots':>7} "
+              f"{'wall ms':>8}")
+        for row in result.devices:
+            print(f"{row.device.name:8} {row.result.status.value:17} "
+                  f"{row.retries:>7} {row.reboots:>7} "
+                  f"{row.wall_s * 1e3:>8.2f}")
+
+    print(f"stage 1: publish {base.name!r} to {args.devices} devices at "
+          f"{args.loss:.0%} frame loss under a seeded fault plan "
+          f"(seed {args.seed}: {args.crashes} crashes, {args.bursts} loss "
+          f"bursts, {args.stalls} stalls)")
+    for event in plan:
+        print(f"  t={event.at_us / 1e3:8.1f}ms  {event}")
+    rollout = publisher.publish(base)
+    table(rollout)
+    print(f"  converged: {rollout.converged}  "
+          f"(reboots {rollout.total_reboots}, "
+          f"re-triggers {rollout.total_retries})")
+    print(f"  injector: crashes={injector.crashes} "
+          f"reboots={injector.reboots} bursts={injector.bursts} "
+          f"stalls={injector.stalls} quiescent={injector.quiescent}")
+
+    print("\nstage 2: crash one device for good (it never reboots)")
+    publisher.chaos = FaultInjector(
+        [CrashAt(names[-1], at_us=1_000.0, down_us=None)])
+    partial = publisher.publish(base, max_windows=300)
+    table(partial)
+    unreachable = [row.device.name for row in partial.unreachable()]
+    print(f"  converged: {partial.converged} "
+          f"(unreachable: {', '.join(unreachable) or 'none'})")
+    print("  degraded gracefully instead of raising: True")
+    ok = (rollout.converged
+          and injector.quiescent
+          and not partial.converged
+          and unreachable == [names[-1]]
+          and all(row.ok for row in partial.devices
+                  if row.device.name != names[-1]))
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Femto-Containers reproduction toolkit")
@@ -627,6 +695,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_publish.add_argument("--impl", default="jit",
                            choices=sorted(_VM_FACTORIES))
     p_publish.set_defaults(fn=cmd_publish)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="chaos-hardened publish: seeded crashes, loss bursts and "
+             "stalls during a fleet OTA publish, plus a permanently dead "
+             "device that degrades the result instead of raising")
+    p_chaos.add_argument("--devices", type=int, default=4)
+    p_chaos.add_argument("--loss", type=float, default=0.10,
+                         help="base radio frame-loss probability")
+    p_chaos.add_argument("--seed", type=int, default=11,
+                         help="fault-plan seed")
+    p_chaos.add_argument("--crashes", type=int, default=2)
+    p_chaos.add_argument("--bursts", type=int, default=1,
+                         help="link loss bursts in the plan")
+    p_chaos.add_argument("--stalls", type=int, default=1)
+    p_chaos.add_argument("--horizon-us", type=float, default=400_000.0,
+                         help="virtual window the faults land in (us)")
+    p_chaos.add_argument("--board", default="cortex-m4",
+                         choices=sorted(BOARDS))
+    p_chaos.add_argument("--impl", default="jit",
+                         choices=sorted(_VM_FACTORIES))
+    p_chaos.set_defaults(fn=cmd_chaos)
 
     p_shell = sub.add_parser(
         "shell", help="run device-shell commands on the showcase device")

@@ -17,13 +17,26 @@ imperative ``create_tenant``/``load``/``attach`` primitives:
 * :mod:`repro.deploy.publish` — :class:`FleetPublisher` signs one spec
   manifest and fans it out over a shared radio link to every device's
   ``SpecUpdateWorker`` trigger endpoint, with an optional health-gated
-  canary phase.
+  canary phase, trigger retry with backoff, and crash/reboot recovery
+  (devices persist installed state to NVM and resume interrupted
+  fetches);
+* :mod:`repro.deploy.chaos` — :class:`FaultInjector` schedules device
+  crashes, reboots, link-loss bursts and stalls at virtual timestamps
+  from a deterministic plan; its module docstring carries the failure
+  modes table (crash point → observed status → recovery path).
 
 Applying an unchanged spec twice plans zero actions; editing one image
 plans exactly one replace.  See the module docstrings for the full
 reconcile model.
 """
 
+from repro.deploy.chaos import (
+    ChaosEvent,
+    CrashAt,
+    FaultInjector,
+    LinkLossBurst,
+    StallAt,
+)
 from repro.deploy.fleet import (
     CanaryRollout,
     DeviceRollout,
@@ -70,6 +83,8 @@ __all__ = [
     "AttachmentSpec",
     "BUILTIN_SPECS",
     "CanaryRollout",
+    "ChaosEvent",
+    "CrashAt",
     "CreateTenant",
     "DeploymentPlan",
     "DeploymentSpec",
@@ -77,11 +92,14 @@ __all__ = [
     "DevicePublish",
     "DeviceRadio",
     "DeviceRollout",
+    "FaultInjector",
     "Fleet",
     "FleetDevice",
     "FleetPublisher",
     "FleetRollout",
     "HealthGate",
+    "LinkLossBurst",
+    "StallAt",
     "HookSpec",
     "PublishResult",
     "ImageSpec",

@@ -1,0 +1,227 @@
+"""Fault injection for the OTA pipeline: crashes, reboots, loss, stalls.
+
+The SUIT workflow (§6 of the paper) is designed for devices that lose
+power at arbitrary instants and radios that drop most frames.  This
+module injects exactly those faults into a
+:class:`~repro.deploy.publish.FleetPublisher` run, deterministically: a
+:class:`FaultInjector` executes a *plan* of events pinned to virtual
+timestamps on the publisher's backhaul clock, so the same plan + the
+same seeds reproduce the same chaos bit for bit.
+
+Three event kinds exist:
+
+* :class:`CrashAt` — the device power-fails at ``at_us`` (all RAM state
+  dropped, NVM kept) and is rebooted ``down_us`` later by the publisher,
+  which rebuilds the kernel/engine/radio rig, restores storage from NVM
+  and re-activates installed state;
+* :class:`LinkLossBurst` — the shared link's frame-loss probability is
+  raised to ``loss`` for ``duration_us`` (a jammed or congested channel),
+  then restored;
+* :class:`StallAt` — the device stops being scheduled for
+  ``duration_us`` (wedged firmware, busy peripheral): it is neither dead
+  nor reachable, the publisher's retries must simply outlast it.
+
+Failure modes and recovery paths
+--------------------------------
+
+How a publish converges (or degrades) for each crash point, given an
+NVM-backed worker — this is the contract the kill-point sweep and the
+chaos tests pin down:
+
+========================  ==========================  ===========================================
+crash point               observed publish status     recovery path
+========================  ==========================  ===========================================
+before trigger arrives    row pending → retriggered   publisher backoff re-POSTs the trigger
+``decoded``/``verified``  no result → retriggered     re-trigger re-runs the full pipeline
+``resolved``/``reserved``  no result → retriggered    RAM reservation vanished with the RAM —
+                                                      nothing to release; re-trigger re-reserves
+mid-fetch (any block)     no result → retriggered     fetch checkpoint in NVM; resume from the
+                                                      last persisted block, not byte zero
+``fetched``/``checked``   no result → retriggered     payload was RAM-only → full re-fetch of
+                                                      the (cheap) remaining state
+``installed``             ``REBOOTED`` row            install hit NVM before the crash: reboot
+                                                      restores + re-activates it; the re-trigger
+                                                      is refused as a replay, which the
+                                                      publisher recognizes as convergence
+``activated``             ``REBOOTED`` row            same — activation is RAM state rebuilt by
+                                                      :meth:`~repro.suit.worker.SuitUpdateWorker.recover`
+device never reboots      ``UNREACHABLE`` row,        none — the publisher reports partial
+                          ``converged=False``         convergence instead of raising
+========================  ==========================  ===========================================
+
+Anti-rollback state lives in the same NVM records as the images, written
+atomically after the in-RAM install: no crash point can lose an accepted
+sequence number, and no crash point can strand a storage reservation
+(reservations are deliberately RAM-only).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.deploy.publish import FleetPublisher
+
+
+@dataclass(frozen=True)
+class CrashAt:
+    """Power-fail ``device`` at ``at_us``; reboot it ``down_us`` later.
+
+    ``down_us=None`` means the device never comes back — the publisher
+    must degrade to partial convergence (an ``UNREACHABLE`` row).
+    """
+
+    device: str
+    at_us: float
+    down_us: float | None = 500_000.0
+
+
+@dataclass(frozen=True)
+class LinkLossBurst:
+    """Raise the shared link's loss to ``loss`` for ``duration_us``."""
+
+    at_us: float
+    duration_us: float
+    loss: float = 0.9
+
+
+@dataclass(frozen=True)
+class StallAt:
+    """Freeze ``device``'s scheduling for ``duration_us`` (wedged, not dead)."""
+
+    device: str
+    at_us: float
+    duration_us: float
+
+
+ChaosEvent = CrashAt | LinkLossBurst | StallAt
+
+
+class FaultInjector:
+    """Executes a chaos plan against a fleet publisher's converge loop.
+
+    The publisher polls the injector once per converge window
+    (:meth:`poll`); every event whose ``at_us`` has passed on the
+    backhaul clock fires exactly once.  All state transitions happen at
+    window granularity of the *virtual* clocks — wall time never enters,
+    so a plan is exactly reproducible.
+    """
+
+    def __init__(self, plan: Sequence[ChaosEvent] = (),
+                 auto_reboot_us: float | None = None) -> None:
+        #: When set, any device found power-failed *outside* the plan —
+        #: e.g. a kill-point hook raising
+        #: :class:`~repro.rtos.errors.PowerFailure` mid-pipeline — is
+        #: rebooted this long after the injector first sees it down.
+        self.auto_reboot_us = auto_reboot_us
+        self._pending: list[ChaosEvent] = sorted(plan, key=lambda e: e.at_us)
+        #: Device name -> virtual instant to reboot it (None: never).
+        self._down: dict[str, float | None] = {}
+        #: Device name -> virtual instant its stall ends.
+        self._stalled_until: dict[str, float] = {}
+        self._burst_until: float | None = None
+        self._base_loss: float | None = None
+        #: Observability counters.
+        self.crashes = 0
+        self.reboots = 0
+        self.bursts = 0
+        self.stalls = 0
+
+    @classmethod
+    def random_plan(
+        cls,
+        device_names: Sequence[str],
+        seed: int,
+        horizon_us: float,
+        crashes: int = 2,
+        bursts: int = 1,
+        stalls: int = 1,
+        down_us: float = 500_000.0,
+    ) -> list[ChaosEvent]:
+        """A seeded random plan over ``horizon_us`` of backhaul time."""
+        rng = random.Random(seed)
+        plan: list[ChaosEvent] = []
+        for _ in range(crashes):
+            plan.append(CrashAt(
+                device=rng.choice(list(device_names)),
+                at_us=rng.uniform(0.05, 0.8) * horizon_us,
+                down_us=down_us,
+            ))
+        for _ in range(bursts):
+            plan.append(LinkLossBurst(
+                at_us=rng.uniform(0.05, 0.7) * horizon_us,
+                duration_us=rng.uniform(0.05, 0.2) * horizon_us,
+                loss=rng.uniform(0.5, 0.9),
+            ))
+        for _ in range(stalls):
+            plan.append(StallAt(
+                device=rng.choice(list(device_names)),
+                at_us=rng.uniform(0.05, 0.7) * horizon_us,
+                duration_us=rng.uniform(0.05, 0.2) * horizon_us,
+            ))
+        return sorted(plan, key=lambda e: e.at_us)
+
+    # -- the converge-loop hooks -------------------------------------------
+
+    def stalled(self, device_name: str) -> bool:
+        """True while ``device_name`` must not be scheduled."""
+        return device_name in self._stalled_until
+
+    def poll(self, publisher: "FleetPublisher") -> None:
+        """Fire every due event; progress reboots, bursts and stalls."""
+        now = publisher.kernel.now_us
+        while self._pending and self._pending[0].at_us <= now:
+            self._fire(self._pending.pop(0), publisher, now)
+        if self.auto_reboot_us is not None:
+            for device in publisher.fleet.devices:
+                if device.kernel.halted and device.name not in self._down:
+                    # Crashed outside the plan (kill-point injection):
+                    # take its radio off the air and queue the reboot.
+                    publisher.crash_device(device)
+                    self.crashes += 1
+                    self._down[device.name] = now + self.auto_reboot_us
+        for name, reboot_at in list(self._down.items()):
+            if reboot_at is not None and now >= reboot_at:
+                del self._down[name]
+                publisher.reboot_device(publisher.device_by_name(name))
+                self.reboots += 1
+        if self._burst_until is not None and now >= self._burst_until:
+            publisher.link.loss = self._base_loss
+            self._burst_until = None
+            self._base_loss = None
+        for name, until in list(self._stalled_until.items()):
+            if now >= until:
+                del self._stalled_until[name]
+
+    def _fire(self, event: ChaosEvent, publisher: "FleetPublisher",
+              now: float) -> None:
+        if isinstance(event, CrashAt):
+            device = publisher.device_by_name(event.device)
+            if device.kernel.halted:
+                return  # already down — crashing a corpse is a no-op
+            publisher.crash_device(device)
+            self.crashes += 1
+            self._down[event.device] = (
+                None if event.down_us is None else now + event.down_us
+            )
+        elif isinstance(event, LinkLossBurst):
+            if self._burst_until is None:
+                self._base_loss = publisher.link.loss
+            publisher.link.loss = event.loss
+            self._burst_until = max(self._burst_until or 0.0,
+                                    now + event.duration_us)
+            self.bursts += 1
+        elif isinstance(event, StallAt):
+            self._stalled_until[event.device] = max(
+                self._stalled_until.get(event.device, 0.0),
+                now + event.duration_us,
+            )
+            self.stalls += 1
+
+    @property
+    def quiescent(self) -> bool:
+        """True once every planned fault has fired and resolved."""
+        return (not self._pending and not self._down
+                and self._burst_until is None and not self._stalled_until)

@@ -45,6 +45,13 @@ class FleetDevice:
     #: :class:`~repro.deploy.publish.FleetPublisher`; ``None`` on a fleet
     #: that is only driven directly by the simulator.
     radio: object = None
+    #: Persistent flash (:class:`~repro.rtos.nvm.NvmStore`) — owned by
+    #: the *device*, not the kernel, so it survives power cycles.
+    nvm: object = None
+    #: Per-device energy meter; survives reboots like the NVM does.
+    meter: object = None
+    #: Power cycles this device has been through.
+    reboots: int = 0
 
     @property
     def board(self) -> Board:
@@ -76,6 +83,14 @@ class HealthGate:
     #: Global-store keys that must agree between each canary and every
     #: control device (empty: no store check; no controls: skipped).
     store_keys: tuple[int, ...] = ()
+    #: Judge cycle budgets over a *sliding* bake window instead of the
+    #: whole-bake total: the tightest trailing window holding at least
+    #: this many runs must meet the budget.  A container with an
+    #: expensive first run (cache warm-up, lazy init) then stays healthy
+    #: as long as its steady state does; a container that *degrades*
+    #: mid-bake is caught even when early cheap runs would have diluted
+    #: the whole-bake average.  ``None`` keeps the whole-bake rule.
+    window_runs: int | None = None
 
     def breaches(
         self,
@@ -83,12 +98,16 @@ class HealthGate:
         before: dict,
         fault_delta: int,
         controls: Sequence[FleetDevice],
+        history: Sequence[Mapping] | None = None,
     ) -> list[str]:
         """Health violations of one baked canary (empty when healthy).
 
         ``before`` is the engine's
         :meth:`~repro.core.engine.HostingEngine.runtime_snapshot` taken
         after the canary converged on the spec but before the bake.
+        ``history`` (used with :attr:`window_runs`) is a series of
+        per-slot ``(runs, cycles)`` samples taken during the bake,
+        oldest first, as built by ``Fleet._bake_and_gate``.
         """
         problems: list[str] = []
         if fault_delta > self.max_fault_delta:
@@ -97,6 +116,14 @@ class HealthGate:
             budget = self.cycle_budgets.get(slot[1])
             if budget is None:
                 continue
+            if (self.window_runs is not None and history
+                    and len(history) >= 2):
+                judged, problem = self._window_verdict(slot, budget, history)
+                if judged:
+                    if problem:
+                        problems.append(problem)
+                    continue
+                # Too few runs for a full window: fall back to totals.
             # The snapshot pins the container object, so a slot that
             # fault-detached mid-bake is still accounted.
             runs = container.runs - runs0
@@ -120,6 +147,36 @@ class HealthGate:
                         )
                         break
         return problems
+
+    def _window_verdict(self, slot, budget: int,
+                        history: Sequence[Mapping]) -> tuple[bool, str]:
+        """Judge one slot over the tightest trailing bake window.
+
+        Walks sample intervals newest-first, accumulating until the
+        window holds at least :attr:`window_runs` runs, and holds that
+        window — not the whole bake — to the budget.  Returns
+        ``(judged, problem)``; ``judged`` is False when the whole bake
+        has fewer runs than one window (caller falls back to totals).
+        """
+        runs_acc = 0
+        cycles_acc = 0
+        for i in range(len(history) - 1, 0, -1):
+            newer = history[i].get(slot)
+            older = history[i - 1].get(slot)
+            if newer is None or older is None:
+                continue
+            runs_acc += newer[0] - older[0]
+            cycles_acc += newer[1] - older[1]
+            if runs_acc >= self.window_runs:
+                break
+        if runs_acc < self.window_runs:
+            return False, ""
+        if cycles_acc > budget * runs_acc:
+            return True, (
+                f"{slot[1]} burned {cycles_acc // runs_acc} cycles/run "
+                f"over the trailing {runs_acc}-run window (budget {budget})"
+            )
+        return True, ""
 
 
 @dataclass
@@ -387,15 +444,34 @@ class Fleet:
                    else struct.pack("<QQ", 0, 0))
         fault_deltas: dict[str, int] = {}
         health: dict[str, list[str]] = {}
+        # A sliding-window gate needs intra-bake samples; a whole-bake
+        # gate needs none — one slice keeps the classic behavior intact.
+        slices = 8 if health_gate.window_runs is not None else 1
         for device in canaries:
             faults_before = device.engine.fault_total
             snapshot_before = device.engine.runtime_snapshot()
-            self._bake_device(device, bake_us, bake_fires, fired_hooks,
-                              context)
+
+            def sample() -> dict:
+                # Read the *pinned* container objects from the pre-bake
+                # snapshot, so a slot replaced or fault-detached
+                # mid-bake keeps a continuous series.
+                return {slot: (container.runs, container.total_cycles)
+                        for slot, (container, _, _)
+                        in snapshot_before.items()}
+
+            history = [sample()]
+            for index in range(slices):
+                self._bake_device(
+                    device, bake_us / slices,
+                    bake_fires if index == slices - 1 else 0,
+                    fired_hooks, context,
+                )
+                history.append(sample())
             delta = device.engine.fault_total - faults_before
             fault_deltas[device.name] = delta
             health[device.name] = health_gate.breaches(
-                device, snapshot_before, delta, controls)
+                device, snapshot_before, delta, controls,
+                history=history if slices > 1 else None)
         return fault_deltas, health
 
     def canary_rollout(

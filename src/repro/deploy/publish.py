@@ -43,8 +43,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
+from repro.core.engine import HostingEngine
 from repro.deploy.fleet import Fleet, FleetDevice, HealthGate
 from repro.deploy.spec import DeploymentSpec
 from repro.net import coap
@@ -52,16 +53,34 @@ from repro.net.coap import CoapMessage
 from repro.net.gcoap import CoapClient, CoapServer
 from repro.net.link import Interface, Link
 from repro.net.udp import UdpStack
+from repro.rtos.energy import EnergyMeter
 from repro.rtos.kernel import Kernel
 from repro.suit import ed25519
 from repro.suit.specworker import SpecUpdateWorker
-from repro.suit.worker import UpdateResult
+from repro.suit.worker import UpdateResult, UpdateStatus
 from repro.vm.imagecache import IMAGE_CACHE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.deploy.chaos import FaultInjector
 
 MAINTAINER_ADDR = "2001:db8::maint"
 DEVICE_ADDR_TEMPLATE = "2001:db8::dev{index}"
 COAP_PORT = 5683
 TRIGGER_PATH = "/suit/trigger"
+
+#: App-level trigger retry: first re-POST after this backhaul-clock
+#: delay, doubling per attempt up to the cap.  This sits *on top of* the
+#: CoAP layer's own CON retransmissions — it covers the cases those
+#: cannot: a device that rebooted (new radio incarnation) or stayed dark
+#: past the whole CoAP exchange lifetime.
+TRIGGER_RETRY_BASE_US = 2_000_000.0
+TRIGGER_RETRY_CAP_US = 16_000_000.0
+MAX_TRIGGER_ATTEMPTS = 8
+
+#: Worker statuses worth a re-trigger: transient transport outcomes, not
+#: policy refusals.  A re-triggered fetch resumes from the NVM
+#: checkpoint, so retries get monotonically cheaper.
+RETRYABLE_STATUSES = (UpdateStatus.FETCH_FAILED,)
 
 
 @dataclass
@@ -87,10 +106,17 @@ class DevicePublish:
     cycles_charged: int
     cache_hits: int
     cache_misses: int
+    #: Trigger re-POSTs this device needed beyond the first.
+    retries: int = 0
+    #: Power cycles this device went through during this convergence.
+    reboots: int = 0
 
     @property
     def ok(self) -> bool:
-        return self.result.ok
+        """Converged: a clean reconcile, or a reboot that kept the
+        published sequence in NVM (the device runs the update — it just
+        got there through its bootloader instead of a live apply)."""
+        return self.result.ok or self.result.status is UpdateStatus.REBOOTED
 
     @property
     def actions(self) -> int:
@@ -122,6 +148,19 @@ class PublishResult:
     def converged(self) -> bool:
         """Every triggered device reconciled OK (no refusals)."""
         return bool(self.devices) and all(row.ok for row in self.devices)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(row.retries for row in self.devices)
+
+    @property
+    def total_reboots(self) -> int:
+        return sum(row.reboots for row in self.devices)
+
+    def unreachable(self) -> list[DevicePublish]:
+        """Devices that never reported despite every retry."""
+        return [row for row in self.devices
+                if row.result.status is UpdateStatus.UNREACHABLE]
 
     def by_role(self, role: str) -> list[DevicePublish]:
         return [row for row in self.devices if row.role == role]
@@ -161,6 +200,7 @@ class FleetPublisher:
         slot: str = "spec:fleet",
         max_storage_slots: int | None = None,
         storage_gc_horizon: int | None = None,
+        use_nvm: bool = True,
     ) -> None:
         self.fleet = fleet
         self.maintainer_seed = maintainer_seed
@@ -175,29 +215,91 @@ class FleetPublisher:
                                threaded=False, name="spec-repo")
         self.trigger_client = CoapClient(self.kernel,
                                          maint_udp.socket(49900))
-        trust_anchor = ed25519.public_key(maintainer_seed)
+        self.trust_anchor = ed25519.public_key(maintainer_seed)
+        self._max_storage_slots = max_storage_slots
+        self._storage_gc_horizon = storage_gc_horizon
+        #: Fault injector driven once per converge window; ``None`` runs
+        #: an undisturbed publish.
+        self.chaos: "FaultInjector | None" = None
+        #: Per-device trigger state (attempts, acked, next retry) keyed
+        #: by device name; all timing on the backhaul clock.
+        self._triggers: dict[str, dict] = {}
         for index, device in enumerate(fleet.devices):
-            addr = DEVICE_ADDR_TEMPLATE.format(index=index)
-            iface = self.link.attach(Interface(addr))
-            udp = UdpStack(iface)
-            server = CoapServer(device.kernel, udp.socket(COAP_PORT),
-                                threaded=False, name=f"{device.name}-coap")
-            client = CoapClient(device.kernel, udp.socket(49001))
-            worker = SpecUpdateWorker(
-                device.engine,
-                client,
-                trust_anchor=trust_anchor,
-                repo_addr=MAINTAINER_ADDR,
-                repo_port=COAP_PORT,
-                max_storage_slots=max_storage_slots,
-                storage_gc_horizon=storage_gc_horizon,
-            )
-            worker.register_trigger_resource(server, TRIGGER_PATH)
-            device.radio = DeviceRadio(addr=addr, iface=iface, udp=udp,
-                                       server=server, client=client,
-                                       worker=worker)
+            if use_nvm and device.nvm is None:
+                device.nvm = device.kernel.board.nvm(device.kernel)
+            if device.meter is None:
+                device.meter = EnergyMeter(device.kernel.board)
+            self._wire_device(device, index)
 
     # -- wire plumbing -----------------------------------------------------
+
+    def _wire_device(self, device: FleetDevice, index: int) -> None:
+        """Build one device's radio rig (initial wiring and re-wiring
+        after a reboot — the NVM and energy meter persist, everything
+        else is rebuilt from scratch)."""
+        addr = DEVICE_ADDR_TEMPLATE.format(index=index)
+        iface = self.link.attach(Interface(addr))
+        udp = UdpStack(iface)
+        server = CoapServer(device.kernel, udp.socket(COAP_PORT),
+                            threaded=False, name=f"{device.name}-coap")
+        client = CoapClient(device.kernel, udp.socket(49001))
+        worker = SpecUpdateWorker(
+            device.engine,
+            client,
+            trust_anchor=self.trust_anchor,
+            repo_addr=MAINTAINER_ADDR,
+            repo_port=COAP_PORT,
+            max_storage_slots=self._max_storage_slots,
+            storage_gc_horizon=self._storage_gc_horizon,
+            nvm=device.nvm,
+        )
+        worker.register_trigger_resource(server, TRIGGER_PATH)
+        device.radio = DeviceRadio(addr=addr, iface=iface, udp=udp,
+                                   server=server, client=client,
+                                   worker=worker)
+        if device.meter is not None:
+            device.meter.track_interface(iface)
+
+    def device_by_name(self, name: str) -> FleetDevice:
+        for device in self.fleet.devices:
+            if device.name == name:
+                return device
+        raise KeyError(f"no fleet device named {name!r}")
+
+    # -- crash / reboot ----------------------------------------------------
+
+    def crash_device(self, device: FleetDevice) -> None:
+        """Power-fail one device *now*: RAM gone, radio off the air.
+
+        The interface is detached so in-flight frames land on a dead
+        radio instead of leaking into the next incarnation; the NVM and
+        the virtual clock (monotonic across power cycles) survive.
+        """
+        device.kernel.power_fail()
+        if device.radio is not None:
+            self.link.detach(device.radio.addr)
+
+    def reboot_device(self, device: FleetDevice) -> None:
+        """Boot a crashed device back up from its non-volatile state.
+
+        A fresh kernel continues the device's own monotonic clock and is
+        charged the boot cost; the engine and radio rig are rebuilt from
+        scratch; the spec worker restores its storage registry from NVM
+        and re-activates whatever was installed (the bootloader role).
+        """
+        index = self.fleet.devices.index(device)
+        old_clock = device.kernel.clock
+        board = device.kernel.board
+        if device.radio is not None:
+            self.link.detach(device.radio.addr)  # no-op after crash_device
+        kernel = Kernel(board, clock=old_clock)
+        kernel.clock.charge(board.reboot_cycles)
+        device.kernel = kernel
+        device.engine = HostingEngine(
+            kernel, implementation=self.fleet.implementation)
+        device.reboots += 1
+        self._wire_device(device, index)
+        device.radio.worker.recover()
 
     def _sign(self, spec: DeploymentSpec, sequence_number: int | None,
               signer_seed: bytes | None) -> tuple[bytes, bytes, int]:
@@ -218,14 +320,54 @@ class FleetPublisher:
 
     def _trigger(self, devices: Sequence[FleetDevice],
                  envelope: bytes) -> None:
-        """POST one envelope to each device's trigger endpoint."""
+        """Arm per-device trigger state and fire the first POST round.
+
+        Unacknowledged triggers are re-POSTed by :meth:`_pump_triggers`
+        with exponential backoff as the converge loop runs.
+        """
+        now = self.kernel.now_us
         for device in devices:
+            self._triggers[device.name] = {
+                "envelope": envelope,
+                "attempts": 0,
+                "acked": False,
+                "next_retry_us": now,
+            }
+        self._pump_triggers()
+
+    def _retrigger(self, name: str) -> None:
+        """Re-arm one device's trigger (straggler or rebooted device)."""
+        state = self._triggers.get(name)
+        if state is not None:
+            state["acked"] = False
+            state["next_retry_us"] = self.kernel.now_us
+
+    def _pump_triggers(self) -> None:
+        """POST every due, unacknowledged trigger (backhaul clock)."""
+        now = self.kernel.now_us
+        for name, state in self._triggers.items():
+            if state["acked"] or state["attempts"] >= MAX_TRIGGER_ATTEMPTS:
+                continue
+            if now < state["next_retry_us"]:
+                continue
+            device = self.device_by_name(name)
+            if device.kernel.halted or device.radio is None:
+                continue  # down right now: retry once it reboots
+            state["attempts"] += 1
+            state["next_retry_us"] = now + min(
+                TRIGGER_RETRY_BASE_US * 2 ** (state["attempts"] - 1),
+                TRIGGER_RETRY_CAP_US,
+            )
             request = CoapMessage(mtype=coap.CON, code=coap.POST,
-                                  payload=envelope)
+                                  payload=state["envelope"])
             request.add_uri_path(TRIGGER_PATH)
+
+            def on_response(_reply, state=state) -> None:
+                state["acked"] = True
+
             self.trigger_client.request(
                 device.radio.addr, COAP_PORT, request,
-                on_response=lambda _reply: None,
+                on_response=on_response,
             )
 
     def _converge(
@@ -234,6 +376,7 @@ class FleetPublisher:
         role: str,
         window_us: float,
         max_windows: int,
+        sequence_number: int | None = None,
     ) -> list[DevicePublish]:
         """Co-run all kernels until every triggered worker reported.
 
@@ -243,13 +386,25 @@ class FleetPublisher:
         cycles and image-cache traffic are attributed to a device by
         measuring around *its* kernel's slices — only one kernel runs at
         a time, so the deltas are unambiguous.
+
+        This loop is where the publish *self-heals*: each window it
+        polls the fault injector (if any), re-POSTs unacknowledged
+        triggers with backoff, re-triggers devices whose fetch failed
+        (they resume from the NVM checkpoint), and recognizes rebooted
+        devices — one whose NVM already holds ``sequence_number`` gets a
+        ``REBOOTED`` row, one that lost the update mid-flight gets
+        re-triggered.  A device that never reports despite every retry
+        degrades to an ``UNREACHABLE`` row instead of an exception:
+        partial convergence is an answer, not an error.
         """
         state = {
             device.name: {
                 "device": device,
+                "worker": device.radio.worker,
                 "results_before": len(device.radio.worker.results),
                 "wall_s": 0.0,
                 "cycles_before": device.kernel.clock.cycles,
+                "reboots_before": device.reboots,
                 "hits": 0,
                 "misses": 0,
             }
@@ -257,12 +412,67 @@ class FleetPublisher:
         }
         pending = {device.name for device in devices}
         rows: list[DevicePublish] = []
+
+        def finish(device: FleetDevice, entry: dict,
+                   result: UpdateResult) -> None:
+            pending.discard(device.name)
+            trigger = self._triggers.get(device.name, {})
+            rows.append(DevicePublish(
+                device=device,
+                role=role,
+                result=result,
+                wall_s=entry["wall_s"],
+                cycles_charged=(device.kernel.clock.cycles
+                                - entry["cycles_before"]),
+                cache_hits=entry["hits"],
+                cache_misses=entry["misses"],
+                retries=max(0, trigger.get("attempts", 1) - 1),
+                reboots=device.reboots - entry["reboots_before"],
+            ))
+
+        def holds_sequence(worker) -> bool:
+            return (sequence_number is not None
+                    and worker.storage.highest_sequence(self.slot)
+                    >= sequence_number)
+
         for _ in range(max_windows):
-            self.kernel.run(until_us=self.kernel.now_us + window_us)
+            if self.chaos is not None:
+                self.chaos.poll(self)
+            self._pump_triggers()
+            target_us = self.kernel.now_us + window_us
+            self.kernel.run(until_us=target_us)
+            if self.kernel.now_us < target_us:
+                # An idle backhaul (no in-flight frames, no pending CoAP
+                # retransmits) must still move through time: the retry
+                # backoff and the injector's reboot deadlines live on
+                # this clock.
+                self.kernel.clock.advance_to(
+                    self.kernel.clock.us_to_cycles(target_us))
             for device in devices:
                 if device.name not in pending:
                     continue
                 entry = state[device.name]
+                worker = device.radio.worker
+                if worker is not entry["worker"]:
+                    # The device power-cycled: fresh kernel, fresh
+                    # worker, storage restored from NVM.
+                    entry["worker"] = worker
+                    entry["results_before"] = len(worker.results)
+                    if holds_sequence(worker):
+                        # The install hit flash before the lights went
+                        # out; recovery re-activated it.  Converged.
+                        finish(device, entry, UpdateResult(
+                            UpdateStatus.REBOOTED,
+                            "power-cycled mid-publish; NVM held sequence "
+                            f"{sequence_number}, recovery re-activated it",
+                        ))
+                        continue
+                    self._retrigger(device.name)
+                if device.kernel.halted:
+                    continue  # crashed and not yet rebooted
+                if (self.chaos is not None
+                        and self.chaos.stalled(device.name)):
+                    continue  # wedged: gets no scheduling this window
                 hits_before = IMAGE_CACHE.hits
                 misses_before = IMAGE_CACHE.misses
                 start = time.perf_counter()
@@ -271,26 +481,51 @@ class FleetPublisher:
                 entry["wall_s"] += time.perf_counter() - start
                 entry["hits"] += IMAGE_CACHE.hits - hits_before
                 entry["misses"] += IMAGE_CACHE.misses - misses_before
-                worker = device.radio.worker
-                if len(worker.results) > entry["results_before"]:
-                    pending.discard(device.name)
-                    rows.append(DevicePublish(
-                        device=device,
-                        role=role,
-                        result=worker.results[-1],
-                        wall_s=entry["wall_s"],
-                        cycles_charged=(device.kernel.clock.cycles
-                                        - entry["cycles_before"]),
-                        cache_hits=entry["hits"],
-                        cache_misses=entry["misses"],
-                    ))
+                while len(worker.results) > entry["results_before"]:
+                    # Take the *first* unseen result for THIS publish: a
+                    # duplicate trigger (lost ACK, app-level re-POST)
+                    # appends a bonus SEQUENCE_REPLAY after the real
+                    # outcome, and a backlogged re-trigger from an
+                    # *earlier* publish can drain late — its verdict is
+                    # about that sequence, not this one.
+                    result = worker.results[entry["results_before"]]
+                    entry["results_before"] += 1
+                    if (sequence_number is not None
+                            and result.manifest is not None
+                            and result.manifest.sequence_number
+                            != sequence_number):
+                        continue  # stale: keep scanning
+                    trigger = self._triggers.get(device.name, {})
+                    if (result.status in RETRYABLE_STATUSES
+                            and trigger.get("attempts", 0)
+                            < MAX_TRIGGER_ATTEMPTS):
+                        # Transient failure: re-trigger; the fetch
+                        # resumes from the checkpointed block.
+                        self._retrigger(device.name)
+                        break
+                    if (result.status is UpdateStatus.SEQUENCE_REPLAY
+                            and device.reboots > entry["reboots_before"]
+                            and holds_sequence(worker)):
+                        # The re-trigger of a rebooted device raced its
+                        # recovery: the refusal *is* proof it converged.
+                        result = UpdateResult(
+                            UpdateStatus.REBOOTED,
+                            "rebooted with the published sequence in "
+                            "NVM; replay refusal confirms convergence",
+                        )
+                    finish(device, entry, result)
+                    break
             if not pending:
                 break
-        if pending:
-            raise RuntimeError(
-                f"publish did not converge on {sorted(pending)} within "
-                f"{max_windows} windows of {window_us:.0f} us"
-            )
+        for name in sorted(pending):
+            entry = state[name]
+            finish(entry["device"], entry, UpdateResult(
+                UpdateStatus.UNREACHABLE,
+                f"no report within {max_windows} windows of "
+                f"{window_us:.0f} us despite "
+                f"{self._triggers.get(name, {}).get('attempts', 0)} "
+                "trigger attempts",
+            ))
         return rows
 
     # -- the publish -------------------------------------------------------
@@ -335,15 +570,25 @@ class FleetPublisher:
         if canary_count is None:
             self._trigger(fleet.devices, envelope)
             result.devices = self._converge(fleet.devices, "device",
-                                            window_us, max_windows)
+                                            window_us, max_windows,
+                                            sequence_number=sequence_number)
             if result.converged:
                 fleet.current_spec = spec
                 result.reason = (f"{len(result.devices)} devices "
                                  "reconciled off one publish")
             else:
-                refused = sorted(row.device.name for row in result.devices
-                                 if not row.ok)
-                result.reason = f"refused by {', '.join(refused)}"
+                unreachable = sorted(row.device.name
+                                     for row in result.unreachable())
+                refused = sorted(
+                    row.device.name for row in result.devices
+                    if not row.ok
+                    and row.result.status is not UpdateStatus.UNREACHABLE)
+                parts = []
+                if refused:
+                    parts.append(f"refused by {', '.join(refused)}")
+                if unreachable:
+                    parts.append(f"unreachable: {', '.join(unreachable)}")
+                result.reason = "; ".join(parts)
             return result
 
         if not 1 <= canary_count <= len(fleet.devices):
@@ -366,16 +611,19 @@ class FleetPublisher:
             was never triggered is never touched."""
             result.rolled_back = True
             result.reason = reason
-            rollback_envelope, _, _ = self._sign(baseline, None, None)
+            rollback_envelope, _, rollback_seq = self._sign(baseline, None,
+                                                            None)
             self._trigger(targets, rollback_envelope)
-            result.devices.extend(self._converge(targets, "rollback",
-                                                 window_us, max_windows))
+            result.devices.extend(self._converge(
+                targets, "rollback", window_us, max_windows,
+                sequence_number=rollback_seq))
             return result
 
         # 1. Canary: trigger and converge the subset only.
         self._trigger(canaries, envelope)
         canary_rows = self._converge(canaries, "canary", window_us,
-                                     max_windows)
+                                     max_windows,
+                                     sequence_number=sequence_number)
         result.devices = canary_rows
         refused = sorted(row.device.name for row in canary_rows
                          if not row.ok)
@@ -413,7 +661,8 @@ class FleetPublisher:
         # 3. Promote: the rest of the fleet rides the warmed cache.
         self._trigger(rest, envelope)
         control_rows = self._converge(rest, "control", window_us,
-                                      max_windows)
+                                      max_windows,
+                                      sequence_number=sequence_number)
         result.devices.extend(control_rows)
         refused = sorted(row.device.name for row in control_rows
                          if not row.ok)

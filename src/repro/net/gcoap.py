@@ -232,6 +232,8 @@ class CoapClient:
         on_error: Callable[[str], None] | None = None,
         szx: int = 5,
         max_size: int | None = None,
+        on_block: Callable[[bytes], None] | None = None,
+        resume_from: bytes = b"",
     ) -> None:
         """Fetch a blob block by block, then call ``on_complete``.
 
@@ -240,9 +242,21 @@ class CoapClient:
         SUIT worker passes the manifest's signed payload size here, so a
         lying repository cannot make a constrained device buffer (or keep
         radio-receiving) more bytes than the manifest promised.
+
+        ``on_block`` is called with the accumulated bytes after every block
+        lands, letting the caller checkpoint transfer progress (e.g. to
+        NVM).  ``resume_from`` pre-seeds the reassembly buffer with bytes
+        from an earlier interrupted transfer; only whole already-received
+        blocks are reused, so the fetch restarts at the first missing
+        block rather than byte zero.
         """
-        chunks: list[bytes] = []
-        received = 0
+        block_bytes = 1 << (szx + 4)
+        whole_blocks = len(resume_from) // block_bytes
+        chunks: list[bytes] = [
+            resume_from[i * block_bytes:(i + 1) * block_bytes]
+            for i in range(whole_blocks)
+        ]
+        received = whole_blocks * block_bytes
 
         def fetch(num: int) -> None:
             request = CoapMessage(mtype=coap.CON, code=coap.GET)
@@ -266,6 +280,8 @@ class CoapClient:
                         )
                     return
                 chunks.append(reply.payload)
+                if on_block is not None:
+                    on_block(b"".join(chunks))
                 option = reply.option(coap.OPT_BLOCK2)
                 block = BlockOption.decode(option) if option else None
                 if block is not None and block.more:
@@ -279,4 +295,4 @@ class CoapClient:
 
             self.request(dst_addr, dst_port, request, on_response, on_timeout)
 
-        fetch(0)
+        fetch(whole_blocks)

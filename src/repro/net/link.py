@@ -32,6 +32,7 @@ class LinkStats:
     frames_dropped: int = 0
     bytes_sent: int = 0
     datagrams_delivered: int = 0
+    bytes_received: int = 0
 
 
 @dataclass
@@ -41,6 +42,14 @@ class Interface:
     addr: str
     receive: Callable[[bytes, str], None] | None = None
     link: "Link | None" = None
+
+    def __post_init__(self) -> None:
+        #: Per-endpoint traffic counters: everything *this* radio put on
+        #: the air (including frames that were then lost) plus everything
+        #: it heard.  Retransmissions therefore show up here — and in the
+        #: energy model that rides these counters — even though the
+        #: application saw a single logical transfer.
+        self.stats = LinkStats()
 
     def send(self, dst_addr: str, payload: bytes) -> None:
         if self.link is None:
@@ -72,6 +81,20 @@ class Link:
     def interface(self, addr: str) -> Interface:
         return self._interfaces[addr]
 
+    def detach(self, addr: str) -> None:
+        """Take a radio off the air (device powered down or rebooting).
+
+        The old :class:`Interface` object is neutralized, not just
+        forgotten: in-flight datagrams hold a reference to it through
+        their delivery timers, and must land on a dead radio — not on
+        the rebooted incarnation that later re-attaches under the same
+        address.
+        """
+        iface = self._interfaces.pop(addr, None)
+        if iface is not None:
+            iface.receive = None
+            iface.link = None
+
     def transmit(self, src: Interface, dst_addr: str, payload: bytes) -> None:
         """Send one datagram; it arrives fragmented, delayed, or not at all.
 
@@ -86,18 +109,24 @@ class Link:
         )
         self.stats.frames_sent += fragments
         self.stats.bytes_sent += len(payload)
+        src.stats.frames_sent += fragments
+        src.stats.bytes_sent += len(payload)
         if dst is None:
             return  # no such destination: the frames vanish into the ether
         for _ in range(fragments):
             if self._rng.random() < self.loss:
                 self.stats.frames_dropped += 1
+                src.stats.frames_dropped += 1
                 return
         data = bytes(payload)
         src_addr = src.addr
 
         def deliver() -> None:
+            if dst.receive is None:
+                return  # radio died (detached) while the frames were in flight
             self.stats.datagrams_delivered += 1
-            if dst.receive is not None:
-                dst.receive(data, src_addr)
+            dst.stats.datagrams_delivered += 1
+            dst.stats.bytes_received += len(data)
+            dst.receive(data, src_addr)
 
         self.kernel.timers.set(deliver, airtime_us)

@@ -17,7 +17,13 @@ from repro.rtos.board import (
 )
 from repro.rtos.clock import Clock
 from repro.rtos.energy import EnergyMeter, EnergyReport, update_energy_uj
-from repro.rtos.errors import KernelPanic, RTOSError, SchedulerError, TimerError
+from repro.rtos.errors import (
+    KernelPanic,
+    PowerFailure,
+    RTOSError,
+    SchedulerError,
+    TimerError,
+)
 from repro.rtos.events import Event, EventQueue
 from repro.rtos.firmware import (
     FirmwareImage,
@@ -26,6 +32,7 @@ from repro.rtos.firmware import (
     os_modules,
 )
 from repro.rtos.kernel import Kernel
+from repro.rtos.nvm import NvmStore
 from repro.rtos.saul import (
     Phydat,
     SaulDevice,
@@ -60,8 +67,10 @@ __all__ = [
     "FirmwareModule",
     "Kernel",
     "KernelPanic",
+    "NvmStore",
     "PID_UNDEF",
     "Phydat",
+    "PowerFailure",
     "RTOSError",
     "SaulDevice",
     "SaulRegistry",

@@ -80,6 +80,16 @@ class Board:
     verify_cycles_per_slot: int = 9
     #: §11 transpiler cost per slot, paid once at install.
     jit_install_cycles_per_slot: int = 220
+    #: Cold-boot cost after a reset or power failure (ROM boot, clock
+    #: setup, RTOS init — ~30 ms at 64 MHz), charged by whoever rebuilds
+    #: the device around a fresh kernel.
+    reboot_cycles: int = 1_920_000
+    #: Internal-flash page size for the NVM model (bytes).
+    nvm_page_bytes: int = 4096
+    #: Cycles to erase one NVM page before re-programming.
+    nvm_erase_cycles_per_page: int = 85_000
+    #: Cycles to program one NVM byte.
+    nvm_write_cycles_per_byte: int = 40
 
     # -- conversions -------------------------------------------------------
 
@@ -132,6 +142,18 @@ class Board:
     def native_cycles(self, instruction_estimate: int) -> int:
         """Cost of natively-compiled logic (Table 2 "Native C" model)."""
         return round(instruction_estimate * self.native_cpi)
+
+    def nvm(self, kernel=None):
+        """A fresh :class:`~repro.rtos.nvm.NvmStore` with this board's
+        flash geometry and erase/program cost model."""
+        from repro.rtos.nvm import NvmStore
+
+        return NvmStore(
+            kernel,
+            page_bytes=self.nvm_page_bytes,
+            erase_cycles_per_page=self.nvm_erase_cycles_per_page,
+            write_cycles_per_byte=self.nvm_write_cycles_per_byte,
+        )
 
     # -- energy model -----------------------------------------------------------
 

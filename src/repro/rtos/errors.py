@@ -22,3 +22,15 @@ class KernelPanic(RTOSError):
     must never cause this; tests assert it stays unraised under adversarial
     container code.
     """
+
+
+class PowerFailure(RTOSError):
+    """The device lost power at this exact virtual instant.
+
+    Raised by fault injectors (chaos tests, kill-point sweeps) from
+    inside thread or timer context.  The kernel catches it in
+    :meth:`~repro.rtos.kernel.Kernel.step`, drops all RAM state
+    (threads, timers, queues) and halts — only non-volatile state
+    (:class:`~repro.rtos.nvm.NvmStore`) survives until the device is
+    rebooted by whoever owns it.
+    """

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.rtos.clock import Clock
-from repro.rtos.errors import SchedulerError
+from repro.rtos.errors import PowerFailure, SchedulerError
 from repro.rtos.events import Event, EventQueue
 from repro.rtos.scheduler import Scheduler
 from repro.rtos.thread import (
@@ -38,19 +38,27 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Kernel:
     """One simulated device: clock, scheduler, timers, threads."""
 
-    def __init__(self, board: "Board | None" = None):
+    def __init__(self, board: "Board | None" = None,
+                 clock: Clock | None = None):
         if board is None:
             from repro.rtos.board import nrf52840
 
             board = nrf52840()
         self.board = board
-        self.clock = Clock(board.mhz)
+        #: Passing ``clock`` keeps one monotonic per-device timeline
+        #: across reboots: the replacement kernel of a power-cycled
+        #: device continues the same virtual clock, so convergence and
+        #: energy accounting never observe time running backwards.
+        self.clock = clock if clock is not None else Clock(board.mhz)
         self.timers = TimerWheel(self)
         self.scheduler = Scheduler(self)
         self.threads: dict[int, Thread] = {}
         self._next_pid = 1
         #: Total scheduler steps executed (debug/limit accounting).
         self.steps = 0
+        #: True after :meth:`power_fail`: all RAM state is gone and the
+        #: kernel refuses to run until the device is rebuilt.
+        self.halted = False
 
     # -- thread management ---------------------------------------------------
 
@@ -109,24 +117,50 @@ class Kernel:
     def now_cycles(self) -> int:
         return self.clock.cycles
 
+    # -- power failure -----------------------------------------------------------
+
+    def power_fail(self) -> None:
+        """Lose power *now*: every RAM structure is dropped, NVM survives.
+
+        Threads, their stacks, event queues and pending timers all live
+        in RAM — after this call they are gone and the kernel is
+        :attr:`halted` (``step``/``run`` become no-ops).  The virtual
+        clock is *not* reset: the device's timeline is monotonic across
+        power cycles, the owner charges the boot cost when it rebuilds
+        the device around a fresh kernel (see
+        :meth:`~repro.rtos.board.Board.reboot_cycles`).
+        """
+        self.halted = True
+        self.threads.clear()
+        self.timers = TimerWheel(self)
+        self.scheduler = Scheduler(self)
+
     # -- main loop ---------------------------------------------------------------
 
     def step(self) -> bool:
         """Run one scheduling step; False when the system is forever idle."""
+        if self.halted:
+            return False
         self.steps += 1
-        self.timers.fire_due()
-        thread = self.scheduler.pick()
-        if thread is None:
-            deadline = self.timers.next_deadline()
-            if deadline is None:
-                return False
-            self.scheduler.enter_idle()
-            self.clock.advance_to(max(deadline, self.clock.cycles))
-            return True
+        try:
+            self.timers.fire_due()
+            thread = self.scheduler.pick()
+            if thread is None:
+                deadline = self.timers.next_deadline()
+                if deadline is None:
+                    return False
+                self.scheduler.enter_idle()
+                self.clock.advance_to(max(deadline, self.clock.cycles))
+                return True
 
-        self.scheduler.dispatch(thread)
-        syscall = thread.resume()
-        self._handle_syscall(thread, syscall)
+            self.scheduler.dispatch(thread)
+            syscall = thread.resume()
+            self._handle_syscall(thread, syscall)
+        except PowerFailure:
+            # Injected mid-step (chaos/kill-point testing): the device
+            # dies at this exact virtual instant, whatever it was doing.
+            self.power_fail()
+            return False
         return True
 
     def _handle_syscall(self, thread: Thread, syscall) -> None:

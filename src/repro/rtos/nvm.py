@@ -1,0 +1,134 @@
+"""Persistent non-volatile memory (flash) model for one device.
+
+The paper's SUIT update workflow (§6) is designed for hostile field
+conditions: power can fail at any instant, and everything that matters
+across a reboot — installed images, the anti-rollback sequence state, a
+half-fetched payload — must live in flash, not RAM.  This module models
+that flash as a small key/value blob store:
+
+* an :class:`NvmStore` **survives reboot**: the kernel, its threads and
+  every RAM structure are dropped by :meth:`~repro.rtos.kernel.Kernel
+  .power_fail`, but the store object is owned by the *device*, not the
+  kernel, and is re-bound to the fresh kernel on boot;
+* every write charges modelled **erase + program cycles** on the bound
+  kernel's virtual clock (flash pages must be erased before they are
+  re-programmed), so crash-safe persistence has a measurable CPU/energy
+  cost exactly like on real silicon;
+* wear is observable: :attr:`NvmStore.erases`, :attr:`NvmStore.writes`
+  and :attr:`NvmStore.bytes_written` count lifetime flash traffic, the
+  quantity an OTA design must minimize.
+
+Writes are modelled as **atomic at record granularity** (the classic
+two-slot/journal scheme real SUIT bootloaders use): a power failure
+leaves either the old record or the new one, never a torn mix.  The
+chaos tests rely on that contract — they kill the device *between*
+pipeline steps, and the store must never present half-written state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rtos.kernel import Kernel
+
+#: Flash page size (bytes) — nRF52840-class internal flash.
+NVM_PAGE_BYTES = 4096
+#: Cycles to erase one page before re-programming (≈1.3 ms @ 64 MHz;
+#: real nRF52 page erase is ~2-90 ms, this models the typical case).
+NVM_ERASE_CYCLES_PER_PAGE = 85_000
+#: Cycles to program one byte (word-programming amortized).
+NVM_WRITE_CYCLES_PER_BYTE = 40
+#: Cycles to read one byte (memory-mapped flash reads are cheap but the
+#: GD32V-class uncached parts are not free).
+NVM_READ_CYCLES_PER_BYTE = 2
+
+
+class NvmStore:
+    """One device's non-volatile key/value flash region.
+
+    Keys are path-like strings (``"suit/slot/<location>"``); values are
+    opaque byte blobs.  The store holds a reference to the kernel whose
+    virtual clock pays for flash traffic; :meth:`bind` moves that
+    reference to the next kernel after a reboot — the *data* needs no
+    migration because flash keeps it.
+    """
+
+    def __init__(
+        self,
+        kernel: "Kernel | None" = None,
+        page_bytes: int = NVM_PAGE_BYTES,
+        erase_cycles_per_page: int = NVM_ERASE_CYCLES_PER_PAGE,
+        write_cycles_per_byte: int = NVM_WRITE_CYCLES_PER_BYTE,
+        read_cycles_per_byte: int = NVM_READ_CYCLES_PER_BYTE,
+    ) -> None:
+        self.kernel = kernel
+        self.page_bytes = page_bytes
+        self.erase_cycles_per_page = erase_cycles_per_page
+        self.write_cycles_per_byte = write_cycles_per_byte
+        self.read_cycles_per_byte = read_cycles_per_byte
+        self._records: dict[str, bytes] = {}
+        #: Lifetime wear counters.
+        self.erases = 0
+        self.writes = 0
+        self.reads = 0
+        self.bytes_written = 0
+
+    # -- reboot plumbing ---------------------------------------------------
+
+    def bind(self, kernel: "Kernel") -> "NvmStore":
+        """Point flash-cost charging at the (new) kernel's clock."""
+        self.kernel = kernel
+        return self
+
+    def _charge(self, cycles: int) -> None:
+        if self.kernel is not None and cycles:
+            self.kernel.clock.charge(cycles)
+
+    # -- the blob store ----------------------------------------------------
+
+    def write(self, key: str, value: bytes) -> None:
+        """Atomically (re)write one record, paying erase + program."""
+        value = bytes(value)
+        pages = max(1, -(-len(value) // self.page_bytes))
+        self._charge(pages * self.erase_cycles_per_page
+                     + len(value) * self.write_cycles_per_byte)
+        self.erases += pages
+        self.writes += 1
+        self.bytes_written += len(value)
+        self._records[key] = value
+
+    def read(self, key: str) -> bytes | None:
+        value = self._records.get(key)
+        if value is not None:
+            self._charge(len(value) * self.read_cycles_per_byte)
+            self.reads += 1
+        return value
+
+    def delete(self, key: str) -> None:
+        """Drop one record (a single cheap erase of its journal entry)."""
+        if self._records.pop(key, None) is not None:
+            self._charge(self.erase_cycles_per_page)
+            self.erases += 1
+
+    def keys(self, prefix: str = "") -> list[str]:
+        return sorted(key for key in self._records if key.startswith(prefix))
+
+    def items(self, prefix: str = "") -> Iterator[tuple[str, bytes]]:
+        for key in self.keys(prefix):
+            yield key, self._records[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def used_bytes(self) -> int:
+        """Flash currently occupied by live records."""
+        return sum(len(value) for value in self._records.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"NvmStore({len(self._records)} records, "
+                f"{self.used_bytes} B, {self.erases} erases)")

@@ -17,11 +17,17 @@ from repro.suit.specworker import (
     spec_slot,
 )
 from repro.suit.storage import StorageFullError, StorageRegistry, StorageSlot
-from repro.suit.worker import SuitUpdateWorker, UpdateResult, UpdateStatus
+from repro.suit.worker import (
+    KILL_POINTS,
+    SuitUpdateWorker,
+    UpdateResult,
+    UpdateStatus,
+)
 
 __all__ = [
     "CoseError",
     "CoseSign1",
+    "KILL_POINTS",
     "KIND_IMAGE",
     "KIND_SPEC",
     "ManifestError",

@@ -19,11 +19,28 @@ slot holding the newest sequence — the live one — is never evicted.
 Sequences are assumed to be drawn from one maintainer-wide epoch counter
 (as :class:`~repro.deploy.publish.FleetPublisher` does), which is what
 makes cross-location comparison meaningful.
+
+A registry may be backed by an :class:`~repro.rtos.nvm.NvmStore`
+(``nvm``): installs and GC then persist the slot — image, name and
+anti-rollback sequence — to simulated flash, and :meth:`restore`
+rebuilds the registry after a power cycle.  Only *installed* state is
+persisted; a reservation (an empty slot created by :meth:`slot` before a
+fetch) lives purely in RAM, which is exactly why a crash mid-fetch can
+never strand a reservation: power loss returns it automatically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.suit import cbor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rtos.nvm import NvmStore
+
+#: NVM key prefix under which slots are persisted.
+NVM_SLOT_PREFIX = "suit/slot/"
 
 
 class StorageFullError(Exception):
@@ -38,6 +55,9 @@ class StorageSlot:
     image: bytes = b""
     sequence_number: int = -1
     installs: int = 0
+    #: Human-readable name from the installing manifest; persisted so a
+    #: rebooted device can re-activate what it had without the manifest.
+    name: str = ""
 
     @property
     def occupied(self) -> bool:
@@ -57,6 +77,8 @@ class StorageRegistry:
     gc_horizon: int | None = None
     #: Lifetime count of images dropped by GC (observability).
     gc_evictions: int = 0
+    #: Optional persistent backing store (survives power failure).
+    nvm: "NvmStore | None" = None
 
     def peek(self, location: str) -> StorageSlot | None:
         """The slot for ``location`` if it exists, without creating it."""
@@ -75,17 +97,26 @@ class StorageRegistry:
 
     def release_if_empty(self, location: str) -> None:
         """Drop an unoccupied slot (undo a reservation that never
-        installed — a failed fetch must not consume the budget)."""
+        installed — a failed fetch must not consume the budget).
+
+        Only *virgin* reservations are dropped: a slot that is
+        unoccupied because GC evicted its image still carries the
+        anti-rollback sequence of the install it once held, and deleting
+        it would let a replayed old manifest back in.
+        """
         slot = self.slots.get(location)
-        if slot is not None and not slot.occupied:
+        if slot is not None and not slot.occupied and slot.sequence_number < 0:
             del self.slots[location]
 
     def install(self, location: str, image: bytes,
-                sequence_number: int) -> StorageSlot:
+                sequence_number: int, name: str = "") -> StorageSlot:
         slot = self.slot(location)
         slot.image = bytes(image)
         slot.sequence_number = sequence_number
         slot.installs += 1
+        if name:
+            slot.name = name
+        self._persist(slot)
         if self.gc_horizon is not None:
             self.gc()
         return slot
@@ -113,6 +144,7 @@ class StorageRegistry:
             if slot.occupied and slot.sequence_number <= newest - horizon:
                 slot.image = b""
                 evicted.append(slot.location)
+                self._persist(slot)
         self.gc_evictions += len(evicted)
         return evicted
 
@@ -124,3 +156,47 @@ class StorageRegistry:
     def ram_bytes(self) -> int:
         """RAM pinned by stored images."""
         return sum(len(slot.image) for slot in self.slots.values())
+
+    # -- persistence -----------------------------------------------------------
+
+    def _persist(self, slot: StorageSlot) -> None:
+        """Write one installed slot's durable state to NVM (if backed).
+
+        The record is written atomically *after* the in-RAM install, like
+        a real bootloader's metadata page: a power cut between the two
+        leaves the previous NVM record intact, never a torn one.
+        """
+        if self.nvm is None or slot.sequence_number < 0:
+            return
+        record = {
+            "location": slot.location,
+            "image": slot.image,
+            "sequence": slot.sequence_number,
+            "installs": slot.installs,
+            "name": slot.name,
+        }
+        self.nvm.write(NVM_SLOT_PREFIX + slot.location, cbor.encode(record))
+
+    def restore(self) -> list[StorageSlot]:
+        """Reload every persisted slot from NVM after a power cycle.
+
+        Returns the restored slots (for the caller to re-activate).
+        RAM-only reservations from before the crash do not reappear —
+        they were never persisted — so the slot budget comes back
+        exactly as large as the durable state requires.
+        """
+        if self.nvm is None:
+            return []
+        restored = []
+        for key in self.nvm.keys(NVM_SLOT_PREFIX):
+            record = cbor.decode(self.nvm.read(key))
+            slot = StorageSlot(
+                location=record["location"],
+                image=bytes(record["image"]),
+                sequence_number=record["sequence"],
+                installs=record["installs"],
+                name=record.get("name", ""),
+            )
+            self.slots[slot.location] = slot
+            restored.append(slot)
+        return restored

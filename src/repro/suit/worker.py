@@ -32,8 +32,14 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.core.errors import UnknownHookError
 from repro.net.coap import CHANGED, BAD_REQUEST, CoapMessage
-from repro.suit.manifest import KIND_IMAGE, SuitEnvelope, SuitManifest
-from repro.suit.storage import StorageFullError, StorageRegistry
+from repro.suit import cbor
+from repro.suit.manifest import (
+    KIND_IMAGE,
+    SuitEnvelope,
+    SuitManifest,
+    payload_digest,
+)
+from repro.suit.storage import StorageFullError, StorageRegistry, StorageSlot
 from repro.rtos.thread import Wait
 from repro.vm.program import Program
 
@@ -41,11 +47,32 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.engine import HostingEngine
     from repro.core.tenant import Tenant
     from repro.net.gcoap import CoapClient, CoapServer
+    from repro.rtos.nvm import NvmStore
 
 #: Ed25519 verification cost on a Cortex-M-class core (cycles).
 SIG_VERIFY_CYCLES = 5_800_000
 #: SHA-256 cost per payload byte (cycles).
 SHA256_CYCLES_PER_BYTE = 60
+
+#: NVM key prefix for checkpointed block-wise fetch progress.
+NVM_FETCH_PREFIX = "suit/fetch/"
+#: Block size the worker fetches with (szx=5 → 512-byte Block2 blocks).
+FETCH_BLOCK_BYTES = 512
+
+#: Every step boundary of :meth:`SuitUpdateWorker._process`, in pipeline
+#: order.  Kill-point sweeps inject a power failure at each of these and
+#: assert the device recovers with anti-rollback state intact and no
+#: stranded storage reservation.
+KILL_POINTS = (
+    "decoded",
+    "verified",
+    "resolved",
+    "reserved",
+    "fetched",
+    "checked",
+    "installed",
+    "activated",
+)
 
 
 class UpdateStatus(enum.Enum):
@@ -60,6 +87,12 @@ class UpdateStatus(enum.Enum):
     DIGEST_MISMATCH = "payload-digest-mismatch"
     SPEC_INVALID = "spec-invalid"
     REJECTED = "pre-flight-rejected"
+    #: Synthesized by the fleet publisher: the device never acknowledged
+    #: a trigger (or never reported) despite retries — no worker result.
+    UNREACHABLE = "unreachable"
+    #: Synthesized by the fleet publisher: the device power-cycled during
+    #: the update but came back holding the published sequence in NVM.
+    REBOOTED = "device-rebooted"
 
 
 @dataclass
@@ -96,6 +129,7 @@ class SuitUpdateWorker:
         tenant: "Tenant | None" = None,
         max_storage_slots: int | None = None,
         storage_gc_horizon: int | None = None,
+        nvm: "NvmStore | None" = None,
     ) -> None:
         self.engine = engine
         self.kernel = engine.kernel
@@ -104,10 +138,25 @@ class SuitUpdateWorker:
         self.repo_addr = repo_addr
         self.repo_port = repo_port
         self.tenant = tenant
+        self.nvm = nvm
+        if nvm is not None:
+            nvm.bind(self.kernel)
         self.storage = StorageRegistry(max_slots=max_storage_slots,
-                                       gc_horizon=storage_gc_horizon)
+                                       gc_horizon=storage_gc_horizon,
+                                       nvm=nvm)
+        if nvm is not None:
+            # Anti-rollback state must be live from the first instruction
+            # after boot, before any trigger can race the restore.
+            self.storage.restore()
         self.results: list[UpdateResult] = []
         self.on_result: Callable[[UpdateResult], None] | None = None
+        #: Kill-point hook: called with each step name in
+        #: :data:`KILL_POINTS` as the pipeline crosses that boundary.
+        #: Chaos tests raise :class:`~repro.rtos.errors.PowerFailure`
+        #: from here to die at an exact step.
+        self.on_step: Callable[[str], None] | None = None
+        #: Last pipeline boundary crossed (observability for sweeps).
+        self.last_step: str | None = None
         self._queue = self.kernel.new_event_queue(self.thread_name)
         self._backlog: list[bytes] = []
         self.thread = self.kernel.create_thread(
@@ -150,6 +199,12 @@ class SuitUpdateWorker:
             if self.on_result is not None:
                 self.on_result(outcome)
 
+    def _mark(self, step: str) -> None:
+        """Cross one pipeline boundary (see :data:`KILL_POINTS`)."""
+        self.last_step = step
+        if self.on_step is not None:
+            self.on_step(step)
+
     def _process(self, thread, raw: bytes):
         # 1. Decode and authenticate the envelope.
         try:
@@ -157,6 +212,7 @@ class SuitUpdateWorker:
             manifest = envelope.manifest()
         except Exception as exc:  # any malformed input is one status
             return UpdateResult(UpdateStatus.MALFORMED, str(exc))
+        self._mark("decoded")
         thread.charge(SIG_VERIFY_CYCLES)
         if not envelope.verify(self.trust_anchor):
             return UpdateResult(
@@ -171,6 +227,7 @@ class SuitUpdateWorker:
                 f"got {manifest.kind!r}",
                 manifest,
             )
+        self._mark("verified")
 
         # 2. Resolve the target and check anti-rollback state.
         target, failure = self._resolve_target(manifest)
@@ -185,14 +242,18 @@ class SuitUpdateWorker:
                 f"{self.storage.highest_sequence(manifest.storage_location)}",
                 manifest,
             )
+        self._mark("resolved")
         # Reserve the storage slot *before* burning radio budget on a
         # payload the device has no room to keep.
         try:
             self.storage.slot(manifest.storage_location)
         except StorageFullError as exc:
             return UpdateResult(UpdateStatus.STORAGE_FULL, str(exc), manifest)
+        self._mark("reserved")
 
-        # 3. Fetch the payload block-wise from the repository.
+        # 3. Fetch the payload block-wise from the repository, resuming
+        # from any checkpointed progress of a previous interrupted
+        # attempt at this exact payload.
         self.client.get_blockwise(
             self.repo_addr,
             self.repo_port,
@@ -200,33 +261,147 @@ class SuitUpdateWorker:
             on_complete=lambda blob: self._queue.post_new("payload", blob),
             on_error=lambda msg: self._queue.post_new("fetch-error", msg),
             max_size=manifest.size,
+            on_block=lambda acc: self._checkpoint_fetch(manifest, acc),
+            resume_from=self._fetch_resume(manifest),
         )
         while True:
             event = yield Wait(self._queue)
             if event.kind == "trigger":
                 self._backlog.append(event.payload)
                 continue
-            break
+            if event.kind in ("payload", "fetch-error"):
+                break
+            # Anything else on the queue — a stray or future event kind —
+            # is not a fetch outcome; misreading it as one would corrupt
+            # the pipeline.  Keep waiting.
         if event.kind == "fetch-error":
             # Return the reservation: a failed fetch must not turn the
-            # bounded storage budget into a dead empty slot.
+            # bounded storage budget into a dead empty slot.  The fetch
+            # checkpoint is deliberately kept: the next trigger for the
+            # same payload resumes from the last received block.
             self.storage.release_if_empty(manifest.storage_location)
             return UpdateResult(UpdateStatus.FETCH_FAILED, event.payload,
                                 manifest)
         payload: bytes = event.payload
+        self._mark("fetched")
 
         # 4. Integrity check, then store and activate.
         thread.charge(SHA256_CYCLES_PER_BYTE * len(payload))
         if not manifest.matches_payload(payload):
             self.storage.release_if_empty(manifest.storage_location)
+            self._clear_fetch(manifest.storage_location)
             return UpdateResult(
                 UpdateStatus.DIGEST_MISMATCH,
                 "payload size/digest does not match the signed manifest",
                 manifest,
             )
+        self._mark("checked")
         self.storage.install(manifest.storage_location, payload,
-                             manifest.sequence_number)
-        return self._activate(manifest, target, payload)
+                             manifest.sequence_number, name=manifest.name)
+        self._clear_fetch(manifest.storage_location)
+        self._mark("installed")
+        outcome = self._activate(manifest, target, payload)
+        self._mark("activated")
+        return outcome
+
+    # -- fetch checkpointing ---------------------------------------------------
+
+    def _fetch_meta_key(self, location: str) -> str:
+        return NVM_FETCH_PREFIX + location + "/meta"
+
+    def _fetch_block_key(self, location: str, num: int) -> str:
+        return f"{NVM_FETCH_PREFIX}{location}/{num:06d}"
+
+    def _fetch_resume(self, manifest: SuitManifest) -> bytes:
+        """Bytes already safely in NVM from an interrupted fetch.
+
+        Progress is only reusable when it belongs to *this* payload: the
+        checkpoint records the manifest digest, and a checkpoint for any
+        other digest is purged, so a re-published (different) payload can
+        never be stitched together from stale blocks.
+        """
+        if self.nvm is None:
+            return b""
+        meta_raw = self.nvm.read(self._fetch_meta_key(
+            manifest.storage_location))
+        if meta_raw is not None:
+            meta = cbor.decode(meta_raw)
+            if meta.get("digest") == manifest.digest:
+                parts = []
+                num = 0
+                while True:
+                    block = self.nvm.read(self._fetch_block_key(
+                        manifest.storage_location, num))
+                    if block is None:
+                        break
+                    parts.append(block)
+                    num += 1
+                return b"".join(parts)
+        self._clear_fetch(manifest.storage_location)
+        self.nvm.write(self._fetch_meta_key(manifest.storage_location),
+                       cbor.encode({"digest": manifest.digest}))
+        return b""
+
+    def _checkpoint_fetch(self, manifest: SuitManifest,
+                          accumulated: bytes) -> None:
+        """Persist the newest received block (called after every block).
+
+        Only the latest block is (re)written — one flash page per block,
+        not a rewrite of the whole transfer — so checkpointing costs
+        cycles linear in the payload, charged to this device's clock as
+        the blocks arrive.
+        """
+        if self.nvm is None or not accumulated:
+            return
+        num = (len(accumulated) - 1) // FETCH_BLOCK_BYTES
+        self.nvm.write(
+            self._fetch_block_key(manifest.storage_location, num),
+            accumulated[num * FETCH_BLOCK_BYTES:],
+        )
+
+    def _clear_fetch(self, location: str) -> None:
+        if self.nvm is None:
+            return
+        for key in self.nvm.keys(NVM_FETCH_PREFIX + location):
+            self.nvm.delete(key)
+
+    # -- post-reboot recovery --------------------------------------------------
+
+    def recover(self) -> list[UpdateResult]:
+        """Bootloader role: re-activate what NVM says was installed.
+
+        Called by whoever rebuilds the device after a power cycle.  Every
+        occupied persisted slot is integrity-charged (the boot-time
+        digest re-check a real bootloader performs) and re-activated
+        through the same overridable :meth:`_activate` step as a live
+        update, in install order.  Returns one result per slot.
+        """
+        outcomes = []
+        slots = sorted(
+            (s for s in self.storage.slots.values() if s.occupied),
+            key=lambda s: s.sequence_number,
+        )
+        for slot in slots:
+            self.kernel.clock.charge(SHA256_CYCLES_PER_BYTE * len(slot.image))
+            outcome = self._recover_slot(slot)
+            self.results.append(outcome)
+            outcomes.append(outcome)
+        return outcomes
+
+    def _recover_slot(self, slot: StorageSlot) -> UpdateResult:
+        manifest = SuitManifest(
+            sequence_number=slot.sequence_number,
+            storage_location=slot.location,
+            digest=payload_digest(slot.image),
+            size=len(slot.image),
+            uri="",
+            name=slot.name,
+            kind=self.expected_kind,
+        )
+        target, failure = self._resolve_target(manifest)
+        if failure is not None:
+            return failure
+        return self._activate(manifest, target, slot.image)
 
     # -- overridable steps -----------------------------------------------------
 

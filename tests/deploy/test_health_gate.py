@@ -205,3 +205,160 @@ class TestGateComposition:
         assert rollout.rolled_back
         assert set(rollout.health) == {"dev0", "dev1"}
         assert all(problems for problems in rollout.health.values())
+
+
+#: First run pays a ~19k-cycle lazy init (global key 99 unset), steady
+#: state is ~430 cycles: healthy, but the whole-bake average is not.
+SPIKY_START = """
+    mov r1, 99
+    mov r2, r10
+    add r2, 4
+    call bpf_fetch_global
+    ldxw r6, [r10+4]
+    jne r6, 0, fast
+    mov r6, 2000
+warm:
+    sub r6, 1
+    jne r6, 0, warm
+    mov r1, 99
+    mov r2, 1
+    call bpf_store_global
+fast:
+    mov r0, 0
+    exit
+"""
+
+#: Every run spins 200 iterations *more* than the last (run counter in
+#: global key 98): cheap early runs dilute the whole-bake average while
+#: the steady state drifts past any sane budget.
+DEGRADING = """
+    mov r1, 98
+    mov r2, r10
+    add r2, 4
+    call bpf_fetch_global
+    ldxw r6, [r10+4]
+    add r6, 1
+    mov r1, 98
+    mov r2, r6
+    call bpf_store_global
+    mov r7, r6
+    mul r7, 200
+spin:
+    sub r7, 1
+    jne r7, 0, spin
+    mov r0, 0
+    exit
+"""
+
+
+def periodic_spec(name: str, source: str) -> DeploymentSpec:
+    """Like :func:`make_spec` but self-driving (period 20 ms), so bake
+    runs spread across the sliding window's sample slices."""
+    return DeploymentSpec(
+        name=name,
+        tenants=("ops",),
+        hooks=(HookSpec(FC_HOOK_FANOUT, HookMode.SYNC),),
+        images={"app": ImageSpec.from_program(assemble(source, name="app"))},
+        attachments=(AttachmentSpec(image="app", hook=FC_HOOK_FANOUT,
+                                    tenant="ops", name="worker",
+                                    period_us=20_000.0),),
+    )
+
+
+class TestSlidingWindow:
+    """``HealthGate.window_runs``: judge the trailing bake window, not
+    the whole-bake average."""
+
+    BASE = "mov r0, 0\n    exit"
+
+    def _rollout(self, source: str, gate: HealthGate):
+        fleet = Fleet(2)
+        fleet.apply(periodic_spec("base", self.BASE))
+        return fleet.canary_rollout(
+            periodic_spec("v2", source), canary_count=1,
+            bake_us=640_000.0, bake_fires=0, health_gate=gate,
+        )
+
+    def test_spiky_start_passes_the_window_gate(self):
+        """Regression: an expensive first run (lazy init) must not fail
+        a canary whose steady state is comfortably within budget."""
+        rollout = self._rollout(
+            SPIKY_START,
+            HealthGate(cycle_budgets={"worker": 600}, window_runs=4))
+        assert rollout.promoted, rollout.reason
+
+    def test_same_spiky_start_fails_the_whole_bake_gate(self):
+        """The scenario the window exists for: whole-bake averaging
+        blames the steady state for the one-off init cost."""
+        rollout = self._rollout(
+            SPIKY_START, HealthGate(cycle_budgets={"worker": 600}))
+        assert rollout.rolled_back
+        assert "cycles/run" in rollout.reason
+
+    def test_degrading_canary_caught_by_the_window(self):
+        """The dual failure: cheap early runs dilute the whole-bake
+        average below budget, but the trailing window sees the drift."""
+        rollout = self._rollout(
+            DEGRADING,
+            HealthGate(cycle_budgets={"worker": 40_000}, window_runs=4))
+        assert rollout.rolled_back
+        assert "trailing 4-run window" in rollout.reason
+
+    def test_same_degrading_canary_slips_past_whole_bake_totals(self):
+        rollout = self._rollout(
+            DEGRADING, HealthGate(cycle_budgets={"worker": 40_000}))
+        assert rollout.promoted, rollout.reason
+
+
+class TestWindowVerdictUnit:
+    """``breaches`` with a synthetic sample history (no fleet needed)."""
+
+    SLOT = ("fc.hook.fanout", "worker")
+
+    def _container(self, runs: int, cycles: int):
+        from types import SimpleNamespace
+
+        return SimpleNamespace(runs=runs, total_cycles=cycles)
+
+    def _history(self, *samples):
+        return [{self.SLOT: sample} for sample in samples]
+
+    def test_trailing_window_breach_reported(self):
+        gate = HealthGate(cycle_budgets={"worker": 100}, window_runs=4)
+        history = self._history(
+            (0, 0), (4, 200), (8, 400), (12, 2400))  # last 4 runs: 500/run
+        problems = gate.breaches(
+            device=None,
+            before={self.SLOT: (self._container(12, 2400), 0, 0)},
+            fault_delta=0, controls=(), history=history)
+        assert problems == ["worker burned 500 cycles/run over the "
+                            "trailing 4-run window (budget 100)"]
+
+    def test_early_spike_outside_the_window_is_forgiven(self):
+        gate = HealthGate(cycle_budgets={"worker": 100}, window_runs=4)
+        history = self._history(
+            (0, 0), (1, 20_000), (5, 20_200), (9, 20_400))
+        problems = gate.breaches(
+            device=None,
+            before={self.SLOT: (self._container(9, 20_400), 0, 0)},
+            fault_delta=0, controls=(), history=history)
+        assert problems == []
+
+    def test_too_few_runs_falls_back_to_whole_bake_totals(self):
+        gate = HealthGate(cycle_budgets={"worker": 100}, window_runs=50)
+        container = self._container(2, 20_000)  # 10k/run: over budget
+        problems = gate.breaches(
+            device=None,
+            before={self.SLOT: (container, 0, 0)},
+            fault_delta=0, controls=(),
+            history=self._history((0, 0), (1, 10_000), (2, 20_000)))
+        assert problems == ["worker burned 10000 cycles/run (budget 100)"]
+
+    def test_no_window_keeps_the_classic_rule(self):
+        gate = HealthGate(cycle_budgets={"worker": 100})
+        container = self._container(2, 20_000)
+        problems = gate.breaches(
+            device=None,
+            before={self.SLOT: (container, 0, 0)},
+            fault_delta=0, controls=(), history=None)
+        assert problems == ["worker burned 10000 cycles/run (budget 100)"]

@@ -1,0 +1,114 @@
+"""Power failure at every pipeline boundary: the publish still converges.
+
+The acceptance sweep of the chaos-hardening PR: a device is power-failed
+at *each* of the update worker's :data:`~repro.suit.KILL_POINTS` in
+turn, rebooted by the fault injector, and the publish must converge every
+time — via re-trigger for crashes before the install hit flash, via
+NVM recovery (a ``REBOOTED`` row) for crashes after.  No kill point may
+lose anti-rollback state or strand a storage reservation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FC_HOOK_FANOUT
+from repro.core.hooks import HookMode
+from repro.deploy import (
+    AttachmentSpec,
+    DeploymentSpec,
+    FaultInjector,
+    HookSpec,
+    ImageSpec,
+)
+from repro.rtos import PowerFailure
+from repro.scenarios import build_fleet_publisher
+from repro.suit import KILL_POINTS, UpdateStatus
+from repro.vm import assemble
+from repro.vm.imagecache import IMAGE_CACHE
+
+GOOD = "mov r0, 7\n    exit"
+
+#: Steps whose crash is only recoverable by a fresh trigger (all state
+#: up to there was RAM-only) versus steps where the install already hit
+#: flash and the bootloader path finishes the job.
+RETRIGGERED_STEPS = ("decoded", "verified", "resolved", "reserved",
+                     "fetched", "checked")
+RECOVERED_STEPS = ("installed", "activated")
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    IMAGE_CACHE.clear()
+    yield
+    IMAGE_CACHE.clear()
+
+
+def make_spec(source: str = GOOD, name: str = "release") -> DeploymentSpec:
+    return DeploymentSpec(
+        name=name,
+        tenants=("ops",),
+        hooks=(HookSpec(FC_HOOK_FANOUT, HookMode.SYNC),),
+        images={"app": ImageSpec.from_program(assemble(source, name="app"))},
+        attachments=(AttachmentSpec(image="app", hook=FC_HOOK_FANOUT,
+                                    tenant="ops", name="worker", count=2),),
+    )
+
+
+def publish_with_kill(step: str):
+    """One publish with device 1 power-failed exactly at ``step``."""
+    publisher = build_fleet_publisher(devices=2)
+    publisher.chaos = FaultInjector(auto_reboot_us=200_000.0)
+    victim = publisher.fleet.devices[1]
+    fired = {"done": False}
+
+    def killer(crossed: str) -> None:
+        if crossed == step and not fired["done"]:
+            fired["done"] = True
+            raise PowerFailure(f"killed at {step!r}")
+
+    victim.radio.worker.on_step = killer
+    result = publisher.publish(make_spec())
+    assert fired["done"], f"kill point {step!r} never crossed"
+    return publisher, victim, result
+
+
+@pytest.mark.parametrize("step", KILL_POINTS)
+class TestKillPointSweep:
+    def test_publish_converges_despite_the_crash(self, step):
+        publisher, victim, result = publish_with_kill(step)
+        assert result.converged, result.reason
+        row = next(r for r in result.devices if r.device is victim)
+        assert row.reboots == 1
+        if step in RETRIGGERED_STEPS:
+            assert row.result.status is UpdateStatus.OK
+            assert row.retries >= 1
+        else:
+            assert step in RECOVERED_STEPS
+            assert row.result.status is UpdateStatus.REBOOTED
+        assert publisher.chaos.crashes == 1
+        assert publisher.chaos.reboots == 1
+
+    def test_no_crash_point_loses_durable_state(self, step):
+        publisher, victim, result = publish_with_kill(step)
+        storage = victim.radio.worker.storage
+        # Anti-rollback state: the published sequence is in NVM-backed
+        # storage, and nothing else — no stranded reservation, no dead
+        # slot left behind by the crash.
+        assert storage.highest_sequence(publisher.slot) \
+            == result.sequence_number
+        assert len(storage.slots) == 1
+        assert all(slot.occupied for slot in storage.slots.values())
+        # The survivor device was never disturbed.
+        bystander = publisher.fleet.devices[0]
+        assert bystander.reboots == 0
+        assert next(r for r in result.devices
+                    if r.device is bystander).result.ok
+
+
+class TestKillPointList:
+    def test_kill_points_cover_the_whole_pipeline(self):
+        assert KILL_POINTS == ("decoded", "verified", "resolved", "reserved",
+                               "fetched", "checked", "installed", "activated")
+        assert set(RETRIGGERED_STEPS) | set(RECOVERED_STEPS) \
+            == set(KILL_POINTS)

@@ -224,3 +224,44 @@ class TestCanaryPublish:
         assert "refused by canaries" in result.reason
         assert result.by_role("rollback") == []
         assert plan(publisher.fleet.devices[0].engine, base).empty
+
+
+class TestRadioEnergy:
+    """Publish wiring tracks every device radio in its energy meter."""
+
+    def test_publish_charges_each_device_radio_energy(self):
+        publisher = build_fleet_publisher(devices=3)
+        result = publisher.publish(make_spec(GOOD, "v1"))
+        assert result.converged
+        for device in publisher.fleet.devices:
+            assert device.meter.report().radio_uj > 0.0
+
+    def test_lossy_fleet_pays_more_radio_energy(self):
+        """CoAP retransmissions are real frames: the same publish over a
+        lossy link costs measurably more radio energy per device."""
+        clean = build_fleet_publisher(devices=2)
+        clean.publish(make_spec(GOOD, "v1"))
+        clean_uj = sum(d.meter.report().radio_uj
+                       for d in clean.fleet.devices)
+        IMAGE_CACHE.clear()
+        lossy = build_fleet_publisher(devices=2, loss=0.15, seed=5)
+        lossy.publish(make_spec(GOOD, "v1"))
+        lossy_uj = sum(d.meter.report().radio_uj
+                       for d in lossy.fleet.devices)
+        assert lossy_uj > clean_uj
+
+    def test_rebooted_device_keeps_one_energy_bill(self):
+        """The reboot replaces the radio rig; the meter spans both
+        incarnations without double counting."""
+        from repro.deploy import CrashAt, FaultInjector
+
+        publisher = build_fleet_publisher(devices=2)
+        publisher.chaos = FaultInjector(
+            [CrashAt("dev1", at_us=1_000.0, down_us=300_000.0)])
+        result = publisher.publish(make_spec(GOOD, "v1"))
+        assert result.converged
+        victim = publisher.fleet.devices[1]
+        assert victim.reboots == 1
+        spent = victim.meter.report().radio_uj
+        assert spent > 0.0
+        assert victim.meter.report().radio_uj == spent  # stable re-read

@@ -131,6 +131,30 @@ def test_empty_device_list_fails_cleanly(bench_dir, capsys):
     assert "at least two device rows" in capsys.readouterr().out
 
 
+def test_partial_chaos_convergence_fails(bench_dir, capsys):
+    record = json.loads((bench_dir / "BENCH_chaos.json").read_text())
+    record["devices_converged"] = record["devices_total"] - 1
+    (bench_dir / "BENCH_chaos.json").write_text(json.dumps(record))
+    assert check_bench.main([str(bench_dir)]) == 1
+    assert "devices converged" in capsys.readouterr().out
+
+
+def test_chaos_crash_without_reboot_fails(bench_dir, capsys):
+    record = json.loads((bench_dir / "BENCH_chaos.json").read_text())
+    record["reboots"] = record["scripted_crashes"] - 1
+    (bench_dir / "BENCH_chaos.json").write_text(json.dumps(record))
+    assert check_bench.main([str(bench_dir)]) == 1
+    assert "never came back" in capsys.readouterr().out
+
+
+def test_chaos_unreachable_demo_must_degrade(bench_dir, capsys):
+    record = json.loads((bench_dir / "BENCH_chaos.json").read_text())
+    record["unreachable_demo"]["raised"] = True
+    (bench_dir / "BENCH_chaos.json").write_text(json.dumps(record))
+    assert check_bench.main([str(bench_dir)]) == 1
+    assert "raised" in capsys.readouterr().out
+
+
 def test_stray_record_fails(bench_dir, capsys):
     (bench_dir / "BENCH_mystery.json").write_text("{}")
     assert check_bench.main([str(bench_dir)]) == 1

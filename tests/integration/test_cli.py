@@ -170,6 +170,21 @@ class TestCli:
         assert "control devices never saw the poisoned manifest: True" in text
         assert "fleet converged on 'canary-fix': True" in text
 
+    def test_chaos_demo(self):
+        code, text = run_cli("chaos", "--devices", "3", "--seed", "11",
+                             "--crashes", "1", "--bursts", "1",
+                             "--stalls", "0")
+        assert code == 0
+        assert "seeded fault plan" in text
+        assert "converged: True" in text
+        assert "quiescent=True" in text
+        assert "converged: False (unreachable: dev2)" in text
+        assert "degraded gracefully instead of raising: True" in text
+
+    def test_chaos_rejects_bad_device_count(self):
+        code, text = run_cli("chaos", "--devices", "0")
+        assert code == 1 and "chaos error" in text
+
     def test_publish_rejects_bad_canary_count(self):
         code, text = run_cli("publish", "--devices", "2", "--canaries", "3")
         assert code == 1 and "publish error" in text

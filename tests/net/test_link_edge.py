@@ -70,3 +70,51 @@ class TestFragmentation:
         kernel.run_until_idle()
         assert link.stats.bytes_sent == 104  # payload + UDP header
         assert link.stats.datagrams_delivered == 1
+
+
+class TestPerInterfaceStats:
+    """Each endpoint carries its own traffic counters — the radio-energy
+    model charges a *device* for what its own radio did, not a share of
+    the whole broadcast domain."""
+
+    def test_sender_and_receiver_count_their_own_sides(self, kernel, wire):
+        link, sa, sb = wire
+        sb.socket(1)
+        sa.socket(2).send_to("b", 1, bytes(50))
+        kernel.run_until_idle()
+        tx, rx = link.interface("a").stats, link.interface("b").stats
+        assert tx.frames_sent == 1
+        assert tx.bytes_sent > 50  # payload + UDP header
+        assert tx.bytes_received == 0
+        assert rx.frames_sent == 0
+        assert rx.datagrams_delivered == 1
+        assert rx.bytes_received == tx.bytes_sent
+
+    def test_lost_frames_still_charged_to_the_sender(self, kernel):
+        link = Link(kernel, loss=0.999, seed=3)
+        a = link.attach(Interface("a"))
+        link.attach(Interface("b"))
+        sa = UdpStack(a)
+        sender = sa.socket(2)
+        for _ in range(5):
+            sender.send_to("b", 1, bytes(10))
+        kernel.run_until_idle()
+        stats = link.interface("a").stats
+        assert stats.frames_sent == 5  # airtime spent whether heard or not
+        assert stats.frames_dropped == 5
+        assert link.interface("b").stats.bytes_received == 0
+
+    def test_detached_radio_receives_nothing(self, kernel, wire):
+        """A frame in flight when the destination powers off lands on the
+        dead radio — neither delivered nor counted for the reborn one."""
+        link, sa, sb = wire
+        sb.socket(1)
+        dead = link.interface("b")
+        sa.socket(2).send_to("b", 1, bytes(20))
+        link.detach("b")  # power-fail while the frame is in the air
+        reborn = link.attach(Interface("b"))
+        UdpStack(reborn).socket(1)
+        kernel.run_until_idle()
+        assert dead.stats.datagrams_delivered == 0
+        assert reborn.stats.datagrams_delivered == 0
+        assert link.stats.datagrams_delivered == 0

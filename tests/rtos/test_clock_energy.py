@@ -69,3 +69,62 @@ class TestEnergyMeter:
         report = meter.report()
         assert report.total_uj == pytest.approx(
             report.active_uj + report.sleep_uj + report.radio_uj)
+
+
+class TestRadioTracking:
+    """``EnergyMeter.track_interface``: link-layer counters feed the
+    per-device radio energy, delta-based so re-tracking after a reboot
+    never double-charges."""
+
+    def _iface_stats(self, frames_sent=0, bytes_sent=0, bytes_received=0):
+        from types import SimpleNamespace
+
+        from repro.net.link import LinkStats
+
+        stats = LinkStats(frames_sent=frames_sent, bytes_sent=bytes_sent,
+                          bytes_received=bytes_received)
+        return SimpleNamespace(stats=stats), stats
+
+    def test_tracked_traffic_priced_per_byte_and_per_frame(self):
+        from repro.rtos.energy import RADIO_UJ_PER_BYTE, RADIO_UJ_PER_FRAME
+
+        meter = EnergyMeter(nrf52840())
+        iface, stats = self._iface_stats()
+        meter.track_interface(iface)
+        stats.frames_sent += 3
+        stats.bytes_sent += 100
+        stats.bytes_received += 40
+        assert meter.report().radio_uj == pytest.approx(
+            140 * RADIO_UJ_PER_BYTE + 3 * RADIO_UJ_PER_FRAME)
+
+    def test_traffic_before_tracking_is_not_charged(self):
+        meter = EnergyMeter(nrf52840())
+        iface, stats = self._iface_stats(frames_sent=10, bytes_sent=5_000)
+        meter.track_interface(iface)
+        assert meter.report().radio_uj == 0.0
+
+    def test_repeated_reports_never_double_charge(self):
+        meter = EnergyMeter(nrf52840())
+        iface, stats = self._iface_stats()
+        meter.track_interface(iface)
+        stats.bytes_sent += 100
+        first = meter.report().radio_uj
+        assert meter.report().radio_uj == first  # no new traffic
+        stats.bytes_sent += 100
+        assert meter.report().radio_uj == pytest.approx(2 * first)
+
+    def test_handover_to_a_new_interface_accumulates(self):
+        """A reboot replaces the radio rig; the meter keeps the old
+        interface's spend and adds the new one's — one device, one bill."""
+        from repro.rtos.energy import RADIO_UJ_PER_BYTE
+
+        meter = EnergyMeter(nrf52840())
+        old, old_stats = self._iface_stats()
+        meter.track_interface(old)
+        old_stats.bytes_sent += 100
+        meter.report()
+        new, new_stats = self._iface_stats()
+        meter.track_interface(new)
+        new_stats.bytes_sent += 50
+        assert meter.report().radio_uj == pytest.approx(
+            150 * RADIO_UJ_PER_BYTE)

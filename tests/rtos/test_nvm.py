@@ -1,0 +1,147 @@
+"""The NVM flash model: persistence across power failure, cycle costs, wear.
+
+:class:`~repro.rtos.NvmStore` is what makes the chaos-hardened OTA
+pipeline possible: it is owned by the *device*, not the kernel, so a
+power failure that drops every RAM structure leaves the store's records
+intact, while every write charges modelled erase+program cycles to the
+bound kernel's virtual clock.
+"""
+
+from __future__ import annotations
+
+from repro.rtos import Kernel, NvmStore
+from repro.rtos.board import nrf52840
+from repro.rtos.nvm import (
+    NVM_ERASE_CYCLES_PER_PAGE,
+    NVM_READ_CYCLES_PER_BYTE,
+    NVM_WRITE_CYCLES_PER_BYTE,
+)
+
+
+class TestBlobStore:
+    def test_write_read_roundtrip(self):
+        nvm = NvmStore()
+        nvm.write("suit/slot/a", b"image-bytes")
+        assert nvm.read("suit/slot/a") == b"image-bytes"
+        assert "suit/slot/a" in nvm
+        assert len(nvm) == 1
+
+    def test_missing_key_reads_none(self):
+        nvm = NvmStore()
+        assert nvm.read("nope") is None
+
+    def test_overwrite_replaces_atomically(self):
+        nvm = NvmStore()
+        nvm.write("k", b"old")
+        nvm.write("k", b"new")
+        assert nvm.read("k") == b"new"
+        assert len(nvm) == 1
+
+    def test_delete_drops_record(self):
+        nvm = NvmStore()
+        nvm.write("k", b"v")
+        nvm.delete("k")
+        assert nvm.read("k") is None
+        nvm.delete("k")  # idempotent
+
+    def test_keys_filter_by_prefix_sorted(self):
+        nvm = NvmStore()
+        for key in ("suit/slot/b", "suit/fetch/x/000001", "suit/slot/a"):
+            nvm.write(key, b"v")
+        assert nvm.keys("suit/slot/") == ["suit/slot/a", "suit/slot/b"]
+        assert [k for k, _ in nvm.items("suit/fetch/")] \
+            == ["suit/fetch/x/000001"]
+
+    def test_used_bytes_tracks_live_records(self):
+        nvm = NvmStore()
+        nvm.write("a", b"x" * 100)
+        nvm.write("b", b"y" * 50)
+        assert nvm.used_bytes == 150
+        nvm.delete("a")
+        assert nvm.used_bytes == 50
+
+
+class TestCycleCharging:
+    def test_write_charges_erase_plus_program(self):
+        kernel = Kernel(nrf52840())
+        nvm = NvmStore(kernel)
+        before = kernel.clock.cycles
+        nvm.write("k", b"x" * 100)
+        charged = kernel.clock.cycles - before
+        assert charged == (NVM_ERASE_CYCLES_PER_PAGE
+                           + 100 * NVM_WRITE_CYCLES_PER_BYTE)
+
+    def test_multi_page_write_charges_per_page(self):
+        kernel = Kernel(nrf52840())
+        nvm = NvmStore(kernel)
+        before = kernel.clock.cycles
+        nvm.write("k", b"x" * (nvm.page_bytes + 1))
+        charged = kernel.clock.cycles - before
+        assert charged >= 2 * NVM_ERASE_CYCLES_PER_PAGE
+
+    def test_read_charges_per_byte(self):
+        kernel = Kernel(nrf52840())
+        nvm = NvmStore(kernel)
+        nvm.write("k", b"x" * 64)
+        before = kernel.clock.cycles
+        nvm.read("k")
+        assert kernel.clock.cycles - before \
+            == 64 * NVM_READ_CYCLES_PER_BYTE
+
+    def test_unbound_store_charges_nothing(self):
+        nvm = NvmStore()
+        nvm.write("k", b"payload")  # must not raise
+        assert nvm.read("k") == b"payload"
+
+    def test_wear_counters(self):
+        nvm = NvmStore()
+        nvm.write("a", b"x" * 10)
+        nvm.write("a", b"y" * 10)
+        nvm.delete("a")
+        assert nvm.writes == 2
+        assert nvm.erases == 3  # two record writes + the delete
+        assert nvm.bytes_written == 20
+
+
+class TestPowerFailureSurvival:
+    def test_records_survive_power_fail_and_rebind(self):
+        board = nrf52840()
+        kernel = Kernel(board)
+        nvm = board.nvm(kernel)
+        nvm.write("suit/slot/app", b"installed-image")
+        kernel.power_fail()
+        assert kernel.halted
+        assert not kernel.threads
+
+        # The replacement kernel continues the same monotonic clock.
+        reborn = Kernel(board, clock=kernel.clock)
+        nvm.bind(reborn)
+        assert nvm.read("suit/slot/app") == b"installed-image"
+
+    def test_rebind_charges_the_new_kernel(self):
+        board = nrf52840()
+        first = Kernel(board)
+        nvm = board.nvm(first)
+        first.power_fail()
+        reborn = Kernel(board, clock=first.clock)
+        nvm.bind(reborn)
+        before = reborn.clock.cycles
+        nvm.write("k", b"v")
+        assert reborn.clock.cycles > before
+
+    def test_halted_kernel_refuses_to_step(self):
+        kernel = Kernel(nrf52840())
+        kernel.power_fail()
+        assert kernel.step() is False
+        assert kernel.run_until_idle() == 0
+
+
+class TestBoardFactory:
+    def test_board_nvm_uses_board_geometry(self):
+        board = nrf52840()
+        nvm = board.nvm()
+        assert nvm.page_bytes == board.nvm_page_bytes
+        assert nvm.erase_cycles_per_page == board.nvm_erase_cycles_per_page
+
+    def test_reboot_cost_is_positive(self):
+        assert nrf52840().reboot_cycles > 0

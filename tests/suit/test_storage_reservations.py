@@ -1,0 +1,193 @@
+"""Failed updates leave the storage registry exactly as they found it.
+
+Satellite of the chaos-hardening PR: every rejection path of the update
+pipeline — fetch timeout, digest mismatch, storage budget exhausted —
+must leave (a) no dead slots (a reservation that will never install but
+still counts against ``max_slots``) and (b) the anti-rollback state
+bit-for-bit unchanged.  Both invariants are checked *before and after a
+power cycle*: the NVM-backed registry restores only installed state, so
+a reboot can neither resurrect a reservation nor lose a sequence number.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FC_HOOK_SCHED, FC_HOOK_TIMER, HostingEngine
+from repro.net import CoapClient, CoapServer, Interface, Link, UdpStack
+from repro.rtos import Kernel
+from repro.suit import (
+    StorageRegistry,
+    SuitEnvelope,
+    SuitUpdateWorker,
+    UpdateStatus,
+    ed25519,
+    payload_digest,
+    SuitManifest,
+)
+from repro.vm import assemble
+
+SEED = bytes(range(32))
+PUBLIC = ed25519.public_key(SEED)
+
+
+def make_rig(kernel, engine, nvm=None, **worker_kwargs):
+    link = Link(kernel, loss=0.0, seed=21)
+    dev = link.attach(Interface("dev"))
+    host = link.attach(Interface("host"))
+    repo = CoapServer(kernel, UdpStack(host).socket(5683), threaded=False)
+    client = CoapClient(kernel, UdpStack(dev).socket(40000))
+    worker = SuitUpdateWorker(engine, client, trust_anchor=PUBLIC,
+                              repo_addr="host", nvm=nvm, **worker_kwargs)
+    return repo, worker
+
+
+def image_manifest(engine, payload, seq=1, hook=FC_HOOK_TIMER, uri="/fw/app"):
+    return SuitManifest(
+        sequence_number=seq,
+        storage_location=str(engine.hook(hook).uuid),
+        digest=payload_digest(payload),
+        size=len(payload),
+        uri=uri,
+    )
+
+
+def run_update(kernel, worker, manifest):
+    worker.trigger(SuitEnvelope.create(manifest, SEED).encode())
+    kernel.run(until_us=kernel.now_us + 400_000_000)
+    return worker.results[-1]
+
+
+def registry_fingerprint(storage: StorageRegistry) -> dict:
+    """Everything a failed update must not perturb."""
+    return {
+        location: (slot.occupied, slot.sequence_number, slot.image)
+        for location, slot in storage.slots.items()
+    }
+
+
+PAYLOAD = assemble("mov r0, 1\n    exit").to_bytes()
+
+# (id, max_slots, manifest builder, blob registrations, expected status)
+FAILURE_MODES = [
+    pytest.param(
+        2,
+        lambda engine: image_manifest(engine, PAYLOAD, seq=2,
+                                      hook=FC_HOOK_SCHED, uri="/fw/ghost"),
+        {},  # /fw/ghost is never served: the fetch times out
+        UpdateStatus.FETCH_FAILED,
+        id="fetch-failed",
+    ),
+    pytest.param(
+        2,
+        lambda engine: image_manifest(engine, PAYLOAD, seq=2,
+                                      hook=FC_HOOK_SCHED, uri="/fw/b"),
+        {"/fw/b": lambda: PAYLOAD[:-4]},  # truncated on the wire
+        UpdateStatus.DIGEST_MISMATCH,
+        id="digest-mismatch",
+    ),
+    pytest.param(
+        1,  # budget already consumed by the baseline install
+        lambda engine: image_manifest(engine, PAYLOAD, seq=2,
+                                      hook=FC_HOOK_SCHED, uri="/fw/b"),
+        {"/fw/b": lambda: PAYLOAD},
+        UpdateStatus.STORAGE_FULL,
+        id="storage-full",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "max_slots, build_manifest, blobs, expected", FAILURE_MODES)
+class TestFailedUpdatesAreInert:
+    def _baseline(self, kernel, engine, nvm, max_slots):
+        repo, worker = make_rig(kernel, engine, nvm=nvm,
+                                max_storage_slots=max_slots)
+        repo.register_blob("/fw/a", lambda: PAYLOAD)
+        good = image_manifest(engine, PAYLOAD, seq=1, uri="/fw/a")
+        assert run_update(kernel, worker, good).ok
+        return repo, worker
+
+    def test_no_dead_slots_and_rollback_state_untouched(
+            self, kernel, engine, max_slots, build_manifest, blobs, expected):
+        nvm = kernel.board.nvm(kernel)
+        repo, worker = self._baseline(kernel, engine, nvm, max_slots)
+        before = registry_fingerprint(worker.storage)
+
+        for uri, blob in blobs.items():
+            repo.register_blob(uri, blob)
+        result = run_update(kernel, worker, build_manifest(engine))
+
+        assert result.status is expected
+        assert registry_fingerprint(worker.storage) == before
+        # No dead slots: everything left in the registry is installed
+        # state, never a reservation stranded by the failure.
+        assert all(s.occupied for s in worker.storage.slots.values())
+
+    def test_reboot_after_failure_restores_only_installed_state(
+            self, kernel, engine, max_slots, build_manifest, blobs, expected):
+        nvm = kernel.board.nvm(kernel)
+        repo, worker = self._baseline(kernel, engine, nvm, max_slots)
+        before = registry_fingerprint(worker.storage)
+        for uri, blob in blobs.items():
+            repo.register_blob(uri, blob)
+        assert run_update(kernel, worker,
+                          build_manifest(engine)).status is expected
+
+        kernel.power_fail()
+        reborn = Kernel(kernel.board, clock=kernel.clock)
+        nvm.bind(reborn)
+        engine2 = HostingEngine(reborn)
+        repo2, worker2 = make_rig(reborn, engine2, nvm=nvm,
+                                  max_storage_slots=max_slots)
+        recovered = worker2.recover()
+
+        assert registry_fingerprint(worker2.storage) == before
+        assert all(r.ok for r in recovered)
+        assert engine2.hook(FC_HOOK_TIMER).occupied
+
+        # Anti-rollback survived the cycle: replaying the baseline
+        # sequence is refused, a genuinely newer one is accepted.
+        repo2.register_blob("/fw/a", lambda: PAYLOAD)
+        replay = image_manifest(engine2, PAYLOAD, seq=1, uri="/fw/a")
+        assert run_update(reborn, worker2, replay).status \
+            is UpdateStatus.SEQUENCE_REPLAY
+        newer = image_manifest(engine2, PAYLOAD, seq=3, uri="/fw/a")
+        assert run_update(reborn, worker2, newer).ok
+
+
+class TestGcEvictedSlotsKeepAntiRollback:
+    """Regression: ``release_if_empty`` must only drop *virgin*
+    reservations — a GC-evicted slot is unoccupied yet still carries the
+    sequence of the install it once held."""
+
+    def test_release_if_empty_spares_evicted_slots(self):
+        registry = StorageRegistry()
+        registry.install("old", b"v1", 1)
+        registry.install("new", b"v2", 9)
+        assert registry.gc(horizon=5) == ["old"]
+        assert not registry.slots["old"].occupied
+
+        registry.release_if_empty("old")
+        assert registry.highest_sequence("old") == 1  # still refused later
+
+    def test_release_if_empty_still_drops_virgin_reservations(self):
+        registry = StorageRegistry(max_slots=1)
+        registry.slot("fresh")  # reservation, never installed
+        registry.release_if_empty("fresh")
+        assert registry.slots == {}
+
+    def test_evicted_slot_survives_reboot_without_image(self):
+        from repro.rtos import NvmStore
+
+        nvm = NvmStore()
+        registry = StorageRegistry(nvm=nvm)
+        registry.install("old", b"v1", 1)
+        registry.install("new", b"v2", 9)
+        registry.gc(horizon=5)
+
+        restored = StorageRegistry(nvm=nvm)
+        restored.restore()
+        assert restored.highest_sequence("old") == 1
+        assert not restored.slots["old"].occupied
+        assert restored.slots["new"].image == b"v2"

@@ -106,3 +106,58 @@ class TestCosts:
         kernel.run(until_us=800_000_000)
         assert worker.results[-1].status is UpdateStatus.SEQUENCE_REPLAY
         assert worker.client.socket.sent == frames_after_ok  # no fetch
+
+
+class TestStrayEvents:
+    """The fetch wait-loop must tolerate event kinds it does not know.
+
+    Regression: the loop used to treat *any* non-trigger event as the
+    fetch outcome, so a stray event posted to the worker's queue — e.g.
+    by a future subsystem sharing it — corrupted the pipeline.  Unknown
+    kinds are now skipped; only ``payload``/``fetch-error`` end the wait.
+    """
+
+    def test_stray_events_mid_fetch_are_ignored(self, rig):
+        kernel, engine, repo, worker = rig
+        app = assemble("mov r0, 7\n    exit").to_bytes()
+        repo.register_blob("/fw/x", lambda: app)
+
+        def inject(step):
+            # "reserved" is crossed right before the fetch wait begins,
+            # so these land in the queue ahead of the payload event.
+            if step == "reserved":
+                worker._queue.post_new("telemetry", b"\x01")
+                worker._queue.post_new("battery-low", b"")
+
+        worker.on_step = inject
+        worker.trigger(SuitEnvelope.create(
+            manifest_for(engine, app, 1, FC_HOOK_TIMER, "/fw/x"),
+            SEED).encode())
+        kernel.run(until_us=400_000_000)
+        assert [r.status for r in worker.results] == [UpdateStatus.OK]
+        assert engine.hook(FC_HOOK_TIMER).occupied
+
+    def test_stray_event_not_misread_as_fetch_error(self, rig):
+        kernel, engine, repo, worker = rig
+        app = assemble("mov r0, 7\n    exit").to_bytes()
+        repo.register_blob("/fw/x", lambda: app)
+        worker.on_step = lambda step: (
+            worker._queue.post_new("fetch-errorish", b"not an error")
+            if step == "reserved" else None)
+        worker.trigger(SuitEnvelope.create(
+            manifest_for(engine, app, 1, FC_HOOK_TIMER, "/fw/x"),
+            SEED).encode())
+        kernel.run(until_us=400_000_000)
+        assert worker.results[-1].ok
+
+    def test_stray_events_while_idle_do_not_wedge_the_worker(self, rig):
+        kernel, engine, repo, worker = rig
+        worker._queue.post_new("alien", b"")
+        kernel.run(until_us=kernel.now_us + 1_000_000)
+        app = assemble("mov r0, 7\n    exit").to_bytes()
+        repo.register_blob("/fw/x", lambda: app)
+        worker.trigger(SuitEnvelope.create(
+            manifest_for(engine, app, 1, FC_HOOK_TIMER, "/fw/x"),
+            SEED).encode())
+        kernel.run(until_us=400_000_000)
+        assert worker.results[-1].ok

@@ -265,6 +265,72 @@ def check_publish(record: dict) -> list[str]:
     return notes
 
 
+def check_chaos(record: dict) -> list[str]:
+    _require(
+        record,
+        [
+            "workload",
+            "unit",
+            "python",
+            "devices_total",
+            "devices_converged",
+            "loss",
+            "scripted_crashes",
+            "reboots",
+            "retriggers",
+            "unreachable_demo",
+        ],
+        "BENCH_chaos",
+    )
+    total = _positive_number(record["devices_total"], "devices_total")
+    converged = record["devices_converged"]
+    if converged != total:
+        raise BenchError(
+            f"BENCH_chaos: only {converged}/{total:.0f} devices converged "
+            "under scripted chaos"
+        )
+    _positive_number(record["loss"], "loss")
+    crashes = _positive_number(record["scripted_crashes"], "scripted_crashes")
+    reboots = _positive_number(record["reboots"], "reboots")
+    if reboots < crashes:
+        raise BenchError(
+            f"BENCH_chaos: {reboots:.0f} reboot(s) for {crashes:.0f} "
+            "scripted crash(es) — a crashed device never came back"
+        )
+    retriggers = record["retriggers"]
+    if not isinstance(retriggers, int) or retriggers < 0:
+        raise BenchError(
+            f"BENCH_chaos: retriggers must be a non-negative integer, "
+            f"got {retriggers!r}"
+        )
+    demo = record["unreachable_demo"]
+    _require(
+        demo,
+        ["converged", "unreachable", "others_converged", "raised"],
+        "BENCH_chaos.unreachable_demo",
+    )
+    if demo["converged"] is not False:
+        raise BenchError(
+            "BENCH_chaos: the unreachable demo claims full convergence"
+        )
+    _positive_number(demo["unreachable"], "unreachable_demo.unreachable")
+    _positive_number(
+        demo["others_converged"], "unreachable_demo.others_converged"
+    )
+    if demo["raised"] is not False:
+        raise BenchError(
+            "BENCH_chaos: the unreachable publish raised instead of "
+            "degrading gracefully"
+        )
+    return [
+        f"{converged}/{total:.0f} devices converged at {record['loss']:.0%} "
+        f"loss through {crashes:.0f} crash(es), {reboots:.0f} reboot(s), "
+        f"{retriggers} re-trigger(s)",
+        f"unreachable device degraded gracefully "
+        f"({demo['others_converged']} other(s) converged, no exception)",
+    ]
+
+
 #: File name -> checker.  Every entry is required to exist.
 CHECKS = {
     "BENCH_throughput.json": check_throughput,
@@ -272,6 +338,7 @@ CHECKS = {
     "BENCH_deploy.json": check_deploy,
     "BENCH_canary.json": check_canary,
     "BENCH_publish.json": check_publish,
+    "BENCH_chaos.json": check_chaos,
 }
 
 
