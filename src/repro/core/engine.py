@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, NamedTuple
 
 from repro.core.container import (
     ContainerRun,
@@ -46,11 +46,25 @@ from repro.vm.imagecache import IMAGE_CACHE
 from repro.vm.jit import CompiledProgram
 from repro.vm.memory import AccessList, MemoryRegion, Permission
 from repro.vm.program import Program
+from repro.vm.supervisor import ContainerSupervisor, SupervisorConfig
 from repro.vm.verifier import VerifierConfig
 from repro.vm.interpreter import ExecutionStats, VMConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.rtos.board import Board
+    from repro.vm.supervisor import SlotHealth
+
+
+class SlotSnapshot(NamedTuple):
+    """One slot's runtime baseline (see :meth:`HostingEngine
+    .runtime_snapshot`): the container object plus its run/cycle
+    counters at snapshot time, and the supervisor's health record for
+    the slot (``None`` when unsupervised or never observed)."""
+
+    container: FemtoContainer
+    runs: int
+    cycles: int
+    health: "SlotHealth | None"
 
 
 @dataclass
@@ -97,6 +111,7 @@ class HostingEngine:
         kernel: Kernel,
         implementation: str = "femto-containers",
         saul: SaulRegistry | None = None,
+        supervisor: "SupervisorConfig | bool | None" = True,
     ) -> None:
         if implementation not in VM_CLASSES:
             raise EngineError(
@@ -122,6 +137,17 @@ class HostingEngine:
         #: Execution context (valid while a container runs).
         self.current_container: FemtoContainer | None = None
         self.current_pdu: CoapResponseContext | None = None
+        #: Crash-loop/overrun watchdog.  ``True`` wires the default
+        #: policy, a :class:`~repro.vm.supervisor.SupervisorConfig`
+        #: customizes it, and a falsy value restores the legacy
+        #: lifetime-fault detach (no quarantine, no probation).
+        self.supervisor: "ContainerSupervisor | None"
+        if supervisor:
+            config = supervisor if isinstance(supervisor, SupervisorConfig) \
+                else None
+            self.supervisor = ContainerSupervisor(self, config)
+        else:
+            self.supervisor = None
         self._register_default_hooks()
 
     # -- firmware-provided hooks ------------------------------------------------
@@ -266,6 +292,8 @@ class HostingEngine:
         hook.containers.append(container)
         if hook.mode is HookMode.THREAD:
             self._spawn_worker(container)
+        if self.supervisor is not None:
+            self.supervisor.notify_attach(container, hook.name)
         return container
 
     def detach(self, container: FemtoContainer) -> None:
@@ -451,11 +479,15 @@ class HostingEngine:
             pdu.payload_length = max(
                 0, min(int(value) - pdu.header_length, pdu.payload_capacity)
             )
-        if (
+        if self.supervisor is not None:
+            self.supervisor.observe(container, run)
+        elif (
             fault is not None
             and container.fault_count >= self.FAULT_DETACH_THRESHOLD
             and container.hook is not None
         ):
+            # Legacy containment: detach after a lifetime fault budget,
+            # no quarantine/probation (supervisor disabled).
             self.detach(container)
         return run
 
@@ -488,22 +520,35 @@ class HostingEngine:
             seen.extend(hook.containers)
         return seen
 
-    def runtime_snapshot(
-        self,
-    ) -> dict[tuple[str, str], tuple[FemtoContainer, int, int]]:
-        """Per-slot ``(container, runs, modelled cycles)`` baseline.
+    def runtime_snapshot(self) -> dict[tuple[str, str], SlotSnapshot]:
+        """Per-slot :class:`SlotSnapshot` baselines.
 
         Keyed by ``(hook name, container name)`` like
         :meth:`fault_counts`.  The container *object* is part of the
         snapshot on purpose: run and cycle counters live on the
         instance, so a later reader can compute deltas even for a
         container the engine fault-detached in the meantime (fleet
-        canary health gates rely on exactly that).
+        canary health gates rely on exactly that).  Supervised slots
+        additionally carry their live health record — including slots
+        whose container is currently *quarantined* (detached), so a
+        fleet health reader sees the sick slot, not a silent absence.
         """
-        return {(container.hook.name, container.name):
-                (container, container.runs, container.total_cycles)
-                for container in self.containers()
-                if container.hook is not None}
+        snapshot: dict[tuple[str, str], SlotSnapshot] = {}
+        for container in self.containers():
+            if container.hook is None:
+                continue
+            key = (container.hook.name, container.name)
+            health = (self.supervisor.health(*key)
+                      if self.supervisor is not None else None)
+            snapshot[key] = SlotSnapshot(
+                container, container.runs, container.total_cycles, health)
+        if self.supervisor is not None:
+            for key, health in self.supervisor.counters().items():
+                if key not in snapshot and health.quarantined:
+                    snapshot[key] = SlotSnapshot(
+                        health.container, health.container.runs,
+                        health.container.total_cycles, health)
+        return snapshot
 
     def fault_counts(self) -> dict[tuple[str, str], int]:
         """Per-slot fault counts of currently attached containers.

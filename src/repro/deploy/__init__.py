@@ -21,9 +21,10 @@ imperative ``create_tenant``/``load``/``attach`` primitives:
   (devices persist installed state to NVM and resume interrupted
   fetches);
 * :mod:`repro.deploy.chaos` — :class:`FaultInjector` schedules device
-  crashes, reboots, link-loss bursts and stalls at virtual timestamps
-  from a deterministic plan; its module docstring carries the failure
-  modes table (crash point → observed status → recovery path).
+  crashes, reboots, link-loss bursts, stalls and storage faults (torn
+  writes, bit flips, flash wear-out) at virtual timestamps from a
+  deterministic plan; its module docstring carries the failure modes
+  table (crash point → observed status → recovery path).
 
 Applying an unchanged spec twice plans zero actions; editing one image
 plans exactly one replace.  See the module docstrings for the full
@@ -31,11 +32,14 @@ reconcile model.
 """
 
 from repro.deploy.chaos import (
+    BitFlipAt,
     ChaosEvent,
     CrashAt,
     FaultInjector,
     LinkLossBurst,
     StallAt,
+    TornWriteAt,
+    WearOut,
 )
 from repro.deploy.fleet import (
     CanaryRollout,
@@ -82,6 +86,7 @@ __all__ = [
     "ApplyResult",
     "AttachmentSpec",
     "BUILTIN_SPECS",
+    "BitFlipAt",
     "CanaryRollout",
     "ChaosEvent",
     "CrashAt",
@@ -100,6 +105,8 @@ __all__ = [
     "HealthGate",
     "LinkLossBurst",
     "StallAt",
+    "TornWriteAt",
+    "WearOut",
     "HookSpec",
     "PublishResult",
     "ImageSpec",

@@ -8,7 +8,7 @@ module injects exactly those faults into a
 timestamps on the publisher's backhaul clock, so the same plan + the
 same seeds reproduce the same chaos bit for bit.
 
-Three event kinds exist:
+Six event kinds exist — three attacking power and links:
 
 * :class:`CrashAt` — the device power-fails at ``at_us`` (all RAM state
   dropped, NVM kept) and is rebooted ``down_us`` later by the publisher,
@@ -19,7 +19,20 @@ Three event kinds exist:
   then restored;
 * :class:`StallAt` — the device stops being scheduled for
   ``duration_us`` (wedged firmware, busy peripheral): it is neither dead
-  nor reachable, the publisher's retries must simply outlast it.
+  nor reachable, the publisher's retries must simply outlast it;
+
+and three attacking the flash itself (PR 7):
+
+* :class:`TornWriteAt` — arms the device's NVM so the next matching
+  record commit is torn by a power failure mid-program (at the shadow
+  or the primary phase); the device halts mid-commit and is rebooted
+  ``down_us`` after the tear fires;
+* :class:`BitFlipAt` — flips one bit in a stored record (radiation,
+  marginal cell); the CRC framing must catch it and the shadow/replica
+  must repair or contain it;
+* :class:`WearOut` — imposes an erase-cycle budget on the device's
+  flash; regions erased past the budget go bad and corrupt whatever is
+  programmed into them (the journal must detect and route around).
 
 Failure modes and recovery paths
 --------------------------------
@@ -47,12 +60,30 @@ mid-fetch (any block)     no result → retriggered     fetch checkpoint in NVM;
                                                       :meth:`~repro.suit.worker.SuitUpdateWorker.recover`
 device never reboots      ``UNREACHABLE`` row,        none — the publisher reports partial
                           ``converged=False``         convergence instead of raising
+torn write, shadow phase  no result → retriggered     primary record untouched: the device
+                                                      reboots on the *old* value and the
+                                                      re-trigger re-runs the pipeline
+torn write, commit phase  retriggered / ``REBOOTED``  the shadow copy holds the full new frame;
+                                                      the first read after reboot repairs the
+                                                      primary (``nvm.repairs``)
+bit flip in a record      silent repair or refetch    CRC framing rejects the frame; redundant
+                                                      records repair from the replica, plain
+                                                      records are dropped by ``restore()`` and
+                                                      the image re-fetched
+worn-out flash region     shadow/replica serves       a region past its erase budget corrupts
+                                                      programs; the read-back verify keeps the
+                                                      journal's good copy alive
+crash-looping container   ``QUARANTINED`` row         the device-side supervisor detaches the
+                                                      looper with exponential-backoff probation;
+                                                      the publisher reports the slot, the rest
+                                                      of the fleet converges
 ========================  ==========================  ===========================================
 
-Anti-rollback state lives in the same NVM records as the images, written
-atomically after the in-RAM install: no crash point can lose an accepted
-sequence number, and no crash point can strand a storage reservation
-(reservations are deliberately RAM-only).
+Anti-rollback state is written **twice** — inside the slot record and as
+a small redundant ``suit/seq/`` record whose shadow replica is kept —
+so no crash point, torn write or single bit flip can lose or regress an
+accepted sequence number, and no crash point can strand a storage
+reservation (reservations are deliberately RAM-only).
 """
 
 from __future__ import annotations
@@ -96,7 +127,45 @@ class StallAt:
     duration_us: float
 
 
-ChaosEvent = CrashAt | LinkLossBurst | StallAt
+@dataclass(frozen=True)
+class TornWriteAt:
+    """Arm ``device``'s flash to tear its next matching record commit.
+
+    The next :meth:`~repro.rtos.nvm.NvmStore.write` whose key contains
+    ``match`` dies mid-``phase`` (``"shadow"`` or ``"commit"``): power
+    fails with a half-programmed frame in that region.  The injector
+    reboots the device ``down_us`` after the tear actually fires.
+    """
+
+    device: str
+    at_us: float
+    phase: str = "commit"
+    match: str = "suit/"
+    down_us: float | None = 200_000.0
+
+
+@dataclass(frozen=True)
+class BitFlipAt:
+    """Flip one bit in ``device``'s first stored record under
+    ``key_prefix`` (cosmic ray / marginal cell — no power event)."""
+
+    device: str
+    at_us: float
+    key_prefix: str = "suit/"
+
+
+@dataclass(frozen=True)
+class WearOut:
+    """Impose an erase-cycle budget on ``device``'s flash from ``at_us``
+    on: any region erased more than ``erase_budget`` times goes bad."""
+
+    device: str
+    at_us: float
+    erase_budget: int = 64
+
+
+ChaosEvent = CrashAt | LinkLossBurst | StallAt | TornWriteAt | BitFlipAt \
+    | WearOut
 
 
 class FaultInjector:
@@ -123,11 +192,17 @@ class FaultInjector:
         self._stalled_until: dict[str, float] = {}
         self._burst_until: float | None = None
         self._base_loss: float | None = None
+        #: Device name -> (down_us, torn count when armed): a tear has
+        #: been armed on its NVM and we are waiting for it to fire.
+        self._torn_armed: dict[str, tuple[float | None, int]] = {}
         #: Observability counters.
         self.crashes = 0
         self.reboots = 0
         self.bursts = 0
         self.stalls = 0
+        self.torn_writes = 0
+        self.bitflips = 0
+        self.wearouts = 0
 
     @classmethod
     def random_plan(
@@ -139,8 +214,16 @@ class FaultInjector:
         bursts: int = 1,
         stalls: int = 1,
         down_us: float = 500_000.0,
+        torn_writes: int = 0,
+        bitflips: int = 0,
+        wearouts: int = 0,
     ) -> list[ChaosEvent]:
-        """A seeded random plan over ``horizon_us`` of backhaul time."""
+        """A seeded random plan over ``horizon_us`` of backhaul time.
+
+        The storage-fault draws come *after* the classic three, so a
+        plan with the default counts is byte-identical to pre-PR 7
+        plans for the same seed.
+        """
         rng = random.Random(seed)
         plan: list[ChaosEvent] = []
         for _ in range(crashes):
@@ -161,6 +244,24 @@ class FaultInjector:
                 at_us=rng.uniform(0.05, 0.7) * horizon_us,
                 duration_us=rng.uniform(0.05, 0.2) * horizon_us,
             ))
+        for _ in range(torn_writes):
+            plan.append(TornWriteAt(
+                device=rng.choice(list(device_names)),
+                at_us=rng.uniform(0.05, 0.6) * horizon_us,
+                phase=rng.choice(["shadow", "commit"]),
+                down_us=down_us,
+            ))
+        for _ in range(bitflips):
+            plan.append(BitFlipAt(
+                device=rng.choice(list(device_names)),
+                at_us=rng.uniform(0.05, 0.8) * horizon_us,
+            ))
+        for _ in range(wearouts):
+            plan.append(WearOut(
+                device=rng.choice(list(device_names)),
+                at_us=rng.uniform(0.05, 0.5) * horizon_us,
+                erase_budget=rng.randint(8, 32),
+            ))
         return sorted(plan, key=lambda e: e.at_us)
 
     # -- the converge-loop hooks -------------------------------------------
@@ -174,6 +275,19 @@ class FaultInjector:
         now = publisher.kernel.now_us
         while self._pending and self._pending[0].at_us <= now:
             self._fire(self._pending.pop(0), publisher, now)
+        for name, (down_us, baseline) in list(self._torn_armed.items()):
+            device = publisher.device_by_name(name)
+            if device.nvm is None or device.nvm.torn == baseline:
+                continue  # still armed, no matching write happened yet
+            # The tear fired: the device died mid-commit.  Queue its
+            # reboot like a scripted crash.
+            del self._torn_armed[name]
+            self.torn_writes += 1
+            if device.kernel.halted and name not in self._down:
+                publisher.crash_device(device)
+                self.crashes += 1
+                self._down[name] = (None if down_us is None
+                                    else now + down_us)
         if self.auto_reboot_us is not None:
             for device in publisher.fleet.devices:
                 if device.kernel.halted and device.name not in self._down:
@@ -219,6 +333,27 @@ class FaultInjector:
                 now + event.duration_us,
             )
             self.stalls += 1
+        elif isinstance(event, TornWriteAt):
+            device = publisher.device_by_name(event.device)
+            if device.nvm is None or device.kernel.halted:
+                return  # nothing to tear / already a corpse
+            device.nvm.tear_next_write(event.phase, event.match)
+            self._torn_armed[event.device] = (event.down_us,
+                                              device.nvm.torn)
+        elif isinstance(event, BitFlipAt):
+            device = publisher.device_by_name(event.device)
+            if device.nvm is None:
+                return
+            for key in device.nvm.keys(event.key_prefix):
+                if device.nvm.bit_flip(key):
+                    self.bitflips += 1
+                    break
+        elif isinstance(event, WearOut):
+            device = publisher.device_by_name(event.device)
+            if device.nvm is None:
+                return
+            device.nvm.erase_budget = event.erase_budget
+            self.wearouts += 1
 
     @property
     def quiescent(self) -> bool:

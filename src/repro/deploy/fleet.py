@@ -23,7 +23,7 @@ from __future__ import annotations
 import struct
 import time
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.core.engine import HostingEngine
 from repro.deploy.plan import ApplyResult, apply, plan
@@ -32,6 +32,9 @@ from repro.rtos.board import Board, nrf52840
 from repro.rtos.kernel import Kernel
 from repro.rtos.thread import ThreadState
 from repro.vm.imagecache import IMAGE_CACHE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.vm.supervisor import SupervisorConfig
 
 
 @dataclass
@@ -52,6 +55,11 @@ class FleetDevice:
     meter: object = None
     #: Power cycles this device has been through.
     reboots: int = 0
+    #: The spec *this device* last converged on — the per-device
+    #: rollback baseline.  A mode-heterogeneous fleet (devices running
+    #: different specs) unwinds each device to its own prior state, not
+    #: to one fleet-wide guess.
+    current_spec: DeploymentSpec | None = None
 
     @property
     def board(self) -> Board:
@@ -91,6 +99,11 @@ class HealthGate:
     #: mid-bake is caught even when early cheap runs would have diluted
     #: the whole-bake average.  ``None`` keeps the whole-bake rule.
     window_runs: int | None = None
+    #: Supervisor quarantines tolerated per canary during the bake;
+    #: ``None`` skips the check (a quarantine usually also trips
+    #: :attr:`max_fault_delta` — this knob lets a gate flag quarantines
+    #: even when the fault budget was loosened).
+    max_quarantined: int | None = None
 
     def breaches(
         self,
@@ -99,6 +112,7 @@ class HealthGate:
         fault_delta: int,
         controls: Sequence[FleetDevice],
         history: Sequence[Mapping] | None = None,
+        quarantined: int = 0,
     ) -> list[str]:
         """Health violations of one baked canary (empty when healthy).
 
@@ -112,7 +126,13 @@ class HealthGate:
         problems: list[str] = []
         if fault_delta > self.max_fault_delta:
             problems.append(f"+{fault_delta} faults during bake")
-        for slot, (container, runs0, cycles0) in before.items():
+        if (self.max_quarantined is not None
+                and quarantined > self.max_quarantined):
+            problems.append(f"{quarantined} slot(s) quarantined during bake")
+        for slot, snap in before.items():
+            # A SlotSnapshot — or any (container, runs, cycles, ...)
+            # tuple a custom gate hands in.
+            container, runs0, cycles0 = snap[0], snap[1], snap[2]
             budget = self.cycle_budgets.get(slot[1])
             if budget is None:
                 continue
@@ -288,12 +308,16 @@ class Fleet:
         self,
         boards: int | Sequence[Board] = 4,
         implementation: str = "jit",
+        supervisor: "SupervisorConfig | bool | None" = True,
     ) -> None:
         if isinstance(boards, int):
             boards = [nrf52840() for _ in range(boards)]
         if not boards:
             raise ValueError("a fleet needs at least one device")
         self.implementation = implementation
+        #: Engine supervisor policy, also reused when the publisher
+        #: rebuilds an engine after a device reboot.
+        self.supervisor_config = supervisor
         self.devices: list[FleetDevice] = []
         #: The spec the whole fleet last converged on (the canary
         #: rollback target when no explicit baseline is given).
@@ -303,7 +327,8 @@ class Fleet:
             self.devices.append(FleetDevice(
                 name=f"dev{index}",
                 kernel=kernel,
-                engine=HostingEngine(kernel, implementation=implementation),
+                engine=HostingEngine(kernel, implementation=implementation,
+                                     supervisor=supervisor),
             ))
 
     def __len__(self) -> int:
@@ -318,6 +343,7 @@ class Fleet:
         start = time.perf_counter()
         result = apply(device.engine, plan(device.engine, spec))
         wall_s = time.perf_counter() - start
+        device.current_spec = spec
         return DeviceRollout(
             device=device,
             result=result,
@@ -449,15 +475,18 @@ class Fleet:
         slices = 8 if health_gate.window_runs is not None else 1
         for device in canaries:
             faults_before = device.engine.fault_total
+            supervisor = device.engine.supervisor
+            quar_before = (supervisor.quarantines
+                           if supervisor is not None else 0)
             snapshot_before = device.engine.runtime_snapshot()
 
             def sample() -> dict:
                 # Read the *pinned* container objects from the pre-bake
                 # snapshot, so a slot replaced or fault-detached
                 # mid-bake keeps a continuous series.
-                return {slot: (container.runs, container.total_cycles)
-                        for slot, (container, _, _)
-                        in snapshot_before.items()}
+                return {slot: (snap.container.runs,
+                               snap.container.total_cycles)
+                        for slot, snap in snapshot_before.items()}
 
             history = [sample()]
             for index in range(slices):
@@ -469,9 +498,12 @@ class Fleet:
                 history.append(sample())
             delta = device.engine.fault_total - faults_before
             fault_deltas[device.name] = delta
+            quarantined = (supervisor.quarantines - quar_before
+                           if supervisor is not None else 0)
             health[device.name] = health_gate.breaches(
                 device, snapshot_before, delta, controls,
-                history=history if slices > 1 else None)
+                history=history if slices > 1 else None,
+                quarantined=quarantined)
         return fault_deltas, health
 
     def canary_rollout(
@@ -524,20 +556,34 @@ class Fleet:
             health_gate = HealthGate()
         canaries = self.devices[:canary_count]
         rest = self.devices[canary_count:]
+        # Per-device rollback baselines, captured *before* any canary is
+        # touched: a mode-heterogeneous fleet unwinds each device to its
+        # own prior spec.  An explicit ``baseline`` argument overrides
+        # them all; the fleet-level value is kept on the rollout record.
+        explicit_baseline = baseline
+        prior_specs = {device.name: device.current_spec
+                       for device in self.devices}
         if baseline is None:
             baseline = self.current_spec
         if baseline is None:
             baseline = self._rollback_baseline(spec, canaries)
         rollout = CanaryRollout(spec=spec, baseline=baseline, bake_us=bake_us)
 
+        def revert_target(device: FleetDevice) -> DeploymentSpec:
+            if explicit_baseline is not None:
+                return explicit_baseline
+            return (prior_specs[device.name]
+                    or self.current_spec
+                    or self._rollback_baseline(spec, [device]))
+
         def revert(staged_rollouts: list[DeviceRollout]) -> None:
-            """Best-effort re-apply of the baseline; never raises (a
-            device whose revert fails is recorded in the reason, the
-            remaining devices still get reverted)."""
+            """Best-effort re-apply of each device's baseline; never
+            raises (a device whose revert fails is recorded in the
+            reason, the remaining devices still get reverted)."""
             for staged in staged_rollouts:
                 try:
-                    rollout.rollback.append(
-                        self._converge(staged.device, baseline))
+                    rollout.rollback.append(self._converge(
+                        staged.device, revert_target(staged.device)))
                 except Exception as exc:
                     rollout.reason += (
                         f"; rollback failed on {staged.device.name}: {exc}")

@@ -33,10 +33,18 @@ With ``canary_count`` the publish is staged like
 :meth:`~repro.deploy.fleet.Fleet.canary_rollout`, but entirely over the
 radio: trigger the canaries, bake them, judge them against a
 :class:`~repro.deploy.fleet.HealthGate`, and only then trigger the rest
-of the fleet.  An unhealthy bake publishes the *baseline* spec back to
-the canaries — under a **new, higher** sequence number, because
-anti-rollback forbids re-announcing an old one — and never touches the
-control devices at all.
+of the fleet.  An unhealthy bake publishes each canary's *own* prior
+spec back to it — under a **new, higher** sequence number, because
+anti-rollback forbids re-announcing an old one; devices sharing a
+baseline share one signed envelope — and never touches the control
+devices at all.
+
+Since PR 7 every row also carries the device's health/energy telemetry
+(contained-fault delta, quarantined slot count, radio energy), and a
+device whose :class:`~repro.vm.supervisor.ContainerSupervisor`
+quarantined a crash-looping slot reports a ``QUARANTINED`` row: still
+*converged* — the device runs the published sequence, the sick workload
+is contained — but visibly flagged instead of silently green.
 """
 
 from __future__ import annotations
@@ -110,13 +118,25 @@ class DevicePublish:
     retries: int = 0
     #: Power cycles this device went through during this convergence.
     reboots: int = 0
+    #: Contained faults this device recorded during the convergence
+    #: (summed across reboots — each reboot starts a fresh engine).
+    fault_delta: int = 0
+    #: Container slots the device's supervisor is holding quarantined
+    #: at report time.
+    quarantined: int = 0
+    #: Radio energy this convergence cost the device (µJ).
+    radio_uj: float = 0.0
 
     @property
     def ok(self) -> bool:
-        """Converged: a clean reconcile, or a reboot that kept the
-        published sequence in NVM (the device runs the update — it just
-        got there through its bootloader instead of a live apply)."""
-        return self.result.ok or self.result.status is UpdateStatus.REBOOTED
+        """Converged: a clean reconcile, a reboot that kept the
+        published sequence in NVM, or a convergence whose supervisor is
+        quarantining a crash-looping slot (the *device* holds the
+        published sequence; the sick workload is contained, reported,
+        and does not block the rest of the fleet)."""
+        return (self.result.ok
+                or self.result.status is UpdateStatus.REBOOTED
+                or self.result.status is UpdateStatus.QUARANTINED)
 
     @property
     def actions(self) -> int:
@@ -161,6 +181,21 @@ class PublishResult:
         """Devices that never reported despite every retry."""
         return [row for row in self.devices
                 if row.result.status is UpdateStatus.UNREACHABLE]
+
+    def quarantined_devices(self) -> list[DevicePublish]:
+        """Devices that converged but hold quarantined container slots."""
+        return [row for row in self.devices
+                if row.result.status is UpdateStatus.QUARANTINED]
+
+    @property
+    def total_fault_delta(self) -> int:
+        """Contained faults across the fleet during this publish."""
+        return sum(row.fault_delta for row in self.devices)
+
+    @property
+    def total_radio_uj(self) -> float:
+        """Radio energy the whole fleet spent converging (µJ)."""
+        return sum(row.radio_uj for row in self.devices)
 
     def by_role(self, role: str) -> list[DevicePublish]:
         return [row for row in self.devices if row.role == role]
@@ -296,7 +331,8 @@ class FleetPublisher:
         kernel.clock.charge(board.reboot_cycles)
         device.kernel = kernel
         device.engine = HostingEngine(
-            kernel, implementation=self.fleet.implementation)
+            kernel, implementation=self.fleet.implementation,
+            supervisor=getattr(self.fleet, "supervisor_config", True))
         device.reboots += 1
         self._wire_device(device, index)
         device.radio.worker.recover()
@@ -377,6 +413,7 @@ class FleetPublisher:
         window_us: float,
         max_windows: int,
         sequence_number: int | None = None,
+        spec: DeploymentSpec | None = None,
     ) -> list[DevicePublish]:
         """Co-run all kernels until every triggered worker reported.
 
@@ -407,16 +444,37 @@ class FleetPublisher:
                 "reboots_before": device.reboots,
                 "hits": 0,
                 "misses": 0,
+                # Health/energy baselines.  fault_total lives on the
+                # engine, which a reboot rebuilds from scratch — so the
+                # accumulator banks the old engine's count whenever the
+                # engine identity changes (the meter survives reboots and
+                # is already cumulative).
+                "engine": device.engine,
+                "faults_before": device.engine.fault_total,
+                "faults_accum": 0,
+                "radio_before": (device.meter.report().radio_uj
+                                 if device.meter is not None else 0.0),
             }
             for device in devices
         }
         pending = {device.name for device in devices}
         rows: list[DevicePublish] = []
 
+        def fault_delta(device: FleetDevice, entry: dict) -> int:
+            engine = device.engine
+            if engine is not entry["engine"]:
+                entry["faults_accum"] += (entry["engine"].fault_total
+                                          - entry["faults_before"])
+                entry["engine"] = engine
+                entry["faults_before"] = engine.fault_total
+            return (entry["faults_accum"] + engine.fault_total
+                    - entry["faults_before"])
+
         def finish(device: FleetDevice, entry: dict,
                    result: UpdateResult) -> None:
             pending.discard(device.name)
             trigger = self._triggers.get(device.name, {})
+            supervisor = device.engine.supervisor
             rows.append(DevicePublish(
                 device=device,
                 role=role,
@@ -428,7 +486,17 @@ class FleetPublisher:
                 cache_misses=entry["misses"],
                 retries=max(0, trigger.get("attempts", 1) - 1),
                 reboots=device.reboots - entry["reboots_before"],
+                fault_delta=fault_delta(device, entry),
+                quarantined=(len(supervisor.quarantined_slots())
+                             if supervisor is not None else 0),
+                radio_uj=(device.meter.report().radio_uj
+                          - entry["radio_before"]
+                          if device.meter is not None else 0.0),
             ))
+            if rows[-1].ok and spec is not None:
+                # Per-device rollback baseline: this device now runs
+                # ``spec`` regardless of what the rest of the fleet does.
+                device.current_spec = spec
 
         def holds_sequence(worker) -> bool:
             return (sequence_number is not None
@@ -528,6 +596,38 @@ class FleetPublisher:
             ))
         return rows
 
+    def _mark_quarantined(self, result: PublishResult) -> PublishResult:
+        """Fold end-of-publish supervisor state into the device rows.
+
+        A device's supervisor may quarantine a crash-looping slot *after*
+        its convergence row was finished — a finished device's clock
+        freezes only for the publisher; its own bake/chaos windows keep
+        running.  This final pass re-samples every row's device: rows
+        whose device holds quarantined slots are upgraded from
+        ``OK``/``REBOOTED`` to ``QUARANTINED`` (still counted as
+        converged — the device runs the published sequence; the sick
+        workload is contained and named in the message).
+        """
+        for row in result.devices:
+            supervisor = getattr(row.device.engine, "supervisor", None)
+            if supervisor is None:
+                continue
+            slots = supervisor.quarantined_slots()
+            row.quarantined = len(slots)
+            if slots and row.result.status in (UpdateStatus.OK,
+                                               UpdateStatus.REBOOTED):
+                names = ", ".join(f"{hook}/{name}" for hook, name in slots)
+                row.result = UpdateResult(
+                    UpdateStatus.QUARANTINED,
+                    f"converged, but the supervisor quarantined {names} "
+                    "as crash-looping",
+                    manifest=row.result.manifest,
+                    container=row.result.container,
+                    applied=row.result.applied,
+                    duration_us=row.result.duration_us,
+                )
+        return result
+
     # -- the publish -------------------------------------------------------
 
     def publish(
@@ -571,7 +671,8 @@ class FleetPublisher:
             self._trigger(fleet.devices, envelope)
             result.devices = self._converge(fleet.devices, "device",
                                             window_us, max_windows,
-                                            sequence_number=sequence_number)
+                                            sequence_number=sequence_number,
+                                            spec=spec)
             if result.converged:
                 fleet.current_spec = spec
                 result.reason = (f"{len(result.devices)} devices "
@@ -589,7 +690,7 @@ class FleetPublisher:
                 if unreachable:
                     parts.append(f"unreachable: {', '.join(unreachable)}")
                 result.reason = "; ".join(parts)
-            return result
+            return self._mark_quarantined(result)
 
         if not 1 <= canary_count <= len(fleet.devices):
             raise ValueError(
@@ -602,28 +703,47 @@ class FleetPublisher:
         baseline = fleet.current_spec
         if baseline is None:
             baseline = fleet._rollback_baseline(spec, canaries)
+        # Per-device baselines, captured *before* anything is triggered:
+        # a heterogeneous fleet (devices converged onto different specs
+        # by earlier publishes or direct applies) must roll each device
+        # back to *its own* prior spec, not one fleet-wide guess.
+        prior_specs = {device.name: device.current_spec
+                       for device in fleet.devices}
 
         def publish_rollback(reason: str,
                              targets: Sequence[FleetDevice]) -> PublishResult:
-            """OTA rollback: the baseline goes out as a *new* sequence
-            (anti-rollback forbids re-announcing an old one) and only to
-            the devices that converged on the bad spec — a control that
-            was never triggered is never touched."""
+            """OTA rollback: each device's *own* prior spec goes out as a
+            *new* sequence (anti-rollback forbids re-announcing an old
+            one) and only to the devices that converged on the bad spec —
+            a control that was never triggered is never touched.  Devices
+            sharing a baseline share one signed envelope; each distinct
+            baseline gets its own envelope and sequence number."""
             result.rolled_back = True
             result.reason = reason
-            rollback_envelope, _, rollback_seq = self._sign(baseline, None,
-                                                            None)
-            self._trigger(targets, rollback_envelope)
-            result.devices.extend(self._converge(
-                targets, "rollback", window_us, max_windows,
-                sequence_number=rollback_seq))
-            return result
+            groups: list[tuple[DeploymentSpec, list[FleetDevice]]] = []
+            for device in targets:
+                target_spec = prior_specs.get(device.name) or baseline
+                for grouped_spec, members in groups:
+                    if grouped_spec is target_spec:
+                        members.append(device)
+                        break
+                else:
+                    groups.append((target_spec, [device]))
+            for target_spec, members in groups:
+                rollback_envelope, _, rollback_seq = self._sign(
+                    target_spec, None, None)
+                self._trigger(members, rollback_envelope)
+                result.devices.extend(self._converge(
+                    members, "rollback", window_us, max_windows,
+                    sequence_number=rollback_seq, spec=target_spec))
+            return self._mark_quarantined(result)
 
         # 1. Canary: trigger and converge the subset only.
         self._trigger(canaries, envelope)
         canary_rows = self._converge(canaries, "canary", window_us,
                                      max_windows,
-                                     sequence_number=sequence_number)
+                                     sequence_number=sequence_number,
+                                     spec=spec)
         result.devices = canary_rows
         refused = sorted(row.device.name for row in canary_rows
                          if not row.ok)
@@ -640,7 +760,7 @@ class FleetPublisher:
             result.rolled_back = True
             result.reason = (f"refused by canaries {', '.join(refused)}; "
                              "devices unchanged")
-            return result
+            return self._mark_quarantined(result)
 
         # 2. Bake + health gate, exactly as the direct canary rollout.
         result.fault_deltas, result.health = fleet._bake_and_gate(
@@ -662,7 +782,8 @@ class FleetPublisher:
         self._trigger(rest, envelope)
         control_rows = self._converge(rest, "control", window_us,
                                       max_windows,
-                                      sequence_number=sequence_number)
+                                      sequence_number=sequence_number,
+                                      spec=spec)
         result.devices.extend(control_rows)
         refused = sorted(row.device.name for row in control_rows
                          if not row.ok)
@@ -679,4 +800,4 @@ class FleetPublisher:
             f"{len(rest)} devices promoted"
         )
         fleet.current_spec = spec
-        return result
+        return self._mark_quarantined(result)

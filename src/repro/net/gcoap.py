@@ -166,8 +166,15 @@ class CoapClient:
     def __init__(self, kernel: "Kernel", socket: UdpSocket):
         self.kernel = kernel
         self.socket = socket
-        self._next_mid = 1
-        self._next_token = 1
+        # RFC 7252 §4.4: a fresh endpoint must not restart message IDs
+        # from a fixed value, or a peer's exchange cache will replay a
+        # previous incarnation's responses to it.  Seeding from the
+        # virtual clock keeps it deterministic while guaranteeing a
+        # rebooted device (same address, monotonic clock) never reuses
+        # the MIDs its pre-crash self already burned.
+        start = (int(kernel.now_us) & 0x7FFF) + 1
+        self._next_mid = start
+        self._next_token = start
         self._pending: dict[bytes, _Pending] = {}
         socket.on_datagram = self._on_datagram
         self.timeouts = 0

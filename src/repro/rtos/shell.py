@@ -95,17 +95,44 @@ class DeviceShell:
             # The image column shows the content-hash prefix: instances
             # stamped from one image share it (and, through the image
             # cache, share one verify report and one JIT template).
+            # The strikes/state columns surface the supervisor's verdict
+            # per slot; quarantined slots are *detached*, so they get
+            # their own rows below the live containers.
+            supervisor = getattr(self.engine, "supervisor", None)
             lines = [f"{'name':20} {'tenant':10} {'hook':24} "
-                     f"{'image':12} {'runs':>6} {'faults':>6} {'ram B':>6}"]
+                     f"{'image':12} {'runs':>6} {'faults':>6} {'ram B':>6} "
+                     f"{'strikes':>7} {'state':>11}"]
             for container in self.engine.containers():
                 tenant = container.tenant.name if container.tenant else "-"
                 hook = container.hook.name if container.hook else "-"
+                health = (supervisor.health(hook, container.name)
+                          if supervisor is not None and container.hook
+                          else None)
                 lines.append(
                     f"{container.name:20} {tenant:10} {hook:24} "
                     f"{container.image_hash[:12]} "
                     f"{container.runs:>6} {container.fault_count:>6} "
-                    f"{container.ram_bytes:>6}"
+                    f"{container.ram_bytes:>6} "
+                    f"{health.strikes if health else 0:>7} "
+                    f"{health.state if health else 'ok':>11}"
                 )
+            if supervisor is not None:
+                listed = {(c.hook.name, c.name)
+                          for c in self.engine.containers() if c.hook}
+                for (hook_name, name), record in sorted(
+                        supervisor.counters().items()):
+                    if not record.quarantined or (hook_name, name) in listed:
+                        continue
+                    detained = record.container
+                    tenant = (detained.tenant.name if detained.tenant
+                              else "-")
+                    lines.append(
+                        f"{name:20} {tenant:10} {hook_name:24} "
+                        f"{detained.image_hash[:12]} "
+                        f"{detained.runs:>6} {detained.fault_count:>6} "
+                        f"{detained.ram_bytes:>6} "
+                        f"{record.strikes:>7} {record.state:>11}"
+                    )
             return "\n".join(lines)
         if args[0] == "detach" and len(args) == 2:
             for container in self.engine.containers():

@@ -226,6 +226,7 @@ def build_fleet_publisher(
     maintainer_seed: bytes = bytes(range(32)),
     max_storage_slots: int | None = None,
     storage_gc_horizon: int | None = None,
+    supervisor=True,
 ):
     """Fleet + maintainer wired for over-the-air fleet publishes.
 
@@ -239,7 +240,7 @@ def build_fleet_publisher(
     from repro.deploy import Fleet, FleetPublisher
 
     fleet = Fleet(boards if boards is not None else devices,
-                  implementation=implementation)
+                  implementation=implementation, supervisor=supervisor)
     return FleetPublisher(
         fleet,
         maintainer_seed=maintainer_seed,

@@ -27,6 +27,18 @@ rebuilds the registry after a power cycle.  Only *installed* state is
 persisted; a reservation (an empty slot created by :meth:`slot` before a
 fetch) lives purely in RAM, which is exactly why a crash mid-fetch can
 never strand a reservation: power loss returns it automatically.
+
+Corruption safety: flash records carry CRC framing and shadow copies
+(see :mod:`repro.rtos.nvm`), but a record can still come back
+unreadable (both copies torn, a bit flip in an unreplicated record).
+:meth:`restore` **degrades instead of raising**: an unreadable slot
+record is dropped — the image can be re-fetched — and counted in
+:attr:`StorageRegistry.corrupt_dropped`.  The anti-rollback *sequence*,
+however, must never be dropped: :meth:`install` writes it twice — once
+inside the slot record and once as a small **redundant** record under
+``suit/seq/<location>`` whose shadow copy is kept as a standing
+replica — and :meth:`restore` replays those records last, so even a
+device that lost a whole slot record still refuses replayed manifests.
 """
 
 from __future__ import annotations
@@ -41,6 +53,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: NVM key prefix under which slots are persisted.
 NVM_SLOT_PREFIX = "suit/slot/"
+#: NVM key prefix of the redundant anti-rollback sequence records.
+NVM_SEQ_PREFIX = "suit/seq/"
 
 
 class StorageFullError(Exception):
@@ -79,6 +93,9 @@ class StorageRegistry:
     gc_evictions: int = 0
     #: Optional persistent backing store (survives power failure).
     nvm: "NvmStore | None" = None
+    #: Slot records dropped by :meth:`restore` because both flash
+    #: copies were unreadable (observability; images are re-fetchable).
+    corrupt_dropped: int = 0
 
     def peek(self, location: str) -> StorageSlot | None:
         """The slot for ``location`` if it exists, without creating it."""
@@ -162,9 +179,13 @@ class StorageRegistry:
     def _persist(self, slot: StorageSlot) -> None:
         """Write one installed slot's durable state to NVM (if backed).
 
-        The record is written atomically *after* the in-RAM install, like
-        a real bootloader's metadata page: a power cut between the two
-        leaves the previous NVM record intact, never a torn one.
+        Two records, in a deliberate order: the big slot record first
+        (image + metadata), then the small **redundant** anti-rollback
+        sequence record.  A power cut before the sequence record lands
+        leaves the new image installed under the old (lower) sequence
+        floor — safe, the floor only ever lags — while the reverse
+        order could raise the floor above an image that never made it,
+        bricking the slot against its own re-install.
         """
         if self.nvm is None or slot.sequence_number < 0:
             return
@@ -176,6 +197,21 @@ class StorageRegistry:
             "name": slot.name,
         }
         self.nvm.write(NVM_SLOT_PREFIX + slot.location, cbor.encode(record))
+        seq_record = {"location": slot.location,
+                      "sequence": slot.sequence_number}
+        self.nvm.write(NVM_SEQ_PREFIX + slot.location,
+                       cbor.encode(seq_record), redundant=True)
+
+    def _read_record(self, key: str) -> dict | None:
+        """One validated, decoded NVM record — or ``None`` if unreadable."""
+        raw = self.nvm.read(key)
+        if raw is None:
+            return None
+        try:
+            record = cbor.decode(raw)
+        except Exception:
+            return None
+        return record if isinstance(record, dict) else None
 
     def restore(self) -> list[StorageSlot]:
         """Reload every persisted slot from NVM after a power cycle.
@@ -184,19 +220,49 @@ class StorageRegistry:
         RAM-only reservations from before the crash do not reappear —
         they were never persisted — so the slot budget comes back
         exactly as large as the durable state requires.
+
+        Corrupt slot records (both flash copies unreadable) are dropped
+        and counted in :attr:`corrupt_dropped` — their image is gone
+        but re-fetchable.  The redundant ``suit/seq/`` records are
+        replayed afterwards: any anti-rollback sequence they carry is
+        re-imposed on the (possibly skeleton) slot, so no corruption
+        scenario short of losing *three* flash copies can regress a
+        device's replay floor.
         """
         if self.nvm is None:
             return []
         restored = []
         for key in self.nvm.keys(NVM_SLOT_PREFIX):
-            record = cbor.decode(self.nvm.read(key))
+            record = self._read_record(key)
+            if record is None or "location" not in record:
+                # Unreadable even via the shadow copy: drop the slot
+                # gracefully (the seq pass below still restores its
+                # anti-rollback floor).
+                self.nvm.delete(key)
+                self.corrupt_dropped += 1
+                continue
             slot = StorageSlot(
                 location=record["location"],
-                image=bytes(record["image"]),
-                sequence_number=record["sequence"],
-                installs=record["installs"],
+                image=bytes(record.get("image", b"")),
+                sequence_number=record.get("sequence", -1),
+                installs=record.get("installs", 0),
                 name=record.get("name", ""),
             )
             self.slots[slot.location] = slot
             restored.append(slot)
+        for key in self.nvm.keys(NVM_SEQ_PREFIX):
+            record = self._read_record(key)
+            if record is None or "location" not in record:
+                continue
+            location = record["location"]
+            sequence = record.get("sequence", -1)
+            slot = self.slots.get(location)
+            if slot is None:
+                # The slot record was lost: resurrect an empty skeleton
+                # carrying the anti-rollback floor (never droppable).
+                slot = StorageSlot(location=location,
+                                   sequence_number=sequence)
+                self.slots[location] = slot
+            else:
+                slot.sequence_number = max(slot.sequence_number, sequence)
         return restored

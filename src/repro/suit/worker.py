@@ -40,6 +40,7 @@ from repro.suit.manifest import (
     payload_digest,
 )
 from repro.suit.storage import StorageFullError, StorageRegistry, StorageSlot
+from repro.rtos.errors import PowerFailure
 from repro.rtos.thread import Wait
 from repro.vm.program import Program
 
@@ -93,6 +94,10 @@ class UpdateStatus(enum.Enum):
     #: Synthesized by the fleet publisher: the device power-cycled during
     #: the update but came back holding the published sequence in NVM.
     REBOOTED = "device-rebooted"
+    #: Synthesized by the fleet publisher: the device converged on the
+    #: published sequence but its supervisor is holding one or more
+    #: container slots quarantined (crash-looping workload).
+    QUARANTINED = "container-quarantined"
 
 
 @dataclass
@@ -350,14 +355,24 @@ class SuitUpdateWorker:
         not a rewrite of the whole transfer — so checkpointing costs
         cycles linear in the payload, charged to this device's clock as
         the blocks arrive.
+
+        This runs on the radio RX path, i.e. on the *link's* kernel
+        stack, not this device's worker thread — so a power failure
+        injected into the flash write (a torn-write chaos event) must be
+        translated into a halt of **this device's** kernel here, instead
+        of propagating into whichever kernel happened to deliver the
+        frame.
         """
         if self.nvm is None or not accumulated:
             return
         num = (len(accumulated) - 1) // FETCH_BLOCK_BYTES
-        self.nvm.write(
-            self._fetch_block_key(manifest.storage_location, num),
-            accumulated[num * FETCH_BLOCK_BYTES:],
-        )
+        try:
+            self.nvm.write(
+                self._fetch_block_key(manifest.storage_location, num),
+                accumulated[num * FETCH_BLOCK_BYTES:],
+            )
+        except PowerFailure:
+            self.kernel.power_fail()
 
     def _clear_fetch(self, location: str) -> None:
         if self.nvm is None:

@@ -10,7 +10,9 @@ Public surface:
 * :class:`~repro.vm.interpreter.Interpreter` — the Femto-Container VM;
 * :class:`~repro.vm.certfc.CertFCInterpreter` — the verified-build model;
 * :func:`~repro.vm.jit.compile_program` — §11 install-time transpilation;
-* :mod:`repro.vm.compress` — §11 variable-length encoding.
+* :mod:`repro.vm.compress` — §11 variable-length encoding;
+* :class:`~repro.vm.supervisor.ContainerSupervisor` — crash-loop
+  quarantine with exponential-backoff probation.
 """
 
 from repro.vm.asm import assemble
@@ -42,6 +44,11 @@ from repro.vm.interpreter import (
 from repro.vm.jit import CompiledProgram, compile_program
 from repro.vm.memory import AccessList, MemoryRegion, Permission
 from repro.vm.program import Program
+from repro.vm.supervisor import (
+    ContainerSupervisor,
+    SlotHealth,
+    SupervisorConfig,
+)
 from repro.vm.verifier import VerificationReport, VerifierConfig, verify
 
 __all__ = [
@@ -50,6 +57,7 @@ __all__ = [
     "BranchLimitFault",
     "CertFCInterpreter",
     "CompiledProgram",
+    "ContainerSupervisor",
     "DivisionFault",
     "EncodingError",
     "ExecutionResult",
@@ -69,6 +77,8 @@ __all__ = [
     "ProgramBuilder",
     "R",
     "RbpfInterpreter",
+    "SlotHealth",
+    "SupervisorConfig",
     "VMConfig",
     "VMError",
     "VMFault",

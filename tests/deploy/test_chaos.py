@@ -194,3 +194,41 @@ class TestRandomPlan:
                                          crashes=2, bursts=1, stalls=1)
         publisher, result = chaos_publish(plan)
         assert result.converged, result.reason
+
+    def test_default_draw_counts_preserve_pre_pr7_plans(self):
+        # The storage-fault draws append after the classic three, so
+        # legacy seeds keep producing byte-identical plans by default.
+        names = ["dev0", "dev1"]
+        plan = FaultInjector.random_plan(names, seed=11,
+                                         horizon_us=1_000_000.0)
+        widened = FaultInjector.random_plan(names, seed=11,
+                                            horizon_us=1_000_000.0,
+                                            torn_writes=2, bitflips=1,
+                                            wearouts=1)
+        assert widened[:len(plan)] != plan or plan == sorted(
+            plan, key=lambda e: e.at_us)  # both sorted by time
+        classic = [e for e in widened
+                   if type(e).__name__ in ("CrashAt", "LinkLossBurst",
+                                           "StallAt")]
+        assert classic == plan
+
+    def test_random_plan_with_storage_faults_converges(self):
+        """The CI chaos job's widened sweep: torn writes, bit flips and
+        a wear-out on top of the classic crash/burst/stall mix.  The
+        publish must still converge with every device on the published
+        sequence and no anti-rollback regression."""
+        seed = int(os.environ.get("CHAOS_SEED", "11"))
+        names = [f"dev{i}" for i in range(4)]
+        plan = FaultInjector.random_plan(names, seed=seed,
+                                         horizon_us=400_000.0,
+                                         crashes=1, bursts=1, stalls=1,
+                                         torn_writes=2, bitflips=2,
+                                         wearouts=1)
+        publisher, result = chaos_publish(plan)
+        assert result.converged, result.reason
+        for device in publisher.fleet.devices:
+            storage = device.radio.worker.storage
+            assert storage.highest_sequence(publisher.slot) \
+                == result.sequence_number
+            assert all(slot.occupied
+                       for slot in storage.slots.values()), device.name

@@ -6,6 +6,12 @@ turn, rebooted by the fault injector, and the publish must converge every
 time — via re-trigger for crashes before the install hit flash, via
 NVM recovery (a ``REBOOTED`` row) for crashes after.  No kill point may
 lose anti-rollback state or strand a storage reservation.
+
+PR 7 widens the sweep to **storage faults**: a torn flash write (power
+dies mid-program, in either journal phase) armed at each pipeline step,
+and bit flips in the persisted slot/sequence records.  Same acceptance
+bar: the publish converges, no slot is left dead, and no case loses or
+regresses an anti-rollback sequence.
 """
 
 from __future__ import annotations
@@ -112,3 +118,94 @@ class TestKillPointList:
                                "fetched", "checked", "installed", "activated")
         assert set(RETRIGGERED_STEPS) | set(RECOVERED_STEPS) \
             == set(KILL_POINTS)
+
+
+#: Steps at which a torn write can be armed and still fire: each has at
+#: least one later NVM program (a fetch checkpoint or the install
+#: commit) in the same pipeline run.  "installed"/"activated" write
+#: nothing afterwards, so a tear armed there would never trigger.
+TEAR_STEPS = ("decoded", "verified", "resolved", "reserved",
+              "fetched", "checked")
+
+
+def publish_with_tear(step: str, phase: str):
+    """One publish with device 1's next flash write torn at ``step``."""
+    publisher = build_fleet_publisher(devices=2)
+    publisher.chaos = FaultInjector(auto_reboot_us=200_000.0)
+    victim = publisher.fleet.devices[1]
+    armed = {"done": False}
+
+    def arm(crossed: str) -> None:
+        if crossed == step and not armed["done"]:
+            armed["done"] = True
+            victim.nvm.tear_next_write(phase)
+
+    victim.radio.worker.on_step = arm
+    result = publisher.publish(make_spec())
+    assert armed["done"], f"tear point {step!r} never crossed"
+    return publisher, victim, result
+
+
+@pytest.mark.parametrize("phase", ["shadow", "commit"])
+@pytest.mark.parametrize("step", TEAR_STEPS)
+class TestTornWriteSweep:
+    def test_converges_with_anti_rollback_intact(self, step, phase):
+        publisher, victim, result = publish_with_tear(step, phase)
+        assert victim.nvm.torn == 1
+        assert result.converged, result.reason
+        row = next(r for r in result.devices if r.device is victim)
+        assert row.reboots >= 1
+        # The torn record either repaired from its shadow or was
+        # re-fetched; either way the device ends on the published
+        # sequence with no dead slot behind.
+        storage = victim.radio.worker.storage
+        assert storage.highest_sequence(publisher.slot) \
+            == result.sequence_number
+        assert all(slot.occupied for slot in storage.slots.values())
+        bystander = publisher.fleet.devices[0]
+        assert bystander.reboots == 0
+        assert next(r for r in result.devices
+                    if r.device is bystander).result.ok
+
+
+class TestBitFlipRecovery:
+    def test_flipped_seq_record_cannot_regress_the_floor(self):
+        from repro.suit.storage import NVM_SEQ_PREFIX
+
+        publisher = build_fleet_publisher(devices=2)
+        victim = publisher.fleet.devices[1]
+        first = publisher.publish(make_spec())
+        assert first.converged, first.reason
+        # Radiation hits the anti-rollback record; the device then
+        # power-cycles.  The standing replica repairs it on restore.
+        assert victim.nvm.bit_flip(NVM_SEQ_PREFIX + publisher.slot)
+        publisher.crash_device(victim)
+        publisher.reboot_device(victim)
+        storage = victim.radio.worker.storage
+        assert storage.highest_sequence(publisher.slot) \
+            == first.sequence_number
+
+    def test_flipped_slot_record_drops_gracefully_and_reheals(self):
+        from repro.suit.storage import NVM_SLOT_PREFIX
+
+        publisher = build_fleet_publisher(devices=2)
+        victim = publisher.fleet.devices[1]
+        first = publisher.publish(make_spec())
+        assert first.converged, first.reason
+        # The (single-copy) slot record is lost outright: restore drops
+        # it without raising, but the redundant seq record keeps the
+        # replay floor.
+        assert victim.nvm.bit_flip(NVM_SLOT_PREFIX + publisher.slot)
+        publisher.crash_device(victim)
+        publisher.reboot_device(victim)
+        storage = victim.radio.worker.storage
+        assert storage.corrupt_dropped == 1
+        assert storage.highest_sequence(publisher.slot) \
+            == first.sequence_number
+        # The next release re-fetches the image: no dead slot remains.
+        second = publisher.publish(make_spec("mov r0, 8\n    exit",
+                                             name="release-2"))
+        assert second.converged, second.reason
+        assert all(slot.occupied for slot in storage.slots.values())
+        assert storage.highest_sequence(publisher.slot) \
+            == second.sequence_number

@@ -265,3 +265,89 @@ class TestRadioEnergy:
         spent = victim.meter.report().radio_uj
         assert spent > 0.0
         assert victim.meter.report().radio_uj == spent  # stable re-read
+
+
+class TestPerDeviceTelemetry:
+    """Each publish row carries the device's own health and energy."""
+
+    def test_rows_carry_fault_and_radio_telemetry(self):
+        publisher = build_fleet_publisher(devices=3)
+        result = publisher.publish(make_spec(GOOD, "v1"))
+        assert result.converged
+        for row in result.devices:
+            assert row.radio_uj > 0.0
+            assert row.fault_delta == 0 and row.quarantined == 0
+        assert result.total_fault_delta == 0
+        assert result.total_radio_uj == pytest.approx(
+            sum(row.radio_uj for row in result.devices))
+
+    def test_fault_delta_survives_a_mid_publish_reboot(self):
+        """The accumulator banks the pre-crash engine's fault count when
+        the reboot swaps in a fresh engine."""
+        from repro.core import FC_HOOK_TIMER
+        from repro.deploy import FaultInjector
+        from repro.rtos import PowerFailure
+
+        publisher = build_fleet_publisher(devices=2)
+        publisher.chaos = FaultInjector(auto_reboot_us=200_000.0)
+        victim = publisher.fleet.devices[1]
+        sensor = victim.engine.attach(
+            victim.engine.load(assemble(POISON, name="sensor")),
+            FC_HOOK_TIMER)
+        fired = {"done": False}
+
+        def sabotage(crossed: str) -> None:
+            # Mid-pipeline, the resident sensor container faults twice
+            # (contained), then the lights go out.
+            if crossed == "fetched" and not fired["done"]:
+                fired["done"] = True
+                for _ in range(2):
+                    assert victim.engine.execute(sensor).fault is not None
+                raise PowerFailure("crash after contained faults")
+
+        victim.radio.worker.on_step = sabotage
+        result = publisher.publish(make_spec(GOOD, "v1"))
+        assert fired["done"]
+        assert result.converged, result.reason
+        row = next(r for r in result.devices if r.device is victim)
+        assert row.reboots == 1
+        # The reboot rebuilt the engine (fresh fault_total, no sensor);
+        # the row still carries the pre-crash engine's faults.
+        assert row.fault_delta == 2
+
+
+class TestQuarantineAwarePublish:
+    """Fleet quarantine-awareness: a device hosting a crash-looping
+    container still converges on the publish — its row is upgraded to
+    ``QUARANTINED`` (flagged, counted, not failed) so one sick workload
+    never blocks or masks a fleet rollout."""
+
+    def _poisoned_publisher(self):
+        from repro.vm.supervisor import SupervisorConfig
+
+        publisher = build_fleet_publisher(
+            devices=3, supervisor=SupervisorConfig(fault_streak=4))
+        sick = publisher.fleet.devices[1]
+        # An out-of-spec resident workload (say, a sensor reader from an
+        # earlier local install) that crash-loops on its timer hook.
+        looper = sick.engine.load(assemble(POISON, name="sensor"))
+        sick.engine.attach_periodic(looper, 1_000.0)
+        return publisher, sick
+
+    def test_quarantined_device_is_flagged_not_failed(self):
+        publisher, sick = self._poisoned_publisher()
+        result = publisher.publish(make_spec(GOOD, "v1"))
+        assert result.converged, result.reason
+        rows = {row.device.name: row for row in result.devices}
+        assert rows["dev1"].result.status is UpdateStatus.QUARANTINED
+        assert rows["dev1"].ok
+        assert rows["dev1"].quarantined >= 1
+        assert rows["dev1"].fault_delta > 0
+        assert "sensor" in rows["dev1"].result.message
+        assert rows["dev0"].result.status is UpdateStatus.OK
+        assert result.quarantined_devices() == [rows["dev1"]]
+        # The flagged device still converged onto the published sequence
+        # — the spec's own workers are untouched by the quarantine.
+        assert sick.radio.worker.storage.highest_sequence(
+            publisher.slot) == result.sequence_number
+        assert sick.current_spec is result.spec

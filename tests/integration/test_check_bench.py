@@ -155,6 +155,41 @@ def test_chaos_unreachable_demo_must_degrade(bench_dir, capsys):
     assert "raised" in capsys.readouterr().out
 
 
+def test_supervisor_ratio_above_bar_fails(bench_dir, capsys):
+    record = json.loads((bench_dir / "BENCH_supervisor.json").read_text())
+    record["supervised_cycles"] = int(
+        record["unsupervised_cycles"] * 0.9)  # quarantine stopped working
+    record["waste_ratio"] = 0.9
+    (bench_dir / "BENCH_supervisor.json").write_text(json.dumps(record))
+    assert check_bench.main([str(bench_dir)]) == 1
+    assert "bar" in capsys.readouterr().out
+
+
+def test_supervisor_inconsistent_ratio_fails(bench_dir, capsys):
+    record = json.loads((bench_dir / "BENCH_supervisor.json").read_text())
+    record["waste_ratio"] = 0.0001  # lies about the cycles ratio
+    (bench_dir / "BENCH_supervisor.json").write_text(json.dumps(record))
+    assert check_bench.main([str(bench_dir)]) == 1
+    assert "does not match" in capsys.readouterr().out
+
+
+def test_supervisor_unconverged_publish_fails(bench_dir, capsys):
+    record = json.loads((bench_dir / "BENCH_supervisor.json").read_text())
+    record["publish"]["devices_converged"] = (
+        record["publish"]["devices_total"] - 1)
+    (bench_dir / "BENCH_supervisor.json").write_text(json.dumps(record))
+    assert check_bench.main([str(bench_dir)]) == 1
+    assert "converged" in capsys.readouterr().out
+
+
+def test_supervisor_without_quarantine_fails(bench_dir, capsys):
+    record = json.loads((bench_dir / "BENCH_supervisor.json").read_text())
+    record["publish"]["quarantined_devices"] = 0
+    (bench_dir / "BENCH_supervisor.json").write_text(json.dumps(record))
+    assert check_bench.main([str(bench_dir)]) == 1
+    assert "quarantined_devices" in capsys.readouterr().out
+
+
 def test_stray_record_fails(bench_dir, capsys):
     (bench_dir / "BENCH_mystery.json").write_text("{}")
     assert check_bench.main([str(bench_dir)]) == 1

@@ -1,0 +1,177 @@
+"""The NVM journal under fire: torn writes, bit flips, flash wear-out.
+
+PR 7 turned :class:`~repro.rtos.NvmStore` into a CRC-framed journal
+with two-phase shadow commits.  These tests drive every corruption
+path the chaos layer can inject and pin the recovery semantics:
+
+* a tear during **phase 1** (shadow program) leaves the primary — and
+  therefore the old value — untouched;
+* a tear during **phase 2** (commit) leaves an intact shadow that
+  *repairs* the primary on the next validated read;
+* a bit flip is survivable exactly when a second copy exists (standing
+  replica of a ``redundant=True`` record, or an un-retired shadow);
+* a worn-out primary region keeps being served from its shadow;
+* ``delete`` is idempotent, including for keys GC already dropped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtos import Kernel, NvmStore
+from repro.rtos.board import nrf52840
+from repro.rtos.errors import PowerFailure
+from repro.rtos.nvm import TornWrite
+
+
+class TestTornWrites:
+    def test_shadow_tear_preserves_old_value(self):
+        nvm = NvmStore()
+        nvm.write("k", b"old")
+        nvm.tear_next_write(phase="shadow")
+        with pytest.raises(TornWrite):
+            nvm.write("k", b"new")
+        assert nvm.torn == 1
+        assert not nvm.tear_armed
+        # Phase 1 died before the primary was touched: the committed
+        # old value survives.
+        assert nvm.read("k") == b"old"
+
+    def test_commit_tear_repairs_from_shadow(self):
+        nvm = NvmStore()
+        nvm.write("k", b"old")
+        nvm.tear_next_write(phase="commit")
+        with pytest.raises(TornWrite):
+            nvm.write("k", b"new")
+        # Phase 2 died mid-program: the primary frame is torn, but the
+        # shadow holds the complete new value — the next read serves it
+        # and re-commits the primary.
+        assert nvm.read("k") == b"new"
+        assert nvm.repairs == 1
+        # The repair retired the shadow; subsequent reads hit a healthy
+        # primary without further repair work.
+        assert nvm.read("k") == b"new"
+        assert nvm.repairs == 1
+
+    def test_shadow_tear_on_virgin_key_loses_record_cleanly(self):
+        nvm = NvmStore()
+        nvm.tear_next_write(phase="shadow")
+        with pytest.raises(TornWrite):
+            nvm.write("k", b"first")
+        # Nothing was ever committed: the half-programmed shadow fails
+        # CRC and the record reads as absent, not garbage.
+        assert nvm.read("k") is None
+        assert nvm.lost == 1
+        assert "k" not in nvm
+
+    def test_tear_match_filter_targets_one_key(self):
+        nvm = NvmStore()
+        nvm.tear_next_write(phase="commit", match="suit/")
+        nvm.write("other/key", b"untouched")  # does not match: no tear
+        assert nvm.tear_armed
+        with pytest.raises(TornWrite):
+            nvm.write("suit/slot/app", b"payload")
+        assert nvm.read("other/key") == b"untouched"
+
+    def test_torn_write_is_a_power_failure(self):
+        # The kernel's step loop treats TornWrite as the power loss it
+        # models — same halt path as a scheduled PowerFailure.
+        assert issubclass(TornWrite, PowerFailure)
+
+    def test_unknown_tear_phase_rejected(self):
+        with pytest.raises(ValueError, match="phase"):
+            NvmStore().tear_next_write(phase="sideways")
+
+    def test_torn_write_still_charges_partial_cost(self):
+        kernel = Kernel(nrf52840())
+        nvm = NvmStore(kernel)
+        nvm.tear_next_write(phase="shadow")
+        before = kernel.clock.cycles
+        with pytest.raises(TornWrite):
+            nvm.write("k", b"x" * 100)
+        # The torn program burned real erase + partial program cycles.
+        assert kernel.clock.cycles > before
+
+
+class TestBitFlips:
+    def test_flip_on_plain_record_loses_it(self):
+        nvm = NvmStore()
+        nvm.write("k", b"payload")  # healthy commit retires the shadow
+        assert nvm.bit_flip("k")
+        assert nvm.read("k") is None
+        assert nvm.lost == 1 and nvm.bitflips == 1
+
+    def test_flip_on_redundant_record_repairs(self):
+        nvm = NvmStore()
+        nvm.write("seq", b"42", redundant=True)
+        assert nvm.bit_flip("seq")  # corrupts the primary copy
+        # The standing replica repairs it: redundancy is exactly what
+        # anti-rollback state buys with its second copy.
+        assert nvm.read("seq") == b"42"
+        assert nvm.repairs == 1
+        # The replica is *kept* (still redundant): flip again, still ok.
+        assert nvm.bit_flip("seq")
+        assert nvm.read("seq") == b"42"
+
+    def test_flip_on_missing_key_reports_false(self):
+        nvm = NvmStore()
+        assert not nvm.bit_flip("ghost")
+        assert nvm.bitflips == 0
+
+    def test_items_skips_corrupt_without_mutating(self):
+        nvm = NvmStore()
+        nvm.write("a", b"1")
+        nvm.write("b", b"2")
+        nvm.bit_flip("a")
+        assert dict(nvm.items()) == {"b": b"2"}
+        # Iteration neither repaired nor dropped the corrupt record.
+        assert nvm.lost == 0 and nvm.repairs == 0
+
+
+class TestWearOut:
+    def test_worn_primary_served_from_shadow(self):
+        nvm = NvmStore()
+        nvm.erase_budget = 3
+        for generation in range(6):
+            nvm.write("hot", b"gen%d" % generation)
+        assert nvm.worn_writes > 0
+        # Every write past the budget corrupts the primary region, but
+        # the journal detects it at commit, keeps the shadow, and reads
+        # keep returning the latest value.
+        assert nvm.read("hot") == b"gen5"
+        # The worn region is never "repaired" into — the shadow remains
+        # the serving copy across reads.
+        assert nvm.read("hot") == b"gen5"
+
+    def test_fresh_regions_unaffected_by_budget(self):
+        nvm = NvmStore()
+        nvm.erase_budget = 64
+        nvm.write("cold", b"value")
+        assert nvm.worn_writes == 0
+        assert nvm.read("cold") == b"value"
+
+
+class TestDeleteIdempotence:
+    def test_delete_missing_key_charges_nothing(self):
+        kernel = Kernel(nrf52840())
+        nvm = NvmStore(kernel)
+        before = (kernel.clock.cycles, nvm.erases)
+        nvm.delete("never-written")
+        assert (kernel.clock.cycles, nvm.erases) == before
+
+    def test_double_delete_is_single_erase(self):
+        nvm = NvmStore()
+        nvm.write("k", b"v")
+        erases_after_write = nvm.erases
+        nvm.delete("k")
+        assert nvm.erases == erases_after_write + 1
+        nvm.delete("k")  # GC'd already: no-op, no extra wear
+        assert nvm.erases == erases_after_write + 1
+        assert nvm.read("k") is None
+
+    def test_delete_drops_both_copies_of_redundant_record(self):
+        nvm = NvmStore()
+        nvm.write("seq", b"9", redundant=True)
+        nvm.delete("seq")
+        assert "seq" not in nvm
+        assert nvm.read("seq") is None

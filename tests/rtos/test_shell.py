@@ -86,6 +86,22 @@ class TestShell:
         assert other.image_hash[:12] in rows["eighter"]
         assert other.image_hash[:12] != prefix
 
+    def test_fc_list_shows_supervisor_state(self, shell, engine, kernel):
+        """Quarantined slots stay visible: the supervisor detached them,
+        but operators still see the row with its strikes and state."""
+        populate(engine, kernel)
+        header = shell.execute("fc list").splitlines()[0]
+        assert "strikes" in header and "state" in header
+        bad = engine.load(assemble(
+            "lddw r1, 0x1\n    ldxb r0, [r1]\n    exit"), name="crasher")
+        engine.attach(bad, FC_HOOK_TIMER)
+        for _ in range(engine.FAULT_DETACH_THRESHOLD):
+            engine.execute(bad)
+        text = shell.execute("fc list")
+        rows = {line.split()[0]: line for line in text.splitlines()[1:]}
+        assert "quarantined" in rows["crasher"]
+        assert rows["sevener"].rstrip().endswith("ok")
+
     def test_fc_faults(self, shell, engine, kernel):
         bad = engine.load(assemble(
             "lddw r1, 0x1\n    ldxb r0, [r1]\n    exit"), name="crasher")

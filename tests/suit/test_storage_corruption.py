@@ -1,0 +1,129 @@
+"""Corruption-safe restore: torn/flipped flash records degrade gracefully.
+
+:meth:`StorageRegistry.restore` must never raise on a corrupt record:
+a torn slot record repairs from its shadow, an unrecoverable one is
+dropped (the image is re-fetchable) — but the anti-rollback sequence
+is written **twice** (redundant ``suit/seq/`` record), so no single
+corruption can regress a device's replay floor.
+"""
+
+from __future__ import annotations
+
+from repro.rtos import NvmStore
+from repro.rtos.nvm import TornWrite
+from repro.suit.storage import (
+    NVM_SEQ_PREFIX,
+    NVM_SLOT_PREFIX,
+    StorageRegistry,
+    StorageSlot,
+)
+
+import pytest
+
+
+def installed_registry(nvm: NvmStore) -> StorageRegistry:
+    registry = StorageRegistry(nvm=nvm)
+    registry.install("loc-a", b"image-a", 5, name="app-a")
+    registry.install("loc-b", b"image-b", 6, name="app-b")
+    return registry
+
+
+class TestRestoreRepairs:
+    def test_commit_tear_of_slot_record_repairs_on_restore(self):
+        nvm = NvmStore()
+        registry = installed_registry(nvm)
+        nvm.tear_next_write(phase="commit", match=NVM_SLOT_PREFIX)
+        with pytest.raises(TornWrite):
+            registry.install("loc-a", b"image-a2", 7, name="app-a")
+        reborn = StorageRegistry(nvm=nvm)
+        restored = reborn.restore()
+        # The shadow held the complete new record: repaired, not lost.
+        assert sorted(s.location for s in restored) == ["loc-a", "loc-b"]
+        assert reborn.slots["loc-a"].image == b"image-a2"
+        assert reborn.highest_sequence("loc-a") == 7
+        assert reborn.corrupt_dropped == 0
+        assert nvm.repairs >= 1
+
+    def test_shadow_tear_keeps_old_slot_record(self):
+        nvm = NvmStore()
+        registry = installed_registry(nvm)
+        nvm.tear_next_write(phase="shadow", match=NVM_SLOT_PREFIX)
+        with pytest.raises(TornWrite):
+            registry.install("loc-a", b"image-a2", 7, name="app-a")
+        reborn = StorageRegistry(nvm=nvm)
+        reborn.restore()
+        # Phase 1 died before the committed record was touched: the
+        # device still runs the old image under the old sequence.
+        assert reborn.slots["loc-a"].image == b"image-a"
+        assert reborn.highest_sequence("loc-a") == 5
+
+
+class TestRestoreDegrades:
+    def test_lost_slot_record_dropped_but_floor_survives(self):
+        nvm = NvmStore()
+        installed_registry(nvm)
+        # A bit flip in the (single-copy) slot record loses it outright.
+        assert nvm.bit_flip(NVM_SLOT_PREFIX + "loc-a")
+        reborn = StorageRegistry(nvm=nvm)
+        restored = reborn.restore()
+        assert [s.location for s in restored] == ["loc-b"]
+        assert reborn.corrupt_dropped == 1
+        # The redundant suit/seq/ record resurrected a skeleton slot:
+        # the image is gone (re-fetchable), the replay floor is not.
+        skeleton = reborn.peek("loc-a")
+        assert skeleton is not None and not skeleton.occupied
+        assert reborn.highest_sequence("loc-a") == 5
+
+    def test_flipped_seq_record_repaired_by_standing_replica(self):
+        nvm = NvmStore()
+        installed_registry(nvm)
+        # The seq record is redundant: its shadow is a standing replica.
+        assert nvm.bit_flip(NVM_SEQ_PREFIX + "loc-b")
+        reborn = StorageRegistry(nvm=nvm)
+        reborn.restore()
+        assert reborn.highest_sequence("loc-b") == 6
+
+    def test_seq_record_never_lowers_a_healthy_slot(self):
+        nvm = NvmStore()
+        registry = StorageRegistry(nvm=nvm)
+        registry.install("loc", b"v1", 3)
+        # Stale seq record (say, from a torn multi-record update) must
+        # not drop the floor below what the slot record carries.
+        nvm.write(NVM_SEQ_PREFIX + "loc",
+                  _encode({"location": "loc", "sequence": 1}),
+                  redundant=True)
+        reborn = StorageRegistry(nvm=nvm)
+        reborn.restore()
+        assert reborn.highest_sequence("loc") == 3
+
+    def test_restore_skips_garbage_seq_records(self):
+        nvm = NvmStore()
+        installed_registry(nvm)
+        nvm.write(NVM_SEQ_PREFIX + "junk", b"\xff\xff not cbor")
+        reborn = StorageRegistry(nvm=nvm)
+        reborn.restore()  # must not raise
+        assert reborn.peek("junk") is None
+
+
+class TestReleaseIdempotence:
+    def test_release_if_empty_idempotent_and_unknown_safe(self):
+        registry = StorageRegistry()
+        registry.slot("fresh")  # virgin reservation
+        registry.release_if_empty("fresh")
+        assert registry.peek("fresh") is None
+        registry.release_if_empty("fresh")   # already released: no-op
+        registry.release_if_empty("never-existed")  # unknown: no-op
+
+    def test_release_if_empty_keeps_gc_evicted_floor(self):
+        registry = StorageRegistry()
+        registry.slots["old"] = StorageSlot(location="old",
+                                            sequence_number=4)
+        for _ in range(2):  # idempotent on the GC'd slot too
+            registry.release_if_empty("old")
+            assert registry.highest_sequence("old") == 4
+
+
+def _encode(record: dict) -> bytes:
+    from repro.suit import cbor
+
+    return cbor.encode(record)

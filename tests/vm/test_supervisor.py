@@ -1,0 +1,249 @@
+"""Container supervision: crash-loop quarantine, probation, strike-out.
+
+The legacy engine behaviour (detach after ``FAULT_DETACH_THRESHOLD``
+*lifetime* faults) is replaced by a per-slot
+:class:`~repro.vm.supervisor.ContainerSupervisor` tracking *streaks*:
+consecutive contained faults (or consecutive cycle-ceiling overruns)
+quarantine the slot with exponential-backoff probation, and three
+strikes make the quarantine permanent.  These tests drive the policy
+through the public engine API only — attach, execute, and the kernel's
+virtual clock for the probation timers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    FC_HOOK_SCHED,
+    FC_HOOK_TIMER,
+    ContainerState,
+    HostingEngine,
+)
+from repro.rtos import Kernel
+from repro.vm import assemble
+from repro.vm.supervisor import SupervisorConfig
+
+RETURN_7 = "mov r0, 7\n    exit"
+CRASHER = "lddw r1, 0xbad0000\n    ldxdw r0, [r1]\n    exit"
+#: Faults when the first context u64 is non-zero, clean otherwise.
+CONDITIONAL = """
+    ldxdw r2, [r1]
+    jeq r2, 0, +3
+    lddw r1, 0xbad0000
+    ldxdw r0, [r1]
+    exit
+"""
+
+BAD = (1).to_bytes(8, "little")
+GOOD = (0).to_bytes(8, "little")
+
+
+def make_engine(board, **config) -> HostingEngine:
+    kernel = Kernel(board)
+    return HostingEngine(kernel, supervisor=SupervisorConfig(**config))
+
+
+class TestFaultStreakQuarantine:
+    def test_streak_quarantines_and_detaches(self, board_m4):
+        engine = make_engine(board_m4, fault_streak=3)
+        container = engine.attach(engine.load(assemble(CRASHER)),
+                                  FC_HOOK_TIMER)
+        for _ in range(3):
+            engine.execute(container)
+        assert container.state is ContainerState.DETACHED
+        health = engine.supervisor.health(FC_HOOK_TIMER, container.name)
+        assert health.quarantined and health.strikes == 1
+        assert health.state == "quarantined"
+        assert health.rearm_at_us is not None
+        assert engine.supervisor.quarantined_slots() \
+            == [(FC_HOOK_TIMER, container.name)]
+
+    def test_clean_run_resets_streak(self, board_m4):
+        engine = make_engine(board_m4, fault_streak=3)
+        container = engine.attach(engine.load(assemble(CONDITIONAL)),
+                                  FC_HOOK_TIMER)
+        for _ in range(2):
+            assert engine.execute(container, context=BAD).fault is not None
+        assert engine.execute(container, context=GOOD).ok
+        for _ in range(2):
+            engine.execute(container, context=BAD)
+        # 2 faults, clean, 2 faults: never 3 consecutive — still armed.
+        assert container.state is ContainerState.ATTACHED
+        assert engine.supervisor.health(FC_HOOK_TIMER,
+                                        container.name).strikes == 0
+
+    def test_default_threshold_is_engine_fault_detach(self, board_m4,
+                                                      monkeypatch):
+        # fault_streak=None reads FAULT_DETACH_THRESHOLD dynamically, so
+        # suites that lower the class attribute keep their semantics.
+        monkeypatch.setattr(HostingEngine, "FAULT_DETACH_THRESHOLD", 2)
+        kernel = Kernel(board_m4)
+        engine = HostingEngine(kernel)
+        container = engine.attach(engine.load(assemble(CRASHER)),
+                                  FC_HOOK_TIMER)
+        engine.execute(container)
+        assert container.state is ContainerState.ATTACHED
+        engine.execute(container)
+        assert container.state is ContainerState.DETACHED
+
+
+class TestProbation:
+    def test_probation_rearms_after_backoff(self, board_m4):
+        engine = make_engine(board_m4, fault_streak=2,
+                             probation_base_us=1_000.0)
+        container = engine.attach(engine.load(assemble(CONDITIONAL)),
+                                  FC_HOOK_TIMER)
+        for _ in range(2):
+            engine.execute(container, context=BAD)
+        assert container.state is ContainerState.DETACHED
+        engine.kernel.run(until_us=engine.kernel.now_us + 2_000.0)
+        assert container.state is ContainerState.ATTACHED
+        health = engine.supervisor.health(FC_HOOK_TIMER, container.name)
+        assert health.probations == 1 and not health.quarantined
+        # And the re-armed container runs again.
+        assert engine.execute(container, context=GOOD).ok
+
+    def test_probation_attach_charges_cycles(self, board_m4):
+        engine = make_engine(board_m4, fault_streak=1,
+                             probation_base_us=1_000.0)
+        container = engine.attach(engine.load(assemble(CRASHER)),
+                                  FC_HOOK_TIMER)
+        engine.execute(container)
+        before = engine.kernel.clock.cycles
+        engine.kernel.run(until_us=engine.kernel.now_us + 2_000.0)
+        # The re-attach pays the verify+install price on the virtual
+        # clock — probation is never free.
+        assert engine.kernel.clock.cycles > before
+        assert container.state is ContainerState.ATTACHED
+
+    def test_backoff_doubles_per_strike(self, board_m4):
+        engine = make_engine(board_m4, fault_streak=1, max_strikes=10,
+                             probation_base_us=1_000.0,
+                             probation_cap_us=3_000.0)
+        container = engine.attach(engine.load(assemble(CRASHER)),
+                                  FC_HOOK_TIMER)
+        delays = []
+        for _ in range(3):
+            engine.execute(container)  # fault -> quarantine
+            health = engine.supervisor.health(FC_HOOK_TIMER, container.name)
+            delays.append(health.rearm_at_us - engine.kernel.now_us)
+            engine.kernel.run(until_us=health.rearm_at_us + 1.0)
+            assert container.state is ContainerState.ATTACHED
+        assert delays == [1_000.0, 2_000.0, 3_000.0]  # base, 2x, capped
+
+    def test_permanent_after_max_strikes(self, board_m4):
+        engine = make_engine(board_m4, fault_streak=1, max_strikes=3,
+                             probation_base_us=1_000.0)
+        container = engine.attach(engine.load(assemble(CRASHER)),
+                                  FC_HOOK_TIMER)
+        for strike in range(3):
+            engine.execute(container)
+            engine.kernel.run(until_us=engine.kernel.now_us + 60_000.0)
+        health = engine.supervisor.health(FC_HOOK_TIMER, container.name)
+        assert health.permanent and health.state == "permanent"
+        assert health.rearm_at_us is None
+        assert container.state is ContainerState.DETACHED
+        # No timer will ever bring it back.
+        engine.kernel.run(until_us=engine.kernel.now_us + 1_000_000.0)
+        assert container.state is ContainerState.DETACHED
+        assert engine.supervisor.quarantines == 3
+
+
+class TestSlotOwnership:
+    def test_fresh_install_cancels_stale_probation(self, board_m4):
+        """A new container taking the slot must kill the old probation
+        timer: a rolled-back slot can never be re-poisoned by a timer
+        that outlived its rollback."""
+        engine = make_engine(board_m4, fault_streak=1,
+                             probation_base_us=5_000.0)
+        poison = engine.attach(engine.load(assemble(CRASHER), name="app"),
+                               FC_HOOK_TIMER)
+        engine.execute(poison)
+        assert poison.state is ContainerState.DETACHED
+        fixed = engine.attach(engine.load(assemble(RETURN_7), name="app"),
+                              FC_HOOK_TIMER)
+        engine.kernel.run(until_us=engine.kernel.now_us + 60_000.0)
+        hook = engine.hook(FC_HOOK_TIMER)
+        assert hook.containers == [fixed]
+        assert poison.state is ContainerState.DETACHED
+        health = engine.supervisor.health(FC_HOOK_TIMER, "app")
+        assert health is None or health.container is not poison
+
+    def test_manual_reattach_clears_quarantine(self, board_m4):
+        engine = make_engine(board_m4, fault_streak=1,
+                             probation_base_us=5_000.0)
+        container = engine.attach(engine.load(assemble(CONDITIONAL)),
+                                  FC_HOOK_TIMER)
+        engine.execute(container, context=BAD)
+        assert container.state is ContainerState.DETACHED
+        engine.attach(container, FC_HOOK_TIMER)  # operator override
+        health = engine.supervisor.health(FC_HOOK_TIMER, container.name)
+        assert not health.quarantined
+        # The cancelled timer must not fire a duplicate attach.
+        engine.kernel.run(until_us=engine.kernel.now_us + 60_000.0)
+        assert engine.hook(FC_HOOK_TIMER).containers == [container]
+
+
+class TestOverrunQuarantine:
+    def test_cycle_ceiling_overruns_quarantine(self, board_m4):
+        engine = make_engine(board_m4, cycle_ceiling=1, overrun_streak=4)
+        container = engine.attach(engine.load(assemble(RETURN_7)),
+                                  FC_HOOK_SCHED)
+        for _ in range(3):
+            engine.execute(container)
+        assert container.state is ContainerState.ATTACHED
+        engine.execute(container)
+        assert container.state is ContainerState.DETACHED
+        health = engine.supervisor.health(FC_HOOK_SCHED, container.name)
+        assert health.overruns == 4 and health.quarantined
+
+    def test_no_ceiling_means_no_overrun_tracking(self, board_m4):
+        engine = make_engine(board_m4)
+        container = engine.attach(engine.load(assemble(RETURN_7)),
+                                  FC_HOOK_SCHED)
+        for _ in range(10):
+            engine.execute(container)
+        health = engine.supervisor.health(FC_HOOK_SCHED, container.name)
+        assert health.overruns == 0
+        assert container.state is ContainerState.ATTACHED
+
+
+class TestCostNeutrality:
+    def test_fault_free_cycles_identical_with_and_without(self, board_m4):
+        """Supervision charges nothing on the clean path: modelled cycles
+        of a healthy workload are byte-identical either way."""
+        charged = []
+        for supervised in (True, False):
+            kernel = Kernel(board_m4)
+            engine = HostingEngine(kernel, supervisor=supervised)
+            container = engine.attach(engine.load(assemble(RETURN_7)),
+                                      FC_HOOK_TIMER)
+            before = kernel.clock.cycles
+            for _ in range(50):
+                engine.execute(container)
+            charged.append(kernel.clock.cycles - before)
+        assert charged[0] == charged[1]
+
+
+class TestSnapshotExposure:
+    def test_runtime_snapshot_includes_quarantined_slot(self, board_m4):
+        engine = make_engine(board_m4, fault_streak=1,
+                             probation_base_us=60_000_000.0)
+        container = engine.attach(engine.load(assemble(CRASHER), name="bad"),
+                                  FC_HOOK_TIMER)
+        engine.execute(container)
+        snapshot = engine.runtime_snapshot()
+        key = (FC_HOOK_TIMER, "bad")
+        assert key in snapshot  # despite being detached
+        assert snapshot[key].health.quarantined
+
+    def test_disabled_supervisor_keeps_legacy_detach(self, board_m4):
+        kernel = Kernel(board_m4)
+        engine = HostingEngine(kernel, supervisor=False)
+        assert engine.supervisor is None
+        container = engine.attach(engine.load(assemble(CRASHER)),
+                                  FC_HOOK_TIMER)
+        for _ in range(HostingEngine.FAULT_DETACH_THRESHOLD):
+            engine.execute(container)
+        assert container.state is ContainerState.DETACHED

@@ -331,6 +331,72 @@ def check_chaos(record: dict) -> list[str]:
     ]
 
 
+def check_supervisor(record: dict) -> list[str]:
+    _require(
+        record,
+        [
+            "workload",
+            "unit",
+            "python",
+            "publish",
+            "fires",
+            "supervised_cycles",
+            "unsupervised_cycles",
+            "waste_ratio",
+            "waste_ratio_bar",
+        ],
+        "BENCH_supervisor",
+    )
+    publish = record["publish"]
+    _require(
+        publish,
+        [
+            "devices_total",
+            "devices_converged",
+            "quarantined_devices",
+            "quarantined_slots",
+            "fault_delta",
+        ],
+        "BENCH_supervisor.publish",
+    )
+    total = _positive_number(publish["devices_total"],
+                             "publish.devices_total")
+    converged = publish["devices_converged"]
+    if converged != total:
+        raise BenchError(
+            f"BENCH_supervisor: only {converged}/{total:.0f} devices "
+            "converged around the quarantined container"
+        )
+    quarantined = _positive_number(publish["quarantined_devices"],
+                                   "publish.quarantined_devices")
+    _positive_number(publish["quarantined_slots"],
+                     "publish.quarantined_slots")
+    _positive_number(publish["fault_delta"], "publish.fault_delta")
+    _positive_number(record["fires"], "fires")
+    bar = _positive_number(record["waste_ratio_bar"], "waste_ratio_bar")
+    supervised = _positive_number(record["supervised_cycles"],
+                                  "supervised_cycles")
+    unsupervised = _positive_number(record["unsupervised_cycles"],
+                                    "unsupervised_cycles")
+    ratio = supervised / unsupervised
+    recorded = _positive_number(record["waste_ratio"], "waste_ratio")
+    if abs(recorded - ratio) > max(0.01, 0.1 * ratio):
+        raise BenchError(
+            f"BENCH_supervisor: recorded waste_ratio {recorded} does not "
+            f"match cycles ratio {ratio:.4f}"
+        )
+    if ratio > bar:
+        raise BenchError(
+            f"BENCH_supervisor: supervised runaway container burned "
+            f"{ratio:.2f} of the unsupervised cycles (bar {bar})"
+        )
+    return [
+        f"{converged}/{total:.0f} devices converged with "
+        f"{quarantined:.0f} quarantined device(s) reported",
+        f"runaway container waste ratio {ratio:.3f} (bar {bar})",
+    ]
+
+
 #: File name -> checker.  Every entry is required to exist.
 CHECKS = {
     "BENCH_throughput.json": check_throughput,
@@ -339,6 +405,7 @@ CHECKS = {
     "BENCH_canary.json": check_canary,
     "BENCH_publish.json": check_publish,
     "BENCH_chaos.json": check_chaos,
+    "BENCH_supervisor.json": check_supervisor,
 }
 
 
