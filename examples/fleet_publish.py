@@ -32,6 +32,7 @@ from repro.deploy import (
     HealthGate,
     HookSpec,
     ImageSpec,
+    PublishOptions,
     plan,
 )
 from repro.scenarios import build_fleet_publisher
@@ -88,7 +89,8 @@ def main() -> None:
 
     print("\n2. replaying sequence "
           f"{rollout.sequence_number} (anti-rollback, per device)")
-    replay = publisher.publish(v1, sequence_number=rollout.sequence_number)
+    replay = publisher.publish(
+        v1, PublishOptions(sequence_number=rollout.sequence_number))
     print("   statuses: "
           + ", ".join(r.result.status.value for r in replay.devices))
 
@@ -104,8 +106,8 @@ def main() -> None:
 
     print("\n4. canary publish of a 100x cycle regression (never faults)")
     hungry = make_spec("release-v2", count=800, value=8)
-    bad = publisher.publish(hungry, canary_count=1, bake_us=300_000.0,
-                            bake_fires=3, health_gate=gate)
+    bad = publisher.publish(hungry, PublishOptions(
+        canary_count=1, bake_us=300_000.0, bake_fires=3, health_gate=gate))
     show(bad)
     print(f"   -> {'ROLLED BACK' if bad.rolled_back else 'PROMOTED'}: "
           f"{bad.reason}")
@@ -114,8 +116,8 @@ def main() -> None:
 
     print("\n5. canary publish of the lean fix")
     fixed = make_spec("release-v2-fixed", count=8, value=8)
-    good = publisher.publish(fixed, canary_count=1, bake_us=300_000.0,
-                             bake_fires=3, health_gate=gate)
+    good = publisher.publish(fixed, PublishOptions(
+        canary_count=1, bake_us=300_000.0, bake_fires=3, health_gate=gate))
     show(good)
     print(f"   -> {'PROMOTED' if good.promoted else 'ROLLED BACK'}: "
           f"{good.reason}")

@@ -35,7 +35,18 @@ Small developer tools around the library:
                                   the fleet mid-publish and the rollout
                                   still converges; a permanently dead
                                   device degrades the result to an
-                                  UNREACHABLE row instead of raising.
+                                  UNREACHABLE row instead of raising;
+* ``controlplane``              — maintainer control plane: submit a
+                                  signed release, publish it with the
+                                  fleet-scale profile (one multicast
+                                  trigger, sharded co-run), register and
+                                  evict devices at runtime, stream
+                                  per-device status rows.
+
+The fleet-shaped subcommands (``fleet``, ``canary``, ``publish``,
+``chaos``, ``controlplane``) share one parent parser, so ``--devices``,
+``--seed``, ``--loss``, ``--board`` and ``--impl`` spell and default
+identically everywhere.
 """
 
 from __future__ import annotations
@@ -451,12 +462,18 @@ def cmd_publish(args: argparse.Namespace) -> int:
             )
         boards = [board_by_name(args.board) for _ in range(args.devices)]
         publisher = build_fleet_publisher(
-            boards=boards, implementation=args.impl, loss=args.loss)
+            boards=boards, implementation=args.impl, loss=args.loss,
+            seed=args.seed)
     except Exception as error:
         print(f"publish error: {error}")
         return 1
+    from repro.deploy import PublishOptions
+
     fleet = publisher.fleet
     base, poisoned, fixed = _canary_specs()
+    canary_options = PublishOptions(canary_count=args.canaries,
+                                    bake_us=args.bake_us,
+                                    bake_fires=args.fires)
 
     def table(result) -> None:
         print(f"{'device':8} {'role':9} {'status':17} {'actions':>7} "
@@ -480,7 +497,8 @@ def cmd_publish(args: argparse.Namespace) -> int:
     print(f"  fleet converged off one publish: {converged}")
 
     print("\nstage 2: replay the same sequence (anti-rollback, per device)")
-    replay = publisher.publish(base, sequence_number=rollout.sequence_number)
+    replay = publisher.publish(
+        base, PublishOptions(sequence_number=rollout.sequence_number))
     refused = all(row.result.status.value == "sequence-replay"
                   for row in replay.devices)
     print(f"  refused fleet-wide: {refused}")
@@ -493,8 +511,7 @@ def cmd_publish(args: argparse.Namespace) -> int:
 
     print(f"\nstage 4: canary publish of {poisoned.name!r} "
           f"({args.canaries} canaries, health-gated)")
-    bad = publisher.publish(poisoned, canary_count=args.canaries,
-                            bake_us=args.bake_us, bake_fires=args.fires)
+    bad = publisher.publish(poisoned, canary_options)
     print(f"  -> {'ROLLED BACK' if bad.rolled_back else 'PROMOTED'}: "
           f"{bad.reason}")
     controls = fleet.devices[args.canaries:]
@@ -505,8 +522,7 @@ def cmd_publish(args: argparse.Namespace) -> int:
     print(f"  control devices never saw the poisoned manifest: {untouched}")
 
     print(f"\nstage 5: canary publish of {fixed.name!r} (the fix)")
-    good = publisher.publish(fixed, canary_count=args.canaries,
-                             bake_us=args.bake_us, bake_fires=args.fires)
+    good = publisher.publish(fixed, canary_options)
     print(f"  -> {'PROMOTED' if good.promoted else 'ROLLED BACK'}: "
           f"{good.reason}")
     fixed_converged = all(plan(device.engine, fixed).empty
@@ -522,7 +538,7 @@ def cmd_publish(args: argparse.Namespace) -> int:
 
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Chaos-hardened publish demo: crashes, loss bursts, self-healing."""
-    from repro.deploy import CrashAt, FaultInjector
+    from repro.deploy import CrashAt, FaultInjector, PublishOptions
     from repro.scenarios import build_fleet_publisher
     from repro.vm.imagecache import IMAGE_CACHE
 
@@ -530,7 +546,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     try:
         boards = [board_by_name(args.board) for _ in range(args.devices)]
         publisher = build_fleet_publisher(
-            boards=boards, implementation=args.impl, loss=args.loss)
+            boards=boards, implementation=args.impl, loss=args.loss,
+            seed=args.seed)
     except Exception as error:
         print(f"chaos error: {error}")
         return 1
@@ -567,7 +584,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     print("\nstage 2: crash one device for good (it never reboots)")
     publisher.chaos = FaultInjector(
         [CrashAt(names[-1], at_us=1_000.0, down_us=None)])
-    partial = publisher.publish(base, max_windows=300)
+    partial = publisher.publish(base, PublishOptions(max_windows=300))
     table(partial)
     unreachable = [row.device.name for row in partial.unreachable()]
     print(f"  converged: {partial.converged} "
@@ -582,10 +599,80 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_controlplane(args: argparse.Namespace) -> int:
+    """Control-plane demo: submit → publish → register/evict → status."""
+    from repro.scenarios import build_control_plane
+    from repro.vm.imagecache import IMAGE_CACHE
+
+    IMAGE_CACHE.clear()  # measure from a cold cache, deterministically
+    try:
+        boards = [board_by_name(args.board) for _ in range(args.devices)]
+        plane = build_control_plane(boards=boards, implementation=args.impl,
+                                    loss=args.loss, seed=args.seed)
+    except Exception as error:
+        print(f"controlplane error: {error}")
+        return 1
+    base, _, fixed = _canary_specs()
+
+    release = plane.submit(base)
+    print(f"submitted release {release.name} "
+          f"({len(release.envelope)} B envelope, "
+          f"{len(release.payload)} B payload)")
+    result = plane.publish(release)
+    print(f"published via {'multicast' if result.multicast else 'unicast'} "
+          f"trigger ({result.trigger_tx_bytes} B trigger airtime; "
+          f"ack sample: {', '.join(result.mcast_acks) or 'none'})")
+    print(f"  converged: {result.ok} "
+          f"({len(result.rows())} devices, {result.wall_s * 1e3:.1f} ms wall)")
+
+    late = plane.register()
+    print(f"\nregistered {late.name} at runtime (fleet size {len(plane)})")
+    update = plane.publish(fixed)
+    print(f"published {fixed.name!r} (seq {update.sequence_number}) "
+          f"-> converged: {update.ok} on {len(update.rows())} devices")
+    evicted = plane.evict(late.name)
+    print(f"evicted {evicted.name} (fleet size {len(plane)})")
+
+    print(f"\n{'device':8} {'board':12} {'seq':>4} {'spec':12} "
+          f"{'reboots':>7} {'cycles':>12}")
+    rows = list(plane.status())
+    for row in rows:
+        print(f"{row.name:8} {row.board:12} {row.sequence:>4} "
+              f"{str(row.spec):12} {row.reboots:>7} {row.cycles:>12}")
+    consistent = all(row.sequence == update.sequence_number for row in rows)
+    print(f"status rows consistent with last release: {consistent}")
+    ok = result.ok and update.ok and consistent
+    return 0 if ok else 1
+
+
+def _fleet_parent() -> argparse.ArgumentParser:
+    """Shared options for the fleet-shaped subcommands.
+
+    ``fleet``, ``canary``, ``publish``, ``chaos`` and ``controlplane``
+    all drive N simulated devices; this parent makes ``--devices``,
+    ``--seed``, ``--loss``, ``--board`` and ``--impl`` spell and
+    default identically across them.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--devices", type=int, default=4,
+                        help="fleet size (default 4)")
+    parent.add_argument("--seed", type=int, default=1234,
+                        help="deterministic seed for radio loss dice, "
+                             "suppression lotteries and fault plans")
+    parent.add_argument("--loss", type=float, default=0.0,
+                        help="radio frame-loss probability")
+    parent.add_argument("--board", default="cortex-m4",
+                        choices=sorted(BOARDS))
+    parent.add_argument("--impl", default="jit",
+                        choices=sorted(_VM_FACTORIES))
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Femto-Containers reproduction toolkit")
     sub = parser.add_subparsers(dest="command", required=True)
+    fleet_parent = _fleet_parent()
 
     p_asm = sub.add_parser("asm", help="assemble eBPF text")
     p_asm.add_argument("source")
@@ -647,76 +734,58 @@ def build_parser() -> argparse.ArgumentParser:
     p_deploy.set_defaults(fn=cmd_deploy)
 
     p_fleet = sub.add_parser(
-        "fleet",
+        "fleet", parents=[fleet_parent],
         help="apply one spec across N devices through the shared cache")
-    p_fleet.add_argument("--devices", type=int, default=4)
     p_fleet.add_argument("--tenants", type=int, default=2)
     p_fleet.add_argument("--instances", type=int, default=4,
                          help="instances per tenant")
-    p_fleet.add_argument("--board", default="cortex-m4",
-                         choices=sorted(BOARDS))
-    p_fleet.add_argument("--impl", default="jit",
-                         choices=sorted(_VM_FACTORIES))
     p_fleet.set_defaults(fn=cmd_fleet)
 
     p_canary = sub.add_parser(
-        "canary",
+        "canary", parents=[fleet_parent],
         help="canary fleet rollout: poisoned spec rolls back on the "
              "canary subset, the fixed spec promotes fleet-wide")
-    p_canary.add_argument("--devices", type=int, default=6)
     p_canary.add_argument("--canaries", type=int, default=2,
                           help="devices in the canary subset")
     p_canary.add_argument("--bake-us", type=float, default=2_000_000.0,
                           help="virtual bake duration per canary (us)")
     p_canary.add_argument("--fires", type=int, default=5,
                           help="extra hook firings during the bake")
-    p_canary.add_argument("--board", default="cortex-m4",
-                          choices=sorted(BOARDS))
-    p_canary.add_argument("--impl", default="jit",
-                          choices=sorted(_VM_FACTORIES))
     p_canary.set_defaults(fn=cmd_canary)
 
     p_publish = sub.add_parser(
-        "publish",
+        "publish", parents=[fleet_parent],
         help="fleet-wide OTA publish over a shared radio link: fan-out, "
              "anti-rollback replay, idempotent republish, health-gated "
              "canary stage")
-    p_publish.add_argument("--devices", type=int, default=4)
     p_publish.add_argument("--canaries", type=int, default=1,
                            help="devices in the canary subset")
-    p_publish.add_argument("--loss", type=float, default=0.0,
-                           help="radio frame-loss probability")
     p_publish.add_argument("--bake-us", type=float, default=1_000_000.0,
                            help="virtual bake duration per canary (us)")
     p_publish.add_argument("--fires", type=int, default=3,
                            help="extra hook firings during the bake")
-    p_publish.add_argument("--board", default="cortex-m4",
-                           choices=sorted(BOARDS))
-    p_publish.add_argument("--impl", default="jit",
-                           choices=sorted(_VM_FACTORIES))
     p_publish.set_defaults(fn=cmd_publish)
 
     p_chaos = sub.add_parser(
-        "chaos",
+        "chaos", parents=[fleet_parent],
         help="chaos-hardened publish: seeded crashes, loss bursts and "
              "stalls during a fleet OTA publish, plus a permanently dead "
              "device that degrades the result instead of raising")
-    p_chaos.add_argument("--devices", type=int, default=4)
-    p_chaos.add_argument("--loss", type=float, default=0.10,
-                         help="base radio frame-loss probability")
-    p_chaos.add_argument("--seed", type=int, default=11,
-                         help="fault-plan seed")
     p_chaos.add_argument("--crashes", type=int, default=2)
     p_chaos.add_argument("--bursts", type=int, default=1,
                          help="link loss bursts in the plan")
     p_chaos.add_argument("--stalls", type=int, default=1)
     p_chaos.add_argument("--horizon-us", type=float, default=400_000.0,
                          help="virtual window the faults land in (us)")
-    p_chaos.add_argument("--board", default="cortex-m4",
-                         choices=sorted(BOARDS))
-    p_chaos.add_argument("--impl", default="jit",
-                         choices=sorted(_VM_FACTORIES))
     p_chaos.set_defaults(fn=cmd_chaos)
+
+    p_plane = sub.add_parser(
+        "controlplane", parents=[fleet_parent],
+        help="maintainer control plane: submit a signed release, publish "
+             "it with the fleet-scale profile (multicast trigger, sharded "
+             "co-run), register/evict devices at runtime, stream "
+             "per-device status rows")
+    p_plane.set_defaults(fn=cmd_controlplane)
 
     p_shell = sub.add_parser(
         "shell", help="run device-shell commands on the showcase device")

@@ -24,7 +24,15 @@ imperative ``create_tenant``/``load``/``attach`` primitives:
   crashes, reboots, link-loss bursts, stalls and storage faults (torn
   writes, bit flips, flash wear-out) at virtual timestamps from a
   deterministic plan; its module docstring carries the failure modes
-  table (crash point → observed status → recovery path).
+  table (crash point → observed status → recovery path);
+* :mod:`repro.deploy.controlplane` — :class:`ControlPlane` is the
+  long-lived maintainer service over one shared
+  :class:`~repro.deploy.registry.DeviceRegistry`: register/evict
+  devices at runtime, :meth:`~ControlPlane.submit` specs into signed
+  :class:`Release` records, publish/canary with the fleet-scale
+  profile (:meth:`PublishOptions.scale`: multicast trigger with the
+  integrated payload, sharded co-run, shared release decode) and
+  stream typed :class:`DeviceStatus` rows.
 
 Applying an unchanged spec twice plans zero actions; editing one image
 plans exactly one replace.  See the module docstrings for the full
@@ -41,6 +49,11 @@ from repro.deploy.chaos import (
     TornWriteAt,
     WearOut,
 )
+from repro.deploy.controlplane import (
+    ControlPlane,
+    DeviceStatus,
+    Release,
+)
 from repro.deploy.fleet import (
     CanaryRollout,
     DeviceRollout,
@@ -53,8 +66,12 @@ from repro.deploy.publish import (
     DevicePublish,
     DeviceRadio,
     FleetPublisher,
+    PublishOptions,
     PublishResult,
 )
+from repro.deploy.registry import DeviceRegistry
+from repro.deploy.results import FleetResult
+from repro.deploy.shards import ShardExecutor, auto_shard_count
 from repro.deploy.plan import (
     Action,
     ApplyResult,
@@ -89,6 +106,7 @@ __all__ = [
     "BitFlipAt",
     "CanaryRollout",
     "ChaosEvent",
+    "ControlPlane",
     "CrashAt",
     "CreateTenant",
     "DeploymentPlan",
@@ -96,19 +114,26 @@ __all__ = [
     "Detach",
     "DevicePublish",
     "DeviceRadio",
+    "DeviceRegistry",
     "DeviceRollout",
+    "DeviceStatus",
     "FaultInjector",
     "Fleet",
     "FleetDevice",
     "FleetPublisher",
+    "FleetResult",
     "FleetRollout",
     "HealthGate",
     "LinkLossBurst",
+    "Release",
+    "ShardExecutor",
     "StallAt",
     "TornWriteAt",
     "WearOut",
     "HookSpec",
+    "PublishOptions",
     "PublishResult",
+    "auto_shard_count",
     "ImageSpec",
     "Install",
     "RegisterHook",

@@ -27,6 +27,8 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.core.engine import HostingEngine
 from repro.deploy.plan import ApplyResult, apply, plan
+from repro.deploy.registry import DeviceRegistry
+from repro.deploy.results import FleetResult
 from repro.deploy.spec import DeploymentSpec, HookSpec
 from repro.rtos.board import Board, nrf52840
 from repro.rtos.kernel import Kernel
@@ -216,29 +218,20 @@ class DeviceRollout:
 
 
 @dataclass
-class FleetRollout:
-    """One spec applied across the whole fleet, with per-device numbers."""
+class FleetRollout(FleetResult):
+    """One spec applied across the whole fleet, with per-device numbers.
+
+    Implements the :class:`~repro.deploy.results.FleetResult` protocol:
+    ``ok`` (a direct apply raises on failure, so a returned rollout is
+    always ok), ``wall_s``, ``speedups()`` and row iteration all come
+    from the shared base; ``devices`` stays the historical row list.
+    """
 
     spec: DeploymentSpec
     devices: list[DeviceRollout] = field(default_factory=list)
 
-    @property
-    def wall_s(self) -> float:
-        return sum(rollout.wall_s for rollout in self.devices)
-
-    def speedups(self) -> list[float]:
-        """Wall-clock speedup of each later device over device 1.
-
-        Device 1 populates the shared image cache (cold verify + JIT
-        compile); devices 2..N ride its artifacts, so their rollouts
-        should be dramatically faster in wall time while charging the
-        same modelled cycles.
-        """
-        if len(self.devices) < 2:
-            return []
-        first = self.devices[0].wall_s
-        return [first / max(rollout.wall_s, 1e-9)
-                for rollout in self.devices[1:]]
+    def rows(self) -> list[DeviceRollout]:
+        return self.devices
 
     def cycles_per_device(self) -> list[int]:
         return [rollout.cycles_charged for rollout in self.devices]
@@ -251,13 +244,18 @@ class FleetRollout:
 
 
 @dataclass
-class CanaryRollout:
+class CanaryRollout(FleetResult):
     """Outcome of one :meth:`Fleet.canary_rollout`.
 
     The rollout either **promoted** (every canary baked fault-free, the
     spec went fleet-wide) or **rolled back** (a canary faulted or failed
     to apply; every canary was reverted to the baseline spec and the
     non-canary devices were never touched — ``control`` stays empty).
+
+    Implements the :class:`~repro.deploy.results.FleetResult` protocol:
+    ``ok`` is promotion, the rows are canary + control + rollback in
+    phase order, and ``speedups()`` compares against the cold first
+    canary while excluding rollback rows (those measure the undo).
     """
 
     spec: DeploymentSpec
@@ -277,6 +275,21 @@ class CanaryRollout:
     reason: str = ""
     #: Virtual microseconds each canary baked for.
     bake_us: float = 0.0
+
+    def rows(self) -> list[DeviceRollout]:
+        return self.canary + self.control + self.rollback
+
+    def speedup_rows(self) -> list[DeviceRollout]:
+        return self.canary + self.control
+
+    @property
+    def ok(self) -> bool:
+        return self.promoted
+
+    @property
+    def devices(self) -> list[DeviceRollout]:
+        """Alias for the protocol rows (matches the sibling results)."""
+        return self.rows()
 
     @property
     def canary_names(self) -> list[str]:
@@ -318,18 +331,40 @@ class Fleet:
         #: Engine supervisor policy, also reused when the publisher
         #: rebuilds an engine after a device reboot.
         self.supervisor_config = supervisor
-        self.devices: list[FleetDevice] = []
+        #: Single source of truth for fleet membership (shared with the
+        #: publisher and the control plane — no parallel device lists).
+        self.registry = DeviceRegistry()
         #: The spec the whole fleet last converged on (the canary
         #: rollback target when no explicit baseline is given).
         self.current_spec: DeploymentSpec | None = None
         for index, board in enumerate(boards):
-            kernel = Kernel(board)
-            self.devices.append(FleetDevice(
-                name=f"dev{index}",
-                kernel=kernel,
-                engine=HostingEngine(kernel, implementation=implementation,
-                                     supervisor=supervisor),
-            ))
+            self.add_device(board, name=f"dev{index}")
+
+    @property
+    def devices(self) -> list[FleetDevice]:
+        """Registry view in registration order (list-compatible)."""
+        return self.registry.devices()
+
+    def add_device(self, board: Board | None = None,
+                   name: str | None = None) -> FleetDevice:
+        """Register one more device (the control plane's register path).
+
+        Note this only creates the device; wiring its radio is the
+        publisher's job (:meth:`FleetPublisher.adopt_device`).
+        """
+        if board is None:
+            board = nrf52840()
+        if name is None:
+            name = f"dev{self.registry.next_index}"
+        kernel = Kernel(board)
+        device = FleetDevice(
+            name=name,
+            kernel=kernel,
+            engine=HostingEngine(kernel, implementation=self.implementation,
+                                 supervisor=self.supervisor_config),
+        )
+        self.registry.register(device)
+        return device
 
     def __len__(self) -> int:
         return len(self.devices)

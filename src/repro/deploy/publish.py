@@ -49,12 +49,16 @@ is contained — but visibly flagged instead of silently green.
 
 from __future__ import annotations
 
+import random
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Sequence
 
 from repro.core.engine import HostingEngine
 from repro.deploy.fleet import Fleet, FleetDevice, HealthGate
+from repro.deploy.results import FleetResult
+from repro.deploy.shards import ShardExecutor
 from repro.deploy.spec import DeploymentSpec
 from repro.net import coap
 from repro.net.coap import CoapMessage
@@ -63,7 +67,7 @@ from repro.net.link import Interface, Link
 from repro.net.udp import UdpStack
 from repro.rtos.energy import EnergyMeter
 from repro.rtos.kernel import Kernel
-from repro.suit import ed25519
+from repro.suit import cbor, ed25519
 from repro.suit.specworker import SpecUpdateWorker
 from repro.suit.worker import UpdateResult, UpdateStatus
 from repro.vm.imagecache import IMAGE_CACHE
@@ -75,6 +79,14 @@ MAINTAINER_ADDR = "2001:db8::maint"
 DEVICE_ADDR_TEMPLATE = "2001:db8::dev{index}"
 COAP_PORT = 5683
 TRIGGER_PATH = "/suit/trigger"
+
+#: RFC 7390-style CoAP group address every fleet device joins at wiring
+#: time; one NON POST here reaches the whole fleet in one airtime cost.
+GROUP_ADDR = "ff15::fleet:all"
+#: Device-side resource the multicast trigger lands on.
+MCAST_TRIGGER_PATH = "/suit/mtrigger"
+#: Maintainer-side resource the suppressed ack sample lands on.
+ACK_PATH = "/fleet/ack"
 
 #: App-level trigger retry: first re-POST after this backhaul-clock
 #: delay, doubling per attempt up to the cap.  This sits *on top of* the
@@ -89,6 +101,71 @@ MAX_TRIGGER_ATTEMPTS = 8
 #: policy refusals.  A re-triggered fetch resumes from the NVM
 #: checkpoint, so retries get monotonically cheaper.
 RETRYABLE_STATUSES = (UpdateStatus.FETCH_FAILED,)
+
+
+@dataclass(frozen=True)
+class PublishOptions:
+    """Every knob of one :meth:`FleetPublisher.publish`, in one place.
+
+    The defaults reproduce the historical keyword-argument behavior
+    exactly (unicast triggers, single-shard co-run, no cross-device
+    decode sharing); :meth:`scale` turns on the fleet-scale path.  The
+    old keyword arguments are still accepted by ``publish`` (with a
+    :class:`DeprecationWarning`) and are folded into an options value.
+    """
+
+    #: Explicit sequence number (``None``: next maintainer epoch).
+    sequence_number: int | None = None
+    #: Signing seed overriding the maintainer's (rogue-signer tests).
+    signer_seed: bytes | None = None
+    #: Stage through this many canaries first (``None``: whole fleet).
+    canary_count: int | None = None
+    #: Canary health policy (``None``: default :class:`HealthGate`).
+    health_gate: HealthGate | None = None
+    #: Virtual microseconds each canary bakes for.
+    bake_us: float = 2_000_000.0
+    #: Explicit hook firings per canary during the bake.
+    bake_fires: int = 0
+    #: Hooks fired during the bake (``None``: spec's aperiodic hooks).
+    bake_hooks: Sequence[str] | None = None
+    #: Context bytes for bake firings.
+    bake_context: bytes | None = None
+    #: Virtual-time slice per co-run window.
+    window_us: float = 20_000.0
+    #: Convergence window budget before UNREACHABLE rows.
+    max_windows: int = 4000
+    #: Broadcast the trigger to the link group instead of N unicast
+    #: POSTs (full-fleet publishes only — canary subsets stay unicast).
+    multicast: bool = False
+    #: Carry the payload inside the multicast trigger (SUIT integrated
+    #: payload) so devices skip the per-device block-wise fetch.
+    inline_payload: bool = True
+    #: Expected size of the suppressed ack sample the maintainer hears
+    #: (each device acks with probability ``ack_sample / N``).
+    ack_sample: int = 8
+    #: Max randomized suppression delay before an ack (RFC 7390 leisure).
+    leisure_us: float = 250_000.0
+    #: Backhaul-clock grace before unicast fallback re-POSTs chase
+    #: devices that missed the broadcast.
+    mcast_grace_us: float = 2_000_000.0
+    #: Co-run shard count (``None``: auto-sized from the fleet).
+    shards: int | None = 1
+    #: Share one decoded envelope/spec across the target workers for
+    #: this publish (wall-clock only; modelled cycles are unaffected).
+    share_release: bool = False
+
+    @classmethod
+    def legacy(cls, **overrides) -> "PublishOptions":
+        """The historical behavior, spelled out (the bench baseline)."""
+        return cls(**{"multicast": False, "shards": 1,
+                      "share_release": False, **overrides})
+
+    @classmethod
+    def scale(cls, **overrides) -> "PublishOptions":
+        """The fleet-scale profile: one broadcast trigger with the
+        integrated payload, auto-sized shards, shared release decode."""
+        return cls(**{"multicast": True, "shards": None,
+                      "share_release": True, **overrides})
 
 
 @dataclass
@@ -146,8 +223,14 @@ class DevicePublish:
 
 
 @dataclass
-class PublishResult:
-    """Outcome of one :meth:`FleetPublisher.publish`."""
+class PublishResult(FleetResult):
+    """Outcome of one :meth:`FleetPublisher.publish`.
+
+    Implements the :class:`~repro.deploy.results.FleetResult` protocol:
+    ``ok`` is convergence, iteration walks the per-device rows, and
+    ``speedups()`` compares later devices against the cold first one
+    while excluding rollback rows.
+    """
 
     spec: DeploymentSpec
     sequence_number: int
@@ -163,6 +246,24 @@ class PublishResult:
     promoted: bool = False
     rolled_back: bool = False
     reason: str = ""
+    #: The fan-out trigger went over the group address (one broadcast).
+    multicast: bool = False
+    #: Radio bytes the maintainer spent on trigger fan-out (broadcast
+    #: frame plus any unicast first-POSTs/retries), from ``LinkStats``.
+    trigger_tx_bytes: int = 0
+    #: Device names whose randomized suppression timer elected them into
+    #: the bounded multicast ack sample.
+    mcast_acks: list[str] = field(default_factory=list)
+
+    def rows(self) -> list[DevicePublish]:
+        return self.devices
+
+    def speedup_rows(self) -> list[DevicePublish]:
+        return [row for row in self.devices if row.role != "rollback"]
+
+    @property
+    def ok(self) -> bool:
+        return self.converged
 
     @property
     def converged(self) -> bool:
@@ -200,19 +301,6 @@ class PublishResult:
     def by_role(self, role: str) -> list[DevicePublish]:
         return [row for row in self.devices if row.role == role]
 
-    def speedups(self) -> list[float]:
-        """Wall speedup of each later device over the first (cold) one.
-
-        The first triggered device's apply slice pays the cold verify +
-        JIT compile; every later device converges off the same publish
-        through pure image-cache hits.
-        """
-        rows = [row for row in self.devices if row.role != "rollback"]
-        if len(rows) < 2:
-            return []
-        cold = rows[0].wall_s
-        return [cold / max(row.wall_s, 1e-9) for row in rows[1:]]
-
 
 class FleetPublisher:
     """Maintainer-side OTA publisher for one :class:`Fleet`.
@@ -242,14 +330,33 @@ class FleetPublisher:
         self.spec_uri = spec_uri
         self.slot = slot
         self.sequence = 0
+        self.seed = seed
         self.kernel = Kernel()  # the maintainer/backhaul side
         self.link = Link(self.kernel, loss=loss, seed=seed)
-        maint_if = self.link.attach(Interface(MAINTAINER_ADDR))
-        maint_udp = UdpStack(maint_if)
+        self._maint_iface = self.link.attach(Interface(MAINTAINER_ADDR))
+        maint_udp = UdpStack(self._maint_iface)
         self.repo = CoapServer(self.kernel, maint_udp.socket(COAP_PORT),
                                threaded=False, name="spec-repo")
         self.trigger_client = CoapClient(self.kernel,
                                          maint_udp.socket(49900))
+        #: Raw socket for group-addressed NON triggers.  Not the CoAP
+        #: client: a NON request would sit in its pending table forever
+        #: (no reply is ever coming back from a group).
+        self._mcast_socket = maint_udp.socket(49901)
+        self._mcast_mid = 1
+        #: Names that answered the current broadcast's suppressed-ack
+        #: lottery (the bounded sample the maintainer actually hears).
+        self._mcast_acks: set[str] = set()
+        #: name -> (kernel incarnation, virtual deadline us) for every
+        #: scheduled-but-not-yet-fired lottery ack this publish.
+        self._mcast_ack_due: dict[str, tuple[object, float]] = {}
+        self._used_multicast = False
+        #: Radio bytes spent on trigger fan-out this publish.
+        self.trigger_tx_bytes = 0
+        #: Publish-scoped decode memo handed to target workers when the
+        #: options ask for release sharing (``None`` otherwise).
+        self._release_cache: dict | None = None
+        self.repo.register(ACK_PATH, self._handle_mcast_ack)
         self.trust_anchor = ed25519.public_key(maintainer_seed)
         self._max_storage_slots = max_storage_slots
         self._storage_gc_horizon = storage_gc_horizon
@@ -259,14 +366,29 @@ class FleetPublisher:
         #: Per-device trigger state (attempts, acked, next retry) keyed
         #: by device name; all timing on the backhaul clock.
         self._triggers: dict[str, dict] = {}
-        for index, device in enumerate(fleet.devices):
-            if use_nvm and device.nvm is None:
-                device.nvm = device.kernel.board.nvm(device.kernel)
-            if device.meter is None:
-                device.meter = EnergyMeter(device.kernel.board)
-            self._wire_device(device, index)
+        for device in fleet.devices:
+            self.adopt_device(device, use_nvm=use_nvm)
 
     # -- wire plumbing -----------------------------------------------------
+
+    def adopt_device(self, device: FleetDevice,
+                     use_nvm: bool = True) -> None:
+        """Give one registered device its radio rig (construction path,
+        and the control plane's post-construction register path)."""
+        if use_nvm and device.nvm is None:
+            device.nvm = device.kernel.board.nvm(device.kernel)
+        if device.meter is None:
+            device.meter = EnergyMeter(device.kernel.board)
+        self._wire_device(device, self.fleet.registry.index_of(device.name))
+
+    def evict_device(self, name: str) -> FleetDevice:
+        """Remove one device from the fleet and take it off the air."""
+        device = self.fleet.registry.evict(name)
+        if device.radio is not None:
+            self.link.detach(device.radio.addr)
+            self.link.leave(GROUP_ADDR, device.radio.addr)
+        self._triggers.pop(name, None)
+        return device
 
     def _wire_device(self, device: FleetDevice, index: int) -> None:
         """Build one device's radio rig (initial wiring and re-wiring
@@ -289,17 +411,75 @@ class FleetPublisher:
             nvm=device.nvm,
         )
         worker.register_trigger_resource(server, TRIGGER_PATH)
+        self.link.join(GROUP_ADDR, iface)
+        self._register_mcast_trigger(device, server, worker)
         device.radio = DeviceRadio(addr=addr, iface=iface, udp=udp,
                                    server=server, client=client,
                                    worker=worker)
         if device.meter is not None:
             device.meter.track_interface(iface)
 
+    def _register_mcast_trigger(self, device: FleetDevice,
+                                server: CoapServer, worker) -> None:
+        """Device-side half of the group trigger (RFC 7390 style).
+
+        The broadcast body carries the signed envelope (and usually its
+        integrated payload); the handler queues the update and enters
+        the suppressed-ack lottery: with probability ``p/1000`` this
+        device schedules a NON ack after a seeded random share of the
+        leisure period — so the maintainer hears a bounded, collision-
+        spread sample instead of N simultaneous replies.  Returning
+        ``None`` suppresses any CoAP-layer response.
+        """
+
+        def handler(request: CoapMessage, _dg) -> None:
+            try:
+                body = cbor.decode(request.payload)
+                envelope = body["e"]
+            except Exception:
+                return None  # malformed broadcast: stay silent
+            worker.release_cache = self._release_cache
+            worker.trigger(envelope, payload=body.get("y"))
+            rng = random.Random(
+                f"{self.seed}:{body.get('s', 0)}:{device.name}")
+            if rng.random() * 1000 >= body.get("p", 0):
+                return None  # suppressed: not in this publish's sample
+            delay_us = rng.random() * body.get("l", 0)
+
+            def send_ack() -> None:
+                radio = device.radio
+                if radio is None or radio.worker is not worker:
+                    return  # rebooted mid-leisure: new incarnation
+                ack = CoapMessage(mtype=coap.NON, code=coap.POST,
+                                  payload=device.name.encode())
+                ack.add_uri_path(ACK_PATH)
+                ack.message_id = body.get("s", 0) & 0xFFFF
+                radio.client.socket.send_to(MAINTAINER_ADDR, COAP_PORT,
+                                            ack.encode())
+
+            device.kernel.timers.set(send_ack, delay_us)
+            # Remember when this device's lottery ack comes due, keyed
+            # to THIS kernel incarnation: a device can converge before
+            # its leisure delay elapses, and a converged device is no
+            # longer scheduled by the co-run loop — the publisher
+            # drains these deadlines before reporting.
+            self._mcast_ack_due[device.name] = (
+                device.kernel, device.kernel.now_us + delay_us)
+            return None
+
+        server.register(MCAST_TRIGGER_PATH, handler)
+
+    def _handle_mcast_ack(self, request: CoapMessage, _dg) -> None:
+        """Maintainer side of the suppressed ack sample (no reply)."""
+        name = request.payload.decode("utf-8", errors="replace")
+        self._mcast_acks.add(name)
+        state = self._triggers.get(name)
+        if state is not None:
+            state["acked"] = True
+        return None
+
     def device_by_name(self, name: str) -> FleetDevice:
-        for device in self.fleet.devices:
-            if device.name == name:
-                return device
-        raise KeyError(f"no fleet device named {name!r}")
+        return self.fleet.registry.get(name)
 
     # -- crash / reboot ----------------------------------------------------
 
@@ -322,7 +502,7 @@ class FleetPublisher:
         scratch; the spec worker restores its storage registry from NVM
         and re-activates whatever was installed (the bootloader role).
         """
-        index = self.fleet.devices.index(device)
+        index = self.fleet.registry.index_of(device.name)
         old_clock = device.kernel.clock
         board = device.kernel.board
         if device.radio is not None:
@@ -354,22 +534,73 @@ class FleetPublisher:
         self.repo.register_blob(self.spec_uri, lambda: payload)
         return envelope, payload, sequence_number
 
-    def _trigger(self, devices: Sequence[FleetDevice],
-                 envelope: bytes) -> None:
-        """Arm per-device trigger state and fire the first POST round.
+    def _trigger(self, devices: Sequence[FleetDevice], envelope: bytes,
+                 options: PublishOptions | None = None,
+                 payload: bytes | None = None,
+                 sequence_number: int = 0) -> None:
+        """Arm per-device trigger state and fire the first round.
 
-        Unacknowledged triggers are re-POSTed by :meth:`_pump_triggers`
-        with exponential backoff as the converge loop runs.
+        Unicast (the default): one CON POST per device now, re-POSTed by
+        :meth:`_pump_triggers` with exponential backoff as the converge
+        loop runs.  Multicast (``options.multicast``, full-fleet targets
+        only): ONE group-addressed NON frame carries the envelope — and,
+        with ``inline_payload``, the payload itself — to every device at
+        one airtime cost; the broadcast counts as attempt 1 and the same
+        unicast backoff path becomes the self-healing fallback for any
+        device that missed it (visible as ``retries >= 1`` on its row).
         """
+        if options is None:
+            options = PublishOptions()
         now = self.kernel.now_us
+        use_mcast = (options.multicast
+                     and len(devices) == len(self.fleet.devices))
+        if not use_mcast:
+            if options.share_release and self._release_cache is not None:
+                for device in devices:
+                    if device.radio is not None:
+                        device.radio.worker.release_cache = \
+                            self._release_cache
+            for device in devices:
+                self._triggers[device.name] = {
+                    "envelope": envelope,
+                    "attempts": 0,
+                    "acked": False,
+                    "next_retry_us": now,
+                }
+            self._pump_triggers()
+            return
+
+        self._used_multicast = True
+        self._mcast_acks.clear()
         for device in devices:
+            # The broadcast is attempt 1; stragglers fall back to the
+            # unicast retry path after the grace period.
             self._triggers[device.name] = {
                 "envelope": envelope,
-                "attempts": 0,
+                "attempts": 1,
                 "acked": False,
-                "next_retry_us": now,
+                "next_retry_us": now + options.mcast_grace_us,
             }
-        self._pump_triggers()
+        body: dict = {
+            "e": envelope,
+            "s": sequence_number,
+            # Each device acks with probability ack_sample/N (permille
+            # on the wire), spread over the leisure period.
+            "p": min(1000, options.ack_sample * 1000
+                     // max(1, len(devices))),
+            "l": int(options.leisure_us),
+        }
+        if options.inline_payload and payload is not None:
+            body["y"] = payload
+        message = CoapMessage(mtype=coap.NON, code=coap.POST,
+                              payload=cbor.encode(body))
+        message.add_uri_path(MCAST_TRIGGER_PATH)
+        message.message_id = self._mcast_mid
+        self._mcast_mid = (self._mcast_mid + 1) & 0xFFFF
+        sent_before = self._maint_iface.stats.bytes_sent
+        self._mcast_socket.send_to(GROUP_ADDR, COAP_PORT, message.encode())
+        self.trigger_tx_bytes += (self._maint_iface.stats.bytes_sent
+                                  - sent_before)
 
     def _retrigger(self, name: str) -> None:
         """Re-arm one device's trigger (straggler or rebooted device)."""
@@ -401,17 +632,19 @@ class FleetPublisher:
             def on_response(_reply, state=state) -> None:
                 state["acked"] = True
 
+            sent_before = self._maint_iface.stats.bytes_sent
             self.trigger_client.request(
                 device.radio.addr, COAP_PORT, request,
                 on_response=on_response,
             )
+            self.trigger_tx_bytes += (self._maint_iface.stats.bytes_sent
+                                      - sent_before)
 
     def _converge(
         self,
         devices: Sequence[FleetDevice],
         role: str,
-        window_us: float,
-        max_windows: int,
+        options: PublishOptions,
         sequence_number: int | None = None,
         spec: DeploymentSpec | None = None,
     ) -> list[DevicePublish]:
@@ -423,6 +656,15 @@ class FleetPublisher:
         cycles and image-cache traffic are attributed to a device by
         measuring around *its* kernel's slices — only one kernel runs at
         a time, so the deltas are unambiguous.
+
+        Devices are partitioned across a :class:`ShardExecutor`: a
+        window skips fully-converged shards wholesale instead of probing
+        every device, which is what keeps the straggler tail of a
+        1,000-device publish cheap.  Sharding is wall-clock structure
+        only — each pending device still gets its full virtual-time
+        slice every window, in a deterministic order, so modelled cycles
+        are bit-identical across any shard count (``shards=1`` *is* the
+        historical flat loop).
 
         This loop is where the publish *self-heals*: each window it
         polls the fault injector (if any), re-POSTs unacknowledged
@@ -457,7 +699,8 @@ class FleetPublisher:
             }
             for device in devices
         }
-        pending = {device.name for device in devices}
+        executor = ShardExecutor(devices, options.shards)
+        window_us = options.window_us
         rows: list[DevicePublish] = []
 
         def fault_delta(device: FleetDevice, entry: dict) -> int:
@@ -472,8 +715,12 @@ class FleetPublisher:
 
         def finish(device: FleetDevice, entry: dict,
                    result: UpdateResult) -> None:
-            pending.discard(device.name)
+            executor.discard(device.name)
             trigger = self._triggers.get(device.name, {})
+            if self._used_multicast and trigger:
+                # A converged device never CON-acked the broadcast;
+                # mark it so the fallback pump stops chasing it.
+                trigger["acked"] = True
             supervisor = device.engine.supervisor
             rows.append(DevicePublish(
                 device=device,
@@ -503,7 +750,7 @@ class FleetPublisher:
                     and worker.storage.highest_sequence(self.slot)
                     >= sequence_number)
 
-        for _ in range(max_windows):
+        for _ in range(options.max_windows):
             if self.chaos is not None:
                 self.chaos.poll(self)
             self._pump_triggers()
@@ -516,9 +763,7 @@ class FleetPublisher:
                 # this clock.
                 self.kernel.clock.advance_to(
                     self.kernel.clock.us_to_cycles(target_us))
-            for device in devices:
-                if device.name not in pending:
-                    continue
+            for device in executor.iter_pending():
                 entry = state[device.name]
                 worker = device.radio.worker
                 if worker is not entry["worker"]:
@@ -526,6 +771,8 @@ class FleetPublisher:
                     # worker, storage restored from NVM.
                     entry["worker"] = worker
                     entry["results_before"] = len(worker.results)
+                    if options.share_release:
+                        worker.release_cache = self._release_cache
                     if holds_sequence(worker):
                         # The install hit flash before the lights went
                         # out; recovery re-activated it.  Converged.
@@ -583,18 +830,46 @@ class FleetPublisher:
                         )
                     finish(device, entry, result)
                     break
-            if not pending:
+            if not executor.pending:
                 break
-        for name in sorted(pending):
+        for name in sorted(executor.pending):
             entry = state[name]
             finish(entry["device"], entry, UpdateResult(
                 UpdateStatus.UNREACHABLE,
-                f"no report within {max_windows} windows of "
+                f"no report within {options.max_windows} windows of "
                 f"{window_us:.0f} us despite "
                 f"{self._triggers.get(name, {}).get('attempts', 0)} "
                 "trigger attempts",
             ))
+        if self._used_multicast and self._mcast_ack_due:
+            self._drain_mcast_acks(window_us)
         return rows
+
+    def _drain_mcast_acks(self, window_us: float) -> None:
+        """Fire lottery acks still pending on converged devices.
+
+        A device that converges before its leisure delay elapses stops
+        being scheduled by the co-run loop, so its ack timer would
+        never fire and the maintainer's sample would under-count.  Run
+        each such device's kernel to its recorded deadline (name-sorted,
+        shard-independent — per-device rows were already snapshotted at
+        convergence), then give the backhaul one window to deliver the
+        NONs.
+        """
+        for name in sorted(self._mcast_ack_due):
+            kernel, due = self._mcast_ack_due[name]
+            if name not in self.fleet.registry:
+                continue  # evicted mid-publish
+            device = self.fleet.registry.get(name)
+            if device.kernel is not kernel or device.kernel.halted:
+                continue  # rebooted: that incarnation's timer is gone
+            device.kernel.run(until_us=max(due, device.kernel.now_us) + 1.0)
+        self._mcast_ack_due.clear()
+        target_us = self.kernel.now_us + window_us
+        self.kernel.run(until_us=target_us)
+        if self.kernel.now_us < target_us:
+            self.kernel.clock.advance_to(
+                self.kernel.clock.us_to_cycles(target_us))
 
     def _mark_quarantined(self, result: PublishResult) -> PublishResult:
         """Fold end-of-publish supervisor state into the device rows.
@@ -607,7 +882,14 @@ class FleetPublisher:
         ``OK``/``REBOOTED`` to ``QUARANTINED`` (still counted as
         converged — the device runs the published sequence; the sick
         workload is contained and named in the message).
+
+        Every publish exit funnels through here, so this is also where
+        the trigger-path accounting (fan-out mode, radio bytes, the
+        multicast ack sample) lands on the result.
         """
+        result.multicast = self._used_multicast
+        result.trigger_tx_bytes = self.trigger_tx_bytes
+        result.mcast_acks = sorted(self._mcast_acks)
         for row in result.devices:
             supervisor = getattr(row.device.engine, "supervisor", None)
             if supervisor is None:
@@ -633,44 +915,61 @@ class FleetPublisher:
     def publish(
         self,
         spec: DeploymentSpec,
-        sequence_number: int | None = None,
-        signer_seed: bytes | None = None,
-        canary_count: int | None = None,
-        health_gate: HealthGate | None = None,
-        bake_us: float = 2_000_000.0,
-        bake_fires: int = 0,
-        bake_hooks: Sequence[str] | None = None,
-        bake_context: bytes | None = None,
-        window_us: float = 20_000.0,
-        max_windows: int = 4000,
+        options: PublishOptions | int | None = None,
+        **legacy_kwargs,
     ) -> PublishResult:
         """Sign ``spec`` once and fan it out to the fleet over the radio.
 
-        Without ``canary_count`` every device is triggered at once off
-        the one envelope.  With it, the publish is health-gated: only
-        the first ``canary_count`` devices are triggered; after they
-        converge they are baked (``bake_us`` virtual microseconds each,
-        plus ``bake_fires`` explicit firings of the spec's hooks) and
-        judged against ``health_gate`` (default: zero contained faults).
-        A healthy bake triggers the remaining devices with the *same*
+        All knobs live on :class:`PublishOptions` (``options=None`` is
+        the historical default behavior; the old keyword arguments are
+        still accepted with a :class:`DeprecationWarning` and folded
+        in).  Without ``canary_count`` every device is triggered at once
+        off the one envelope — as one group-addressed broadcast under
+        ``PublishOptions.scale()``, or one CON POST per device
+        otherwise.  With it, the publish is health-gated: only the first
+        ``canary_count`` devices are triggered; after they converge they
+        are baked (``bake_us`` virtual microseconds each, plus
+        ``bake_fires`` explicit firings of the spec's hooks) and judged
+        against ``health_gate`` (default: zero contained faults).  A
+        healthy bake triggers the remaining devices with the *same*
         envelope — their applies ride the canary-warmed image cache; an
         unhealthy one publishes the fleet baseline back to the canaries
         under the next sequence number and leaves the rest untouched.
+        Canary subsets and rollbacks always trigger unicast: a group
+        broadcast cannot address a subset of the fleet.
 
         Anti-rollback holds per device: a ``sequence_number`` at or
         below a device's stored sequence is refused by that device
         (``SEQUENCE_REPLAY``) without any payload fetch.
         """
+        if isinstance(options, int):
+            # Historical positional second argument was sequence_number.
+            legacy_kwargs.setdefault("sequence_number", options)
+            options = None
+        if legacy_kwargs:
+            warnings.warn(
+                "publish(**kwargs) is deprecated; pass a PublishOptions "
+                f"(got {sorted(legacy_kwargs)})",
+                DeprecationWarning, stacklevel=2)
+            options = replace(options or PublishOptions(), **legacy_kwargs)
+        if options is None:
+            options = PublishOptions()
         fleet = self.fleet
+        self.trigger_tx_bytes = 0
+        self._used_multicast = False
+        self._mcast_ack_due.clear()
+        self._release_cache = {} if options.share_release else None
         envelope, payload, sequence_number = self._sign(
-            spec, sequence_number, signer_seed)
+            spec, options.sequence_number, options.signer_seed)
         result = PublishResult(spec=spec, sequence_number=sequence_number,
                                payload_bytes=len(payload))
 
-        if canary_count is None:
-            self._trigger(fleet.devices, envelope)
+        if options.canary_count is None:
+            self._trigger(fleet.devices, envelope, options,
+                          payload=payload,
+                          sequence_number=sequence_number)
             result.devices = self._converge(fleet.devices, "device",
-                                            window_us, max_windows,
+                                            options,
                                             sequence_number=sequence_number,
                                             spec=spec)
             if result.converged:
@@ -692,10 +991,12 @@ class FleetPublisher:
                 result.reason = "; ".join(parts)
             return self._mark_quarantined(result)
 
+        canary_count = options.canary_count
         if not 1 <= canary_count <= len(fleet.devices):
             raise ValueError(
                 f"canary_count {canary_count} outside 1..{len(fleet.devices)}"
             )
+        health_gate = options.health_gate
         if health_gate is None:
             health_gate = HealthGate()
         canaries = fleet.devices[:canary_count]
@@ -730,18 +1031,20 @@ class FleetPublisher:
                 else:
                     groups.append((target_spec, [device]))
             for target_spec, members in groups:
-                rollback_envelope, _, rollback_seq = self._sign(
-                    target_spec, None, None)
-                self._trigger(members, rollback_envelope)
+                rollback_envelope, rollback_payload, rollback_seq = \
+                    self._sign(target_spec, None, None)
+                self._trigger(members, rollback_envelope, options,
+                              payload=rollback_payload,
+                              sequence_number=rollback_seq)
                 result.devices.extend(self._converge(
-                    members, "rollback", window_us, max_windows,
+                    members, "rollback", options,
                     sequence_number=rollback_seq, spec=target_spec))
             return self._mark_quarantined(result)
 
         # 1. Canary: trigger and converge the subset only.
-        self._trigger(canaries, envelope)
-        canary_rows = self._converge(canaries, "canary", window_us,
-                                     max_windows,
+        self._trigger(canaries, envelope, options,
+                      sequence_number=sequence_number)
+        canary_rows = self._converge(canaries, "canary", options,
                                      sequence_number=sequence_number,
                                      spec=spec)
         result.devices = canary_rows
@@ -764,8 +1067,8 @@ class FleetPublisher:
 
         # 2. Bake + health gate, exactly as the direct canary rollout.
         result.fault_deltas, result.health = fleet._bake_and_gate(
-            canaries, rest, spec, bake_us, bake_fires, bake_hooks,
-            bake_context, health_gate,
+            canaries, rest, spec, options.bake_us, options.bake_fires,
+            options.bake_hooks, options.bake_context, health_gate,
         )
         unhealthy = {name: problems
                      for name, problems in result.health.items() if problems}
@@ -779,9 +1082,9 @@ class FleetPublisher:
             )
 
         # 3. Promote: the rest of the fleet rides the warmed cache.
-        self._trigger(rest, envelope)
-        control_rows = self._converge(rest, "control", window_us,
-                                      max_windows,
+        self._trigger(rest, envelope, options,
+                      sequence_number=sequence_number)
+        control_rows = self._converge(rest, "control", options,
                                       sequence_number=sequence_number,
                                       spec=spec)
         result.devices.extend(control_rows)
@@ -796,8 +1099,8 @@ class FleetPublisher:
                 list(canaries) + promoted_ok)
         result.promoted = True
         result.reason = (
-            f"{len(canaries)} canaries baked {bake_us:.0f} us healthy, "
-            f"{len(rest)} devices promoted"
+            f"{len(canaries)} canaries baked {options.bake_us:.0f} us "
+            f"healthy, {len(rest)} devices promoted"
         )
         fleet.current_spec = spec
         return self._mark_quarantined(result)

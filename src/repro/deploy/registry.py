@@ -1,0 +1,87 @@
+"""The fleet's single source of truth for device membership.
+
+Before the control plane existed, three objects each kept their own
+device list — :class:`~repro.deploy.fleet.Fleet` (a plain list),
+:class:`~repro.deploy.publish.FleetPublisher` (linear scans by name),
+and the canary staging logic (positional slices).  A 1,000-device
+publish turned those scans into O(N²) behavior, and registering or
+evicting a device after construction had no single place to happen.
+
+:class:`DeviceRegistry` is that place: an insertion-ordered name →
+device map with O(1) lookup, a stable per-device **wiring index** (used
+for radio address allocation — indices are never reused, so a device
+registered after an eviction cannot collide with in-flight frames
+addressed to its predecessor), and a cached list view so the many
+existing ``fleet.devices[...]`` call sites keep their list semantics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.deploy.fleet import FleetDevice
+
+
+class DeviceRegistry:
+    """Insertion-ordered device membership with O(1) name lookup."""
+
+    def __init__(self) -> None:
+        self._devices: dict[str, "FleetDevice"] = {}
+        self._indices: dict[str, int] = {}
+        self._next_index = 0
+        self._view: list["FleetDevice"] | None = None
+
+    @property
+    def next_index(self) -> int:
+        """Wiring index the next registered device will receive."""
+        return self._next_index
+
+    def register(self, device: "FleetDevice") -> int:
+        """Add one device; returns its permanent wiring index."""
+        if device.name in self._devices:
+            raise ValueError(
+                f"device {device.name!r} is already registered")
+        index = self._next_index
+        self._next_index += 1
+        self._devices[device.name] = device
+        self._indices[device.name] = index
+        self._view = None
+        return index
+
+    def evict(self, name: str) -> "FleetDevice":
+        """Remove one device from the fleet; its index is retired."""
+        device = self.get(name)
+        del self._devices[name]
+        del self._indices[name]
+        self._view = None
+        return device
+
+    def get(self, name: str) -> "FleetDevice":
+        try:
+            return self._devices[name]
+        except KeyError:
+            raise KeyError(f"no fleet device named {name!r}") from None
+
+    def index_of(self, name: str) -> int:
+        """The device's permanent wiring (radio address) index."""
+        self.get(name)  # uniform KeyError message
+        return self._indices[name]
+
+    def devices(self) -> list["FleetDevice"]:
+        """List view in registration order (cached between mutations)."""
+        if self._view is None:
+            self._view = list(self._devices.values())
+        return self._view
+
+    def names(self) -> list[str]:
+        return list(self._devices)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._devices
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    def __iter__(self) -> Iterator["FleetDevice"]:
+        return iter(self.devices())

@@ -1,0 +1,71 @@
+"""One result protocol for every fleet-shaped outcome.
+
+Three result types grew up independently —
+:class:`~repro.deploy.fleet.FleetRollout` (direct applies),
+:class:`~repro.deploy.fleet.CanaryRollout` (staged applies) and
+:class:`~repro.deploy.publish.PublishResult` (over-the-air publishes) —
+and every caller special-cased which attribute meant "did it work" and
+which list held the per-device rows.  :class:`FleetResult` is the shared
+protocol they now all implement:
+
+* ``ok`` — one boolean verdict (promoted / converged / applied);
+* ``wall_s`` — total host wall-clock across the per-device rows;
+* ``speedups()`` — wall speedup of each later device over the first
+  (cold) one, the image-cache headline every bench guards;
+* iteration — ``for row in result`` walks the per-device rows, and
+  ``len(result)`` counts them.
+
+Subclasses keep their historical attribute names (``devices``,
+``canary``/``control``/``rollback``, ``promoted``, ``converged``) as
+thin aliases over the protocol, so existing callers never notice.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+
+class FleetResult:
+    """Protocol base for fleet-wide results with per-device rows."""
+
+    def rows(self) -> Sequence:
+        """Per-device rows, in convergence order."""
+        raise NotImplementedError
+
+    def speedup_rows(self) -> Sequence:
+        """Rows entering the cold-vs-warm comparison (subclasses drop
+        rollback rows — those measure the *undo*, not the publish)."""
+        return self.rows()
+
+    @property
+    def ok(self) -> bool:
+        """One verdict for the whole operation."""
+        return True
+
+    @property
+    def wall_s(self) -> float:
+        """Total host wall-clock across the per-device rows."""
+        return sum(row.wall_s for row in self.rows())
+
+    def speedups(self) -> list[float]:
+        """Wall speedup of each later device over the first (cold) one.
+
+        The first device pays the cold host-side verify + JIT compile;
+        every later device rides the content-addressed image cache.
+        """
+        rows = list(self.speedup_rows())
+        if len(rows) < 2:
+            return []
+        cold = rows[0].wall_s
+        return [cold / max(row.wall_s, 1e-9) for row in rows[1:]]
+
+    def __iter__(self) -> Iterator:
+        return iter(self.rows())
+
+    def __len__(self) -> int:
+        return len(self.rows())
+
+    def __bool__(self) -> bool:
+        # ``__len__`` alone would make an empty result falsy; a result
+        # object's truthiness must stay "it exists", not "it has rows".
+        return True

@@ -1,0 +1,90 @@
+"""Deterministic shard partitioning for the fleet co-run loop.
+
+:meth:`~repro.deploy.publish.FleetPublisher._converge` co-runs every
+still-pending device kernel in interleaved virtual-time windows.  At
+1,000+ devices the bookkeeping of that single flat loop dominates:
+every window walks the full device list even when most of the fleet
+already converged.  A :class:`ShardExecutor` partitions the devices
+into round-robin shards with an independent pending set per shard, so
+a window skips a fully-converged shard in one set operation instead of
+N membership probes, and the tail of a publish (a few stragglers in a
+huge fleet) touches only the shards that still hold them.
+
+Everything here is **wall-clock structure only**.  Shard assignment is
+a pure function of device order and shard count (``devices[i::k]``),
+so seeded chaos sweeps stay reproducible, and the executor never
+touches a virtual clock: each device's kernel is still advanced in
+full, whichever shard it lands in — modelled cycles are bit-identical
+across any shard count (the shard-determinism regression test pins
+this).  With ``shards=1`` the iteration order degenerates to exactly
+the historical flat loop.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.deploy.fleet import FleetDevice
+
+#: Target devices per shard when the shard count is chosen automatically.
+DEVICES_PER_SHARD = 64
+#: Upper bound on automatically chosen shard counts.
+MAX_AUTO_SHARDS = 16
+
+
+def auto_shard_count(device_count: int) -> int:
+    """Shard count for a fleet of ``device_count`` devices.
+
+    Aims for :data:`DEVICES_PER_SHARD` devices per shard, clamped to
+    ``1..MAX_AUTO_SHARDS``; tiny fleets run single-shard.
+    """
+    return max(1, min(MAX_AUTO_SHARDS,
+                      (device_count + DEVICES_PER_SHARD - 1)
+                      // DEVICES_PER_SHARD))
+
+
+class ShardExecutor:
+    """Round-robin device shards with per-shard pending tracking."""
+
+    def __init__(self, devices: Sequence["FleetDevice"],
+                 shards: int | None = 1) -> None:
+        if shards is None:
+            shards = auto_shard_count(len(devices))
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {shards}")
+        self.shard_count = min(shards, len(devices)) or 1
+        #: Deterministic assignment: device ``i`` lands in shard
+        #: ``i % shard_count`` — stable across runs for a fixed fleet
+        #: order, independent of anything random.
+        self.shards: list[list["FleetDevice"]] = [
+            list(devices[i::self.shard_count])
+            for i in range(self.shard_count)
+        ]
+        self._shard_names = [frozenset(device.name for device in shard)
+                             for shard in self.shards]
+        self.pending: set[str] = {device.name for device in devices}
+
+    def assignment(self) -> dict[str, int]:
+        """Device name → shard index (for tests and status reporting)."""
+        return {device.name: index
+                for index, shard in enumerate(self.shards)
+                for device in shard}
+
+    def discard(self, name: str) -> None:
+        """Mark one device converged (idempotent)."""
+        self.pending.discard(name)
+
+    def __bool__(self) -> bool:
+        return bool(self.pending)
+
+    def iter_pending(self) -> Iterator["FleetDevice"]:
+        """Still-pending devices, shard by shard, fleet order inside
+        each shard.  Converged shards are skipped in one set probe.
+        With one shard this is exactly the historical flat-loop order."""
+        for shard, names in zip(self.shards, self._shard_names):
+            if self.pending.isdisjoint(names):
+                continue
+            for device in shard:
+                if device.name in self.pending:
+                    yield device

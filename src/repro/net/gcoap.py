@@ -32,8 +32,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.engine import HostingEngine
     from repro.rtos.kernel import Kernel
 
-#: A handler takes the request and returns the response message.
-Handler = Callable[[CoapMessage, Datagram], CoapMessage]
+#: A handler takes the request and returns the response message, or
+#: ``None`` to suppress the response (group-addressed NON requests).
+Handler = Callable[[CoapMessage, Datagram], "CoapMessage | None"]
 
 
 @dataclass
@@ -142,6 +143,12 @@ class CoapServer:
         else:
             resource.requests += 1
             reply = resource.handler(request, datagram)
+        if reply is None:
+            # RFC 7390-style group semantics: a handler may suppress its
+            # response entirely (multicast NON requests must not trigger
+            # N simultaneous replies).  Only meaningful for NON traffic —
+            # a suppressed CON would just be retransmitted by the peer.
+            return
         raw = reply.encode()
         if request.mtype == coap.CON:
             self._dedup[key] = raw

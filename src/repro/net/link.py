@@ -69,6 +69,10 @@ class Link:
         self.latency_us = latency_us
         self._rng = random.Random(seed)
         self._interfaces: dict[str, Interface] = {}
+        #: RFC 7390-style group membership: group address → (member
+        #: address → member interface).  Kept separate from unicast
+        #: addressing so a group address can never shadow a device.
+        self._groups: dict[str, dict[str, Interface]] = {}
         self.stats = LinkStats()
 
     def attach(self, iface: Interface) -> Interface:
@@ -94,14 +98,46 @@ class Link:
         if iface is not None:
             iface.receive = None
             iface.link = None
+        # Group membership is deliberately left alone: the dead
+        # interface stays in its groups (skipped at delivery, like any
+        # in-flight unicast frame) and a rebooted incarnation replaces
+        # it in place when it re-joins, keeping the member order — and
+        # therefore the seeded loss-dice order — stable.
+
+    # -- group (multicast) addressing -----------------------------------
+
+    def join(self, group_addr: str, iface: Interface) -> None:
+        """Subscribe one interface to a group address.
+
+        Re-joining under the same unicast address (a rebooted device's
+        new radio incarnation) replaces the old membership in place.
+        """
+        if group_addr in self._interfaces:
+            raise ValueError(
+                f"{group_addr!r} is a unicast address, not a group")
+        self._groups.setdefault(group_addr, {})[iface.addr] = iface
+
+    def leave(self, group_addr: str, addr: str) -> None:
+        """Unsubscribe one member address from a group (idempotent)."""
+        self._groups.get(group_addr, {}).pop(addr, None)
+
+    def group_members(self, group_addr: str) -> list[str]:
+        """Member addresses of one group, join order."""
+        return list(self._groups.get(group_addr, {}))
 
     def transmit(self, src: Interface, dst_addr: str, payload: bytes) -> None:
         """Send one datagram; it arrives fragmented, delayed, or not at all.
 
         The whole datagram is lost if *any* fragment is lost (link-layer
         reassembly has no ARQ here; reliability belongs to CoAP CON/ACK).
+
+        A ``dst_addr`` naming a group delivers to every live member: the
+        sender puts the fragments on the air **once** (one airtime cost,
+        one set of TX stats — the whole point of multicast), and each
+        member rolls its own independent loss dice, because fading is
+        per-receiver on a real radio.  Member order — and therefore the
+        seeded dice order — is join order.
         """
-        dst = self._interfaces.get(dst_addr)
         fragments = max(1, -(-len(payload) // FRAME_PAYLOAD))
         airtime_us = (
             fragments * self.latency_us
@@ -111,17 +147,10 @@ class Link:
         self.stats.bytes_sent += len(payload)
         src.stats.frames_sent += fragments
         src.stats.bytes_sent += len(payload)
-        if dst is None:
-            return  # no such destination: the frames vanish into the ether
-        for _ in range(fragments):
-            if self._rng.random() < self.loss:
-                self.stats.frames_dropped += 1
-                src.stats.frames_dropped += 1
-                return
         data = bytes(payload)
         src_addr = src.addr
 
-        def deliver() -> None:
+        def deliver_to(dst: Interface) -> None:
             if dst.receive is None:
                 return  # radio died (detached) while the frames were in flight
             self.stats.datagrams_delivered += 1
@@ -129,4 +158,27 @@ class Link:
             dst.stats.bytes_received += len(data)
             dst.receive(data, src_addr)
 
-        self.kernel.timers.set(deliver, airtime_us)
+        members = self._groups.get(dst_addr)
+        if members is not None:
+            for member in members.values():
+                if member is src or member.receive is None:
+                    # The sender never hears itself; a dead radio is
+                    # skipped before the dice, like a missing unicast dst.
+                    continue
+                if any(self._rng.random() < self.loss
+                       for _ in range(fragments)):
+                    self.stats.frames_dropped += 1
+                    continue
+                self.kernel.timers.set(
+                    lambda dst=member: deliver_to(dst), airtime_us)
+            return
+
+        dst = self._interfaces.get(dst_addr)
+        if dst is None:
+            return  # no such destination: the frames vanish into the ether
+        for _ in range(fragments):
+            if self._rng.random() < self.loss:
+                self.stats.frames_dropped += 1
+                src.stats.frames_dropped += 1
+                return
+        self.kernel.timers.set(lambda: deliver_to(dst), airtime_us)

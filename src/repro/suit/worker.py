@@ -154,6 +154,16 @@ class SuitUpdateWorker:
             # after boot, before any trigger can race the restore.
             self.storage.restore()
         self.results: list[UpdateResult] = []
+        #: Publish-scoped decode memo, set by the fleet control plane on
+        #: the workers of one release's target devices (``None`` on a
+        #: standalone worker).  Maps raw envelope bytes to the decoded
+        #: ``(envelope, manifest)`` pair (and, for spec workers, payload
+        #: bytes to the decoded spec) so a 1,000-device publish decodes
+        #: each artifact once.  **Wall-clock only**: the modelled verify
+        #: and digest cycles are still charged per device in full, and
+        #: the decoded objects are immutable (frozen dataclasses), so
+        #: sharing them cannot leak state between devices.
+        self.release_cache: dict | None = None
         self.on_result: Callable[[UpdateResult], None] | None = None
         #: Kill-point hook: called with each step name in
         #: :data:`KILL_POINTS` as the pipeline crosses that boundary.
@@ -163,16 +173,29 @@ class SuitUpdateWorker:
         #: Last pipeline boundary crossed (observability for sweeps).
         self.last_step: str | None = None
         self._queue = self.kernel.new_event_queue(self.thread_name)
-        self._backlog: list[bytes] = []
+        self._backlog: list[tuple[bytes, bytes | None]] = []
         self.thread = self.kernel.create_thread(
             self.thread_name, self._worker, priority=8, stack_size=4096
         )
 
     # -- triggers ----------------------------------------------------------
 
-    def trigger(self, envelope_bytes: bytes) -> None:
-        """Queue one update (what the CoAP trigger endpoint calls)."""
-        self._queue.post_new("trigger", bytes(envelope_bytes))
+    def trigger(self, envelope_bytes: bytes,
+                payload: bytes | None = None) -> None:
+        """Queue one update (what the CoAP trigger endpoint calls).
+
+        ``payload`` is a SUIT *integrated payload*: the trigger already
+        carried the image alongside the envelope (a multicast publish
+        broadcasts both in one frame), so the worker skips the per-device
+        block-wise fetch.  The payload is still digest-checked against
+        the signed manifest — an integrated payload changes the radio
+        path, never the trust path.
+        """
+        self._queue.post_new(
+            "trigger",
+            (bytes(envelope_bytes),
+             bytes(payload) if payload is not None else None),
+        )
 
     def register_trigger_resource(self, server: "CoapServer",
                                   path: str = "/suit/trigger") -> None:
@@ -191,14 +214,14 @@ class SuitUpdateWorker:
     def _worker(self, thread):
         while True:
             if self._backlog:
-                raw = self._backlog.pop(0)
+                raw, inline = self._backlog.pop(0)
             else:
                 event = yield Wait(self._queue)
                 if event.kind != "trigger":
                     continue
-                raw = event.payload
+                raw, inline = event.payload
             started_us = self.kernel.now_us
-            outcome = yield from self._process(thread, raw)
+            outcome = yield from self._process(thread, raw, inline)
             outcome.duration_us = self.kernel.now_us - started_us
             self.results.append(outcome)
             if self.on_result is not None:
@@ -210,13 +233,23 @@ class SuitUpdateWorker:
         if self.on_step is not None:
             self.on_step(step)
 
-    def _process(self, thread, raw: bytes):
-        # 1. Decode and authenticate the envelope.
-        try:
-            envelope = SuitEnvelope.decode(raw)
-            manifest = envelope.manifest()
-        except Exception as exc:  # any malformed input is one status
-            return UpdateResult(UpdateStatus.MALFORMED, str(exc))
+    def _process(self, thread, raw: bytes, inline: bytes | None = None):
+        # 1. Decode and authenticate the envelope.  The publish-scoped
+        # release cache shares the *decoded objects* (frozen, immutable)
+        # across a fleet's workers — a wall-clock-only effect; every
+        # modelled cycle below is still charged on this device's clock.
+        cached = (self.release_cache.get(("envelope", raw))
+                  if self.release_cache is not None else None)
+        if cached is not None:
+            envelope, manifest = cached
+        else:
+            try:
+                envelope = SuitEnvelope.decode(raw)
+                manifest = envelope.manifest()
+            except Exception as exc:  # any malformed input is one status
+                return UpdateResult(UpdateStatus.MALFORMED, str(exc))
+            if self.release_cache is not None:
+                self.release_cache[("envelope", raw)] = (envelope, manifest)
         self._mark("decoded")
         thread.charge(SIG_VERIFY_CYCLES)
         if not envelope.verify(self.trust_anchor):
@@ -256,38 +289,47 @@ class SuitUpdateWorker:
             return UpdateResult(UpdateStatus.STORAGE_FULL, str(exc), manifest)
         self._mark("reserved")
 
-        # 3. Fetch the payload block-wise from the repository, resuming
-        # from any checkpointed progress of a previous interrupted
-        # attempt at this exact payload.
-        self.client.get_blockwise(
-            self.repo_addr,
-            self.repo_port,
-            manifest.uri,
-            on_complete=lambda blob: self._queue.post_new("payload", blob),
-            on_error=lambda msg: self._queue.post_new("fetch-error", msg),
-            max_size=manifest.size,
-            on_block=lambda acc: self._checkpoint_fetch(manifest, acc),
-            resume_from=self._fetch_resume(manifest),
-        )
-        while True:
-            event = yield Wait(self._queue)
-            if event.kind == "trigger":
-                self._backlog.append(event.payload)
-                continue
-            if event.kind in ("payload", "fetch-error"):
-                break
-            # Anything else on the queue — a stray or future event kind —
-            # is not a fetch outcome; misreading it as one would corrupt
-            # the pipeline.  Keep waiting.
-        if event.kind == "fetch-error":
-            # Return the reservation: a failed fetch must not turn the
-            # bounded storage budget into a dead empty slot.  The fetch
-            # checkpoint is deliberately kept: the next trigger for the
-            # same payload resumes from the last received block.
-            self.storage.release_if_empty(manifest.storage_location)
-            return UpdateResult(UpdateStatus.FETCH_FAILED, event.payload,
-                                manifest)
-        payload: bytes = event.payload
+        # 3. Obtain the payload.  A trigger that carried a SUIT
+        # integrated payload already has it — no radio round-trips, no
+        # checkpointing, and FETCH_FAILED is impossible on this path.
+        # Otherwise fetch block-wise from the repository, resuming from
+        # any checkpointed progress of a previous interrupted attempt at
+        # this exact payload.
+        if inline is not None:
+            payload = inline
+        else:
+            self.client.get_blockwise(
+                self.repo_addr,
+                self.repo_port,
+                manifest.uri,
+                on_complete=lambda blob: self._queue.post_new("payload",
+                                                              blob),
+                on_error=lambda msg: self._queue.post_new("fetch-error",
+                                                          msg),
+                max_size=manifest.size,
+                on_block=lambda acc: self._checkpoint_fetch(manifest, acc),
+                resume_from=self._fetch_resume(manifest),
+            )
+            while True:
+                event = yield Wait(self._queue)
+                if event.kind == "trigger":
+                    self._backlog.append(event.payload)
+                    continue
+                if event.kind in ("payload", "fetch-error"):
+                    break
+                # Anything else on the queue — a stray or future event
+                # kind — is not a fetch outcome; misreading it as one
+                # would corrupt the pipeline.  Keep waiting.
+            if event.kind == "fetch-error":
+                # Return the reservation: a failed fetch must not turn
+                # the bounded storage budget into a dead empty slot.
+                # The fetch checkpoint is deliberately kept: the next
+                # trigger for the same payload resumes from the last
+                # received block.
+                self.storage.release_if_empty(manifest.storage_location)
+                return UpdateResult(UpdateStatus.FETCH_FAILED,
+                                    event.payload, manifest)
+            payload = event.payload
         self._mark("fetched")
 
         # 4. Integrity check, then store and activate.

@@ -1,0 +1,239 @@
+"""Control-plane facade: registry, releases, orchestration, status rows.
+
+:class:`~repro.deploy.ControlPlane` is the long-lived maintainer
+service: one :class:`~repro.deploy.DeviceRegistry` shared by fleet and
+publisher, signed :class:`~repro.deploy.Release` records, publish and
+canary orchestration with the fleet-scale profile, and streamed typed
+per-device status rows.  These tests also pin the unified result
+protocol (``ok``/``wall_s``/``speedups()``/iterable rows) across
+``FleetRollout``, ``CanaryRollout`` and ``PublishResult``, and the
+``PublishOptions`` migration path for legacy keyword callers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FC_HOOK_FANOUT
+from repro.core.hooks import HookMode
+from repro.deploy import (
+    AttachmentSpec,
+    CanaryRollout,
+    DeploymentSpec,
+    FleetResult,
+    FleetRollout,
+    HookSpec,
+    ImageSpec,
+    PublishOptions,
+    PublishResult,
+    Release,
+)
+from repro.scenarios import build_control_plane, build_fleet_publisher
+from repro.vm import assemble
+from repro.vm.imagecache import IMAGE_CACHE
+
+GOOD = "mov r0, 7\n    exit"
+BETTER = "mov r0, 8\n    exit"
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    IMAGE_CACHE.clear()
+    yield
+    IMAGE_CACHE.clear()
+
+
+def make_spec(source: str, name: str = "release") -> DeploymentSpec:
+    return DeploymentSpec(
+        name=name,
+        tenants=("ops",),
+        hooks=(HookSpec(FC_HOOK_FANOUT, HookMode.SYNC),),
+        images={"app": ImageSpec.from_program(assemble(source, name="app"))},
+        attachments=(AttachmentSpec(image="app", hook=FC_HOOK_FANOUT,
+                                    tenant="ops", name="worker", count=2),),
+    )
+
+
+class TestRegistry:
+    def test_fleet_and_publisher_share_one_registry(self):
+        plane = build_control_plane(devices=3)
+        assert plane.registry is plane.fleet.registry
+        assert [d.name for d in plane.devices()] == ["dev0", "dev1", "dev2"]
+        assert plane.device("dev1") is plane.fleet.devices[1]
+
+    def test_register_at_runtime_joins_publishes(self):
+        plane = build_control_plane(devices=2)
+        late = plane.register()
+        assert late.name == "dev2" and len(plane) == 3
+        result = plane.publish(make_spec(GOOD, "v1"))
+        assert result.ok
+        assert {row.device.name for row in result.rows()} \
+            == {"dev0", "dev1", "dev2"}
+
+    def test_duplicate_name_is_rejected(self):
+        plane = build_control_plane(devices=2)
+        with pytest.raises(ValueError, match="already registered"):
+            plane.register(name="dev1")
+
+    def test_evicted_device_leaves_the_air(self):
+        plane = build_control_plane(devices=3)
+        gone = plane.evict("dev1")
+        assert gone.name == "dev1" and len(plane) == 2
+        with pytest.raises(KeyError, match="no fleet device"):
+            plane.device("dev1")
+        result = plane.publish(make_spec(GOOD, "v1"))
+        assert result.ok
+        assert {row.device.name for row in result.rows()} == {"dev0", "dev2"}
+
+    def test_retired_indices_are_never_reused(self):
+        """A device registered after an eviction must not inherit the
+        dead device's radio address (in-flight frames!)."""
+        plane = build_control_plane(devices=3)
+        plane.evict("dev2")
+        replacement = plane.register()
+        assert replacement.name == "dev3"
+        assert plane.registry.index_of("dev3") == 3
+
+    def test_evict_unknown_device_raises(self):
+        plane = build_control_plane(devices=2)
+        with pytest.raises(KeyError, match="no fleet device"):
+            plane.evict("dev9")
+
+
+class TestReleases:
+    def test_submit_signs_and_sequences(self):
+        plane = build_control_plane(devices=2)
+        one = plane.submit(make_spec(GOOD, "v1"))
+        two = plane.submit(make_spec(BETTER, "v2"))
+        assert isinstance(one, Release)
+        assert (one.sequence_number, two.sequence_number) == (1, 2)
+        assert one.name == "v1@1"
+        assert one.envelope and one.payload
+        assert plane.releases == [one, two]
+
+    def test_publishing_a_release_uses_its_sequence(self):
+        plane = build_control_plane(devices=3)
+        release = plane.submit(make_spec(GOOD, "v1"))
+        result = plane.publish(release)
+        assert result.ok
+        assert result.sequence_number == release.sequence_number
+        assert all(row.sequence == release.sequence_number
+                   for row in plane.status())
+
+    def test_publishing_a_bare_spec_submits_implicitly(self):
+        plane = build_control_plane(devices=2)
+        result = plane.publish(make_spec(GOOD, "v1"))
+        assert result.ok
+        assert len(plane.releases) == 1
+        assert plane.releases[0].sequence_number == result.sequence_number
+
+    def test_plane_publish_defaults_to_the_scale_profile(self):
+        plane = build_control_plane(devices=4)
+        result = plane.publish(make_spec(GOOD, "v1"))
+        assert result.multicast
+
+    def test_canary_is_staged_and_health_gated(self):
+        plane = build_control_plane(devices=4)
+        plane.publish(make_spec(GOOD, "v1"))
+        result = plane.canary(make_spec(BETTER, "v2"), canary_count=1,
+                              options=PublishOptions.scale(
+                                  bake_us=200_000.0))
+        assert result.ok and result.promoted
+        roles = [row.role for row in result.rows()]
+        assert roles.count("canary") == 1
+        assert roles.count("control") == 3
+
+
+class TestStatusRows:
+    def test_streams_one_typed_row_per_device(self):
+        plane = build_control_plane(devices=3)
+        release = plane.submit(make_spec(GOOD, "v1"))
+        plane.publish(release)
+        rows = list(plane.status())
+        assert [row.name for row in rows] == ["dev0", "dev1", "dev2"]
+        assert [row.index for row in rows] == [0, 1, 2]
+        for row in rows:
+            assert row.board == "nrf52840"
+            assert row.sequence == release.sequence_number
+            assert row.spec == "v1"
+            assert row.reboots == 0 and not row.halted
+            assert row.cycles > 0
+            assert row.radio_uj > 0.0
+
+    def test_unpublished_fleet_reports_zero_sequence(self):
+        plane = build_control_plane(devices=2)
+        for row in plane.status():
+            assert row.sequence == 0 and row.spec is None
+
+
+class TestResultProtocol:
+    def test_all_three_results_share_the_protocol(self):
+        plane = build_control_plane(devices=3)
+        published = plane.publish(make_spec(GOOD, "v1"))
+        applied = plane.fleet.apply(make_spec(GOOD, "v1"))
+        staged = plane.fleet.canary_rollout(make_spec(BETTER, "v2"),
+                                            canary_count=1,
+                                            bake_us=200_000.0)
+        for result in (published, applied, staged):
+            assert isinstance(result, FleetResult)
+            assert result.ok is True
+            assert result.wall_s >= 0.0
+            rows = list(result)  # iterable per-device rows
+            assert rows == result.rows() and len(result) == len(rows)
+            speedups = result.speedups()
+            assert all(s > 0.0 for s in speedups)
+
+    def test_old_attribute_names_still_work(self):
+        plane = build_control_plane(devices=2)
+        published = plane.publish(make_spec(GOOD, "v1"))
+        assert isinstance(published, PublishResult)
+        assert published.devices == published.rows()
+        assert published.converged is published.ok
+
+        applied = plane.fleet.apply(make_spec(GOOD, "v1"))
+        assert isinstance(applied, FleetRollout)
+        assert applied.devices == applied.rows()
+
+        staged = plane.fleet.canary_rollout(make_spec(BETTER, "v2"),
+                                            canary_count=1,
+                                            bake_us=200_000.0)
+        assert isinstance(staged, CanaryRollout)
+        assert staged.devices == staged.rows()
+        assert staged.promoted is staged.ok
+
+    def test_results_are_always_truthy(self):
+        """``if result:`` must not silently flip on empty row lists."""
+        plane = build_control_plane(devices=2)
+        result = plane.publish(make_spec(GOOD, "v1"))
+        assert bool(result)
+
+
+class TestPublishOptions:
+    def test_defaults_are_the_legacy_behavior(self):
+        options = PublishOptions()
+        assert not options.multicast
+        assert options.shards == 1
+        assert not options.share_release
+        assert options.legacy() == options
+
+    def test_scale_profile_turns_the_knobs(self):
+        options = PublishOptions.scale()
+        assert options.multicast
+        assert options.shards is None  # auto-sized
+        assert options.share_release
+
+    def test_legacy_kwargs_warn_but_work(self):
+        publisher = build_fleet_publisher(devices=2)
+        with pytest.warns(DeprecationWarning, match="PublishOptions"):
+            result = publisher.publish(make_spec(GOOD, "v1"),
+                                       max_windows=2000)
+        assert result.ok
+
+    def test_positional_sequence_number_still_accepted(self):
+        publisher = build_fleet_publisher(devices=2)
+        first = publisher.publish(make_spec(GOOD, "v1"))
+        with pytest.warns(DeprecationWarning, match="PublishOptions"):
+            replay = publisher.publish(make_spec(GOOD, "v1"),
+                                       first.sequence_number)
+        assert not replay.ok  # anti-rollback refuses the replay
+        assert replay.sequence_number == first.sequence_number

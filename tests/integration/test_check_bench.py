@@ -190,6 +190,43 @@ def test_supervisor_without_quarantine_fails(bench_dir, capsys):
     assert "quarantined_devices" in capsys.readouterr().out
 
 
+def test_fleet_scale_below_speedup_bar_fails(bench_dir, capsys):
+    record = json.loads((bench_dir / "BENCH_fleet_scale.json").read_text())
+    slower = record["unicast"]["devices_per_s"] * 1.5  # barely faster now
+    record["multicast"]["devices_per_s"] = slower
+    record["scale_speedup"] = round(
+        slower / record["unicast"]["devices_per_s"], 2)
+    (bench_dir / "BENCH_fleet_scale.json").write_text(json.dumps(record))
+    assert check_bench.main([str(bench_dir)]) == 1
+    assert "bar" in capsys.readouterr().out
+
+
+def test_fleet_scale_inconsistent_speedup_fails(bench_dir, capsys):
+    record = json.loads((bench_dir / "BENCH_fleet_scale.json").read_text())
+    record["scale_speedup"] = 99.0  # lies about the devices/s ratio
+    (bench_dir / "BENCH_fleet_scale.json").write_text(json.dumps(record))
+    assert check_bench.main([str(bench_dir)]) == 1
+    assert "does not match" in capsys.readouterr().out
+
+
+def test_fleet_scale_small_fleet_fails(bench_dir, capsys):
+    record = json.loads((bench_dir / "BENCH_fleet_scale.json").read_text())
+    record["devices_total"] = 64  # not a scale-out measurement
+    (bench_dir / "BENCH_fleet_scale.json").write_text(json.dumps(record))
+    assert check_bench.main([str(bench_dir)]) == 1
+    assert "1000" in capsys.readouterr().out
+
+
+def test_fleet_scale_chatty_trigger_fails(bench_dir, capsys):
+    record = json.loads((bench_dir / "BENCH_fleet_scale.json").read_text())
+    chatty = record["unicast"]["trigger_bytes_per_device"]  # no savings
+    record["multicast"]["trigger_bytes_per_device"] = chatty
+    record["trigger_bytes_ratio"] = 1.0
+    (bench_dir / "BENCH_fleet_scale.json").write_text(json.dumps(record))
+    assert check_bench.main([str(bench_dir)]) == 1
+    assert "airtime" in capsys.readouterr().out
+
+
 def test_stray_record_fails(bench_dir, capsys):
     (bench_dir / "BENCH_mystery.json").write_text("{}")
     assert check_bench.main([str(bench_dir)]) == 1

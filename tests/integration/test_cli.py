@@ -172,8 +172,8 @@ class TestCli:
 
     def test_chaos_demo(self):
         code, text = run_cli("chaos", "--devices", "3", "--seed", "11",
-                             "--crashes", "1", "--bursts", "1",
-                             "--stalls", "0")
+                             "--loss", "0.10", "--crashes", "1",
+                             "--bursts", "1", "--stalls", "0")
         assert code == 0
         assert "seeded fault plan" in text
         assert "converged: True" in text

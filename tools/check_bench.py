@@ -397,6 +397,91 @@ def check_supervisor(record: dict) -> list[str]:
     ]
 
 
+def check_fleet_scale(record: dict) -> list[str]:
+    _require(
+        record,
+        [
+            "workload",
+            "unit",
+            "python",
+            "devices_total",
+            "payload_bytes",
+            "unicast",
+            "multicast",
+            "scale_speedup",
+            "scale_speedup_bar",
+            "trigger_bytes_ratio",
+            "trigger_bytes_ratio_bar",
+        ],
+        "BENCH_fleet_scale",
+    )
+    total = _positive_number(record["devices_total"], "devices_total")
+    if total < 1000:
+        raise BenchError(
+            f"BENCH_fleet_scale: measured at only {total:.0f} devices "
+            "(the scale-out bar is N >= 1000)"
+        )
+    _positive_number(record["payload_bytes"], "payload_bytes")
+    for mode in ("unicast", "multicast"):
+        _require(
+            record[mode],
+            ["wall_s", "devices_per_s", "trigger_bytes_per_device"],
+            f"BENCH_fleet_scale.{mode}",
+        )
+        for key in ("wall_s", "devices_per_s", "trigger_bytes_per_device"):
+            _positive_number(record[mode][key], f"{mode}.{key}")
+    _positive_number(record["multicast"]["ack_sample"], "multicast.ack_sample")
+
+    speedup_bar = _positive_number(
+        record["scale_speedup_bar"], "scale_speedup_bar"
+    )
+    speedup = (
+        record["multicast"]["devices_per_s"]
+        / record["unicast"]["devices_per_s"]
+    )
+    recorded = _positive_number(record["scale_speedup"], "scale_speedup")
+    if abs(recorded - speedup) > max(0.05, 0.1 * speedup):
+        raise BenchError(
+            f"BENCH_fleet_scale: recorded scale_speedup {recorded} does "
+            f"not match devices_per_s ratio {speedup:.2f}"
+        )
+    if speedup < speedup_bar:
+        raise BenchError(
+            f"BENCH_fleet_scale: scale profile converged only "
+            f"{speedup:.2f}x the unicast baseline at N={total:.0f} "
+            f"(bar {speedup_bar}x)"
+        )
+
+    ratio_bar = _positive_number(
+        record["trigger_bytes_ratio_bar"], "trigger_bytes_ratio_bar"
+    )
+    ratio = (
+        record["multicast"]["trigger_bytes_per_device"]
+        / record["unicast"]["trigger_bytes_per_device"]
+    )
+    recorded_ratio = _positive_number(
+        record["trigger_bytes_ratio"], "trigger_bytes_ratio"
+    )
+    if abs(recorded_ratio - ratio) > max(0.005, 0.1 * ratio):
+        raise BenchError(
+            f"BENCH_fleet_scale: recorded trigger_bytes_ratio "
+            f"{recorded_ratio} does not match per-device bytes ratio "
+            f"{ratio:.4f}"
+        )
+    if ratio > ratio_bar:
+        raise BenchError(
+            f"BENCH_fleet_scale: multicast trigger spent "
+            f"{ratio:.2f}x the unicast airtime per device "
+            f"(bar {ratio_bar})"
+        )
+    return [
+        f"{total:.0f} devices converged off one publish, scale profile "
+        f"{speedup:.2f}x unicast (bar {speedup_bar}x)",
+        f"trigger airtime {ratio:.3f}x unicast per device "
+        f"(bar {ratio_bar})",
+    ]
+
+
 #: File name -> checker.  Every entry is required to exist.
 CHECKS = {
     "BENCH_throughput.json": check_throughput,
@@ -406,6 +491,7 @@ CHECKS = {
     "BENCH_publish.json": check_publish,
     "BENCH_chaos.json": check_chaos,
     "BENCH_supervisor.json": check_supervisor,
+    "BENCH_fleet_scale.json": check_fleet_scale,
 }
 
 
