@@ -726,7 +726,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="plan+apply a declarative deployment spec on a fresh device")
     p_deploy.add_argument("spec",
                           help="spec JSON file or builtin name "
-                               "(multi-tenant, fanout)")
+                               "(multi-tenant, fanout, wasm-checksum, "
+                               "script-checksum, runtime-matrix)")
     p_deploy.add_argument("--board", default="cortex-m4",
                           choices=sorted(BOARDS))
     p_deploy.add_argument("--impl", default="femto-containers",

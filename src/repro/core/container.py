@@ -72,6 +72,9 @@ class FemtoContainer:
     state: ContainerState = ContainerState.LOADED
     #: Filled at attach time by the hosting engine.
     vm: Interpreter | None = None
+    #: The :class:`~repro.runtimes.base.ContainerRuntime` that attached
+    #: this container (set by the engine; ``None`` before first attach).
+    runtime: object = None
     granted: GrantedPolicy | None = None
     hook: "Hook | None" = None
     local_store: KeyValueStore = field(default=None)  # type: ignore[assignment]

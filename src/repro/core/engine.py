@@ -41,9 +41,8 @@ from repro.core.tenant import Tenant
 from repro.rtos.kernel import Kernel
 from repro.rtos.saul import SaulRegistry
 from repro.rtos.thread import Wait
+from repro.runtimes.base import RUNTIME_DEFAULT, container_runtime
 from repro.vm.errors import VMFault
-from repro.vm.imagecache import IMAGE_CACHE
-from repro.vm.jit import CompiledProgram
 from repro.vm.memory import AccessList, MemoryRegion, Permission
 from repro.vm.program import Program
 from repro.vm.supervisor import ContainerSupervisor, SupervisorConfig
@@ -258,34 +257,19 @@ class HostingEngine:
                 region_grant.perms,
             ))
 
-        vm_class = VM_CLASSES[self.implementation]
-        self.kernel.clock.charge(
-            len(container.program.slots) * self.board.verify_cycles_per_slot
+        runtime = container_runtime(
+            getattr(container.program, "runtime", RUNTIME_DEFAULT)
         )
         try:
-            if vm_class is CompiledProgram:
-                # compile_program verifies internally, then transpiles.
-                vm = CompiledProgram(
-                    container.program, helpers=self.helpers,
-                    config=vm_config, access_list=access,
-                    verifier_config=verifier_config,
-                )
-                self.kernel.clock.charge(
-                    vm.install_instruction_count
-                    * self.board.jit_install_cycles_per_slot
-                )
-            else:
-                IMAGE_CACHE.verify(container.program, verifier_config)
-                vm = vm_class(
-                    container.program, helpers=self.helpers,
-                    config=vm_config, access_list=access,
-                )
+            vm = runtime.attach(self, container, granted, vm_config, access,
+                                verifier_config)
         except Exception as exc:
             raise AttachError(
                 f"container {container.name!r} rejected: {exc}"
             ) from exc
 
         container.vm = vm
+        container.runtime = runtime
         container.granted = granted
         container.hook = hook
         container.state = ContainerState.ATTACHED
@@ -460,8 +444,13 @@ class HostingEngine:
 
         if stats is None:
             stats = ExecutionStats()
-        cycles = board.vm_execution_cycles(
-            stats, self.implementation, self.helpers
+        runtime = container.runtime
+        cycles = (
+            runtime.execution_cycles(board, stats, self.implementation,
+                                     self.helpers)
+            if runtime is not None
+            else board.vm_execution_cycles(stats, self.implementation,
+                                           self.helpers)
         ) + board.vm_setup_cycles
         clock.charge(max(0, cycles - board.vm_setup_cycles))
         run = ContainerRun(

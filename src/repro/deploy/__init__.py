@@ -96,6 +96,9 @@ from repro.deploy.spec import (
     builtin_spec,
     fanout_spec,
     multi_tenant_spec,
+    runtime_matrix_spec,
+    script_checksum_spec,
+    wasm_checksum_spec,
 )
 
 __all__ = [
@@ -146,4 +149,7 @@ __all__ = [
     "fanout_spec",
     "multi_tenant_spec",
     "plan",
+    "runtime_matrix_spec",
+    "script_checksum_spec",
+    "wasm_checksum_spec",
 ]

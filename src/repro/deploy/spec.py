@@ -63,22 +63,54 @@ class ImageSpec:
     text: bytes
     rodata: bytes = b""
     data: bytes = b""
+    #: Which container runtime decodes/hosts these bytes.  Tag-less
+    #: specs (everything before runtimes were a spec dimension) are rBPF.
+    runtime: str = "rbpf"
 
     @classmethod
     def from_program(cls, program: Program, name: str | None = None) -> "ImageSpec":
         return cls(name=name or program.name, text=program.to_bytes(),
                    rodata=program.rodata, data=program.data)
 
-    def instantiate(self, name: str | None = None) -> Program:
-        """Decode a fresh :class:`Program` (the per-instance RAM copy).
+    @classmethod
+    def from_wasm(cls, source, name: str = "wasm-app") -> "ImageSpec":
+        """A mini-wasm image from wat-lite text, a Module or raw bytes."""
+        from repro.runtimes.wasm.module import Module
 
-        Every call returns a new Program with its own slot list, but the
-        slots themselves are decoded once per image and shared — they are
-        frozen value objects, so sharing is as safe as sharing the bytes.
-        The instance's content-hash cache is pre-seeded with this image's
-        hash (the same value it would compute from the same bytes), so
-        attaching N instances neither re-decodes nor re-hashes the image.
+        if isinstance(source, Module):
+            payload = source.encode()
+        elif isinstance(source, (bytes, bytearray)):
+            payload = bytes(source)
+        else:
+            from repro.runtimes.wasm.asm import assemble
+
+            payload = assemble(source).encode()
+        return cls(name=name, text=payload, runtime="wasm")
+
+    @classmethod
+    def from_script(cls, source, name: str = "script-app") -> "ImageSpec":
+        """A script image from source text (the payload *is* the source)."""
+        payload = (source.encode("utf-8") if isinstance(source, str)
+                   else bytes(source))
+        return cls(name=name, text=payload, runtime="script")
+
+    def instantiate(self, name: str | None = None):
+        """Decode a fresh image instance (the per-instance RAM copy).
+
+        For rBPF this returns a new :class:`Program` whose slot list is
+        decoded once per image and shared — the slots are frozen value
+        objects, so sharing is as safe as sharing the bytes — with the
+        content-hash cache pre-seeded so attaching N instances neither
+        re-decodes nor re-hashes the image.  Non-rBPF images decode
+        through their registered runtime.
         """
+        if self.runtime != "rbpf":
+            from repro.runtimes.base import container_runtime
+
+            return container_runtime(self.runtime).decode(
+                self.text, name=name or self.name,
+                rodata=self.rodata, data=self.data,
+            )
         program = Program(slots=list(self._slots), rodata=self.rodata,
                           data=self.data, name=name or self.name)
         program.seed_hash_cache(self.image_hash)
@@ -92,7 +124,17 @@ class ImageSpec:
 
     @cached_property
     def image_hash(self) -> str:
-        """Content hash — identical to the installed instances' hashes."""
+        """Content hash — identical to the installed instances' hashes.
+
+        Runtime-tagged for non-rBPF images: the same bytes under two
+        runtimes are two distinct images (rBPF keeps its historical
+        untagged hash, so existing content addressing is unchanged).
+        """
+        if self.runtime != "rbpf":
+            from repro.runtimes.base import container_runtime
+
+            return container_runtime(self.runtime).image_hash(
+                self.text, self.rodata, self.data)
         return Program.from_bytes(self.text, rodata=self.rodata,
                                   data=self.data, name=self.name).image_hash
 
@@ -104,15 +146,25 @@ class ImageSpec:
             doc["rodata_hex"] = self.rodata.hex()
         if self.data:
             doc["data_hex"] = self.data.hex()
+        if self.runtime != "rbpf":
+            # Pure-rBPF specs stay byte-identical to the pre-runtime
+            # wire format (their CBOR digests and signatures hold).
+            doc["runtime"] = self.runtime
         return doc
 
     @classmethod
     def from_json(cls, name: str, doc: dict) -> "ImageSpec":
-        """Accepts ``hex`` (canonical), ``asm`` text or a ``workload`` name."""
+        """Accepts ``hex`` (canonical), ``asm``/``wat``/``source`` text
+        or a ``workload`` name; ``runtime`` defaults to rBPF."""
         name = doc.get("name", name)
+        runtime = doc.get("runtime", "rbpf")
         if "workload" in doc:
             return cls.from_program(_workload_program(doc["workload"]),
                                     name=name)
+        if "wat" in doc:
+            return cls.from_wasm(doc["wat"], name=name)
+        if "source" in doc:
+            return cls.from_script(doc["source"], name=name)
         if "asm" in doc:
             from repro.vm import assemble
 
@@ -123,9 +175,11 @@ class ImageSpec:
                 text=bytes.fromhex(doc["hex"]),
                 rodata=bytes.fromhex(doc.get("rodata_hex", "")),
                 data=bytes.fromhex(doc.get("data_hex", "")),
+                runtime=runtime,
             )
         raise SpecError(
-            f"image {name!r} needs one of 'hex', 'asm' or 'workload'"
+            f"image {name!r} needs one of 'hex', 'asm', 'wat', "
+            "'source' or 'workload'"
         )
 
 
@@ -345,6 +399,16 @@ class DeploymentSpec:
     def validate(self) -> None:
         if len(set(self.tenants)) != len(self.tenants):
             raise SpecError("duplicate tenant names in spec")
+        from repro.runtimes.base import runtime_names
+
+        known_runtimes = runtime_names()
+        for key, image in self.images.items():
+            if image.runtime not in known_runtimes:
+                raise SpecError(
+                    f"image {key!r} targets unknown runtime "
+                    f"{image.runtime!r}; "
+                    f"registered: {sorted(known_runtimes)}"
+                )
         hook_names = [hook.name for hook in self.hooks]
         if len(set(hook_names)) != len(hook_names):
             raise SpecError("duplicate hook declarations in spec")
@@ -526,10 +590,81 @@ def fanout_spec(
     )
 
 
+def wasm_checksum_spec() -> DeploymentSpec:
+    """One mini-Wasm fletcher32 checksummer on the fan-out hook."""
+    from repro.runtimes.sources import WASM_FLETCHER32
+
+    return DeploymentSpec(
+        name="wasm-checksum",
+        tenants=("tenant-a",),
+        hooks=(HookSpec(FC_HOOK_FANOUT, HookMode.SYNC),),
+        images={"checksum": ImageSpec.from_wasm(WASM_FLETCHER32,
+                                                name="checksum")},
+        attachments=(
+            AttachmentSpec(image="checksum", hook=FC_HOOK_FANOUT,
+                           tenant="tenant-a", name="checksum"),
+        ),
+    )
+
+
+def script_checksum_spec() -> DeploymentSpec:
+    """One script fletcher32 checksummer on the fan-out hook."""
+    from repro.runtimes.sources import SCRIPT_FLETCHER32_PY
+
+    return DeploymentSpec(
+        name="script-checksum",
+        tenants=("tenant-a",),
+        hooks=(HookSpec(FC_HOOK_FANOUT, HookMode.SYNC),),
+        images={"checksum": ImageSpec.from_script(SCRIPT_FLETCHER32_PY,
+                                                  name="checksum")},
+        attachments=(
+            AttachmentSpec(image="checksum", hook=FC_HOOK_FANOUT,
+                           tenant="tenant-a", name="checksum"),
+        ),
+    )
+
+
+def runtime_matrix_spec() -> DeploymentSpec:
+    """One device hosting all three runtimes side by side.
+
+    Three tenants on one SYNC hook: an rBPF thread counter, a mini-Wasm
+    fletcher32 and a script fletcher32 — a single firing exercises every
+    registered runtime, which is what the fault-isolation and OTA suites
+    lean on.
+    """
+    from repro.runtimes.sources import SCRIPT_FLETCHER32_PY, WASM_FLETCHER32
+    from repro.workloads import thread_counter_program
+
+    return DeploymentSpec(
+        name="runtime-matrix",
+        tenants=("tenant-rbpf", "tenant-wasm", "tenant-script"),
+        hooks=(HookSpec(FC_HOOK_FANOUT, HookMode.SYNC),),
+        images={
+            "counter-rbpf": ImageSpec.from_program(
+                thread_counter_program(), name="counter-rbpf"),
+            "checksum-wasm": ImageSpec.from_wasm(
+                WASM_FLETCHER32, name="checksum-wasm"),
+            "checksum-script": ImageSpec.from_script(
+                SCRIPT_FLETCHER32_PY, name="checksum-script"),
+        },
+        attachments=(
+            AttachmentSpec(image="counter-rbpf", hook=FC_HOOK_FANOUT,
+                           tenant="tenant-rbpf", name="counter-rbpf"),
+            AttachmentSpec(image="checksum-wasm", hook=FC_HOOK_FANOUT,
+                           tenant="tenant-wasm", name="checksum-wasm"),
+            AttachmentSpec(image="checksum-script", hook=FC_HOOK_FANOUT,
+                           tenant="tenant-script", name="checksum-script"),
+        ),
+    )
+
+
 #: Name -> zero-argument spec factory, for the CLI and tests.
 BUILTIN_SPECS: dict[str, Callable[[], DeploymentSpec]] = {
     "multi-tenant": multi_tenant_spec,
     "fanout": fanout_spec,
+    "wasm-checksum": wasm_checksum_spec,
+    "script-checksum": script_checksum_spec,
+    "runtime-matrix": runtime_matrix_spec,
 }
 
 

@@ -100,16 +100,19 @@ class DeviceShell:
             # their own rows below the live containers.
             supervisor = getattr(self.engine, "supervisor", None)
             lines = [f"{'name':20} {'tenant':10} {'hook':24} "
+                     f"{'runtime':8} "
                      f"{'image':12} {'runs':>6} {'faults':>6} {'ram B':>6} "
                      f"{'strikes':>7} {'state':>11}"]
             for container in self.engine.containers():
                 tenant = container.tenant.name if container.tenant else "-"
                 hook = container.hook.name if container.hook else "-"
+                runtime = getattr(container.program, "runtime", "rbpf")
                 health = (supervisor.health(hook, container.name)
                           if supervisor is not None and container.hook
                           else None)
                 lines.append(
                     f"{container.name:20} {tenant:10} {hook:24} "
+                    f"{runtime:8} "
                     f"{container.image_hash[:12]} "
                     f"{container.runs:>6} {container.fault_count:>6} "
                     f"{container.ram_bytes:>6} "
@@ -126,8 +129,10 @@ class DeviceShell:
                     detained = record.container
                     tenant = (detained.tenant.name if detained.tenant
                               else "-")
+                    runtime = getattr(detained.program, "runtime", "rbpf")
                     lines.append(
                         f"{name:20} {tenant:10} {hook_name:24} "
+                        f"{runtime:8} "
                         f"{detained.image_hash[:12]} "
                         f"{detained.runs:>6} {detained.fault_count:>6} "
                         f"{detained.ram_bytes:>6} "

@@ -1,6 +1,23 @@
-"""Baseline ultra-lightweight virtualization runtimes (paper §6)."""
+"""Baseline ultra-lightweight virtualization runtimes (paper §6).
 
-from repro.runtimes.base import RuntimeMetrics, VirtualizationCandidate
+Beyond the §6 comparison models, :mod:`repro.runtimes.base` defines the
+:class:`ContainerRuntime` registry through which the hosting engine and
+the deploy plane dispatch runtime-tagged images (rBPF, mini-Wasm,
+script) onto one plan/OTA/publish stack.
+"""
+
+from repro.runtimes.base import (
+    RUNTIME_RBPF,
+    RUNTIME_SCRIPT,
+    RUNTIME_WASM,
+    ContainerRuntime,
+    RuntimeMetrics,
+    UnknownRuntimeError,
+    VirtualizationCandidate,
+    container_runtime,
+    register_runtime,
+    runtime_names,
+)
 from repro.runtimes.profiles import (
     MICROPYTHON_PROFILE,
     NativeCandidate,
@@ -17,18 +34,26 @@ from repro.runtimes.profiles import (
 )
 
 __all__ = [
+    "ContainerRuntime",
     "MICROPYTHON_PROFILE",
     "NativeCandidate",
     "RIOTJS_PROFILE",
+    "RUNTIME_RBPF",
+    "RUNTIME_SCRIPT",
+    "RUNTIME_WASM",
     "RbpfCandidate",
     "RuntimeMetrics",
     "ScriptCandidate",
     "ScriptProfile",
+    "UnknownRuntimeError",
     "VirtualizationCandidate",
     "WASM3_PROFILE",
     "WasmCandidate",
     "WasmProfile",
     "all_candidates",
+    "container_runtime",
     "host_os_ram_bytes",
     "host_os_rom_bytes",
+    "register_runtime",
+    "runtime_names",
 ]

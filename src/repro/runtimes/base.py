@@ -1,17 +1,40 @@
-"""Common surface for the §6 virtualization candidates.
+"""Common surface for the §6 virtualization candidates — and the
+deployable :class:`ContainerRuntime` protocol built on top of them.
 
 Each candidate (native, rBPF, WASM-class, MicroPython-class, RIOTjs-class)
 loads the fletcher32 workload, runs it, and reports the five quantities the
 paper compares: runtime ROM, runtime RAM, application code size, cold-start
 time and run time (Tables 1 and 2).
+
+The benchmark candidates answer "how does runtime X compare?"; the
+:class:`ContainerRuntime` protocol answers "how does the hosting engine
+*deploy* runtime X?".  A container runtime knows how to decode a payload
+into an image, verify + instantiate it into a VM at attach time (charging
+its calibrated startup cost to the virtual clock), and translate the
+platform-independent execution counts of one run into modelled cycles.
+The registry (:func:`container_runtime`) maps the ``runtime`` tag carried
+by :class:`~repro.deploy.spec.ImageSpec` and SUIT manifests onto the
+implementation, so the whole plan/OTA/publish stack moves rBPF, Wasm and
+script containers through one code path.
 """
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from dataclasses import dataclass
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
 from repro.rtos.board import Board
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.container import FemtoContainer
+    from repro.core.engine import HostingEngine
+    from repro.core.policy import GrantedPolicy
+    from repro.vm.helpers import HelperRegistry
+    from repro.vm.interpreter import ExecutionStats, VMConfig
+    from repro.vm.memory import AccessList
+    from repro.vm.verifier import VerifierConfig
 
 
 @dataclass
@@ -41,3 +64,134 @@ class VirtualizationCandidate(Protocol):
     def fletcher32_metrics(self, board: Board) -> RuntimeMetrics:
         """Load + run fletcher32 over the canonical 360 B input."""
         ...
+
+
+# -- deployable container runtimes --------------------------------------------
+
+#: The canonical runtime tags.  ``rbpf`` is the default everywhere a tag
+#: is absent — old specs, manifests and NVM records predate the tag and
+#: were all rBPF by construction.
+RUNTIME_RBPF = "rbpf"
+RUNTIME_WASM = "wasm"
+RUNTIME_SCRIPT = "script"
+RUNTIME_DEFAULT = RUNTIME_RBPF
+
+
+class ContainerRuntime(Protocol):
+    """One deployable container format behind the hosting engine.
+
+    Implementations exist for rBPF (:mod:`repro.runtimes.rbpf` — the
+    paper's native format, kept bit-identical to the pre-registry
+    engine), mini-Wasm (:mod:`repro.runtimes.wasm.container`) and the
+    script interpreter (:mod:`repro.runtimes.script.container`).  Every
+    layer above the engine — spec instantiation, SUIT activation, the
+    planner's content addressing — dispatches through this protocol
+    instead of assuming :class:`~repro.vm.program.Program`.
+    """
+
+    #: Registry tag (``"rbpf"``, ``"wasm"``, ``"script"``, ...).
+    name: str
+    #: Flash footprint of the runtime engine itself (Table 1).
+    rom_bytes: int
+
+    def decode(self, payload: bytes, *, name: str = "app",
+               rodata: bytes = b"", data: bytes = b"") -> object:
+        """Decode a SUIT payload into an image object.
+
+        The image duck-types the ``Program`` surface the engine and
+        planner touch: ``name``, ``runtime``, ``image_hash``,
+        ``to_bytes()``, ``code_size``, ``image_size``, ``rodata``,
+        ``data``.  Malformed payloads raise (pre-flight refusal).
+        """
+        ...
+
+    def image_hash(self, text: bytes, rodata: bytes = b"",
+                   data: bytes = b"") -> str:
+        """Content hash of an encoded image under this runtime.
+
+        Non-rBPF runtimes tag the hash (:func:`tagged_image_hash`), so
+        the same bytes deployed under two runtimes are distinct images;
+        rBPF keeps the historical untagged hash so existing content
+        addressing (image cache, planner convergence) is unchanged.
+        """
+        ...
+
+    def attach(self, engine: "HostingEngine", container: "FemtoContainer",
+               granted: "GrantedPolicy", vm_config: "VMConfig",
+               access_list: "AccessList",
+               verifier_config: "VerifierConfig") -> object:
+        """Verify the container's image and build its VM.
+
+        Charges the runtime's modelled verify/startup cost to the
+        engine's virtual clock and returns a VM exposing the engine's
+        duck interface: ``run(context=..., context_perms=...)``,
+        ``config``, ``access_list``, ``ram_bytes``.  Any exception is a
+        pre-flight rejection (the engine wraps it in ``AttachError``).
+        """
+        ...
+
+    def execution_cycles(self, board: Board, stats: "ExecutionStats",
+                         implementation: str,
+                         helpers: "HelperRegistry | None" = None) -> int:
+        """Translate one run's platform-independent counts into cycles."""
+        ...
+
+
+def tagged_image_hash(runtime: str, text: bytes, rodata: bytes = b"",
+                      data: bytes = b"") -> str:
+    """Runtime-tagged content hash (same shape as ``Program.image_hash``).
+
+    The tag is hashed in front of the sections, so identical bytes under
+    two runtimes can never collide into one cache/planner identity.
+    """
+    digest = hashlib.sha256()
+    digest.update(runtime.encode("ascii") + b"\x00")
+    digest.update(text)
+    digest.update(struct.pack("<II", len(rodata), len(data)))
+    digest.update(rodata)
+    digest.update(data)
+    return digest.hexdigest()
+
+
+#: Lazily imported built-in implementations (import cycles: the engine
+#: imports this module, and the rBPF runtime imports engine-adjacent
+#: modules, so construction must be deferred to first lookup).
+_BUILTIN_RUNTIMES = {
+    RUNTIME_RBPF: ("repro.runtimes.rbpf", "RbpfContainerRuntime"),
+    RUNTIME_WASM: ("repro.runtimes.wasm.container", "WasmContainerRuntime"),
+    RUNTIME_SCRIPT: ("repro.runtimes.script.container",
+                     "ScriptContainerRuntime"),
+}
+
+_REGISTRY: dict[str, ContainerRuntime] = {}
+
+
+def register_runtime(runtime: ContainerRuntime) -> ContainerRuntime:
+    """Register (or override) a runtime under its ``name`` tag."""
+    _REGISTRY[runtime.name] = runtime
+    return runtime
+
+
+def container_runtime(name: str) -> ContainerRuntime:
+    """Resolve a runtime tag to its implementation (KeyError-safe)."""
+    runtime = _REGISTRY.get(name)
+    if runtime is not None:
+        return runtime
+    builtin = _BUILTIN_RUNTIMES.get(name)
+    if builtin is None:
+        raise UnknownRuntimeError(
+            f"unknown container runtime {name!r}; "
+            f"choose from {sorted(runtime_names())}"
+        )
+    module_name, class_name = builtin
+    module = __import__(module_name, fromlist=[class_name])
+    return register_runtime(getattr(module, class_name)())
+
+
+def runtime_names() -> set[str]:
+    """All resolvable runtime tags (built-in plus registered)."""
+    return set(_BUILTIN_RUNTIMES) | set(_REGISTRY)
+
+
+class UnknownRuntimeError(Exception):
+    """The runtime tag does not resolve to a registered implementation."""

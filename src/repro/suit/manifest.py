@@ -28,6 +28,7 @@ KEY_SIZE = 5
 KEY_URI = 6
 KEY_NAME = 7
 KEY_KIND = 8
+KEY_RUNTIME = 9
 
 MANIFEST_VERSION = 1
 
@@ -61,6 +62,9 @@ class SuitManifest:
     name: str = "app"
     version: int = MANIFEST_VERSION
     kind: str = KIND_IMAGE
+    #: Which container runtime hosts the payload (image manifests only;
+    #: spec payloads carry per-image tags inside the spec itself).
+    runtime: str = "rbpf"
 
     def to_cbor(self) -> bytes:
         doc = {
@@ -76,6 +80,10 @@ class SuitManifest:
             # Image manifests stay byte-identical to the pre-spec wire
             # format, so old signatures keep verifying.
             doc[KEY_KIND] = self.kind
+        if self.runtime != "rbpf":
+            # Same compatibility rule: rBPF manifests (all of them,
+            # before runtimes were a manifest dimension) are unchanged.
+            doc[KEY_RUNTIME] = self.runtime
         return cbor.encode(doc)
 
     @classmethod
@@ -93,6 +101,7 @@ class SuitManifest:
                 uri=item[KEY_URI],
                 name=item.get(KEY_NAME, "app"),
                 kind=item.get(KEY_KIND, KIND_IMAGE),
+                runtime=item.get(KEY_RUNTIME, "rbpf"),
             )
         except KeyError as exc:
             raise ManifestError(f"manifest missing key {exc}") from None

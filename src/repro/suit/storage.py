@@ -72,6 +72,9 @@ class StorageSlot:
     #: Human-readable name from the installing manifest; persisted so a
     #: rebooted device can re-activate what it had without the manifest.
     name: str = ""
+    #: Runtime tag from the installing manifest (persisted for the same
+    #: reason; slots from before runtimes existed restore as rBPF).
+    runtime: str = "rbpf"
 
     @property
     def occupied(self) -> bool:
@@ -126,13 +129,15 @@ class StorageRegistry:
             del self.slots[location]
 
     def install(self, location: str, image: bytes,
-                sequence_number: int, name: str = "") -> StorageSlot:
+                sequence_number: int, name: str = "",
+                runtime: str = "rbpf") -> StorageSlot:
         slot = self.slot(location)
         slot.image = bytes(image)
         slot.sequence_number = sequence_number
         slot.installs += 1
         if name:
             slot.name = name
+        slot.runtime = runtime
         self._persist(slot)
         if self.gc_horizon is not None:
             self.gc()
@@ -195,6 +200,7 @@ class StorageRegistry:
             "sequence": slot.sequence_number,
             "installs": slot.installs,
             "name": slot.name,
+            "runtime": slot.runtime,
         }
         self.nvm.write(NVM_SLOT_PREFIX + slot.location, cbor.encode(record))
         seq_record = {"location": slot.location,
@@ -247,6 +253,7 @@ class StorageRegistry:
                 sequence_number=record.get("sequence", -1),
                 installs=record.get("installs", 0),
                 name=record.get("name", ""),
+                runtime=record.get("runtime", "rbpf"),
             )
             self.slots[slot.location] = slot
             restored.append(slot)

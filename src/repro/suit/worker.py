@@ -42,7 +42,7 @@ from repro.suit.manifest import (
 from repro.suit.storage import StorageFullError, StorageRegistry, StorageSlot
 from repro.rtos.errors import PowerFailure
 from repro.rtos.thread import Wait
-from repro.vm.program import Program
+from repro.runtimes.base import container_runtime
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.engine import HostingEngine
@@ -344,7 +344,8 @@ class SuitUpdateWorker:
             )
         self._mark("checked")
         self.storage.install(manifest.storage_location, payload,
-                             manifest.sequence_number, name=manifest.name)
+                             manifest.sequence_number, name=manifest.name,
+                             runtime=manifest.runtime)
         self._clear_fetch(manifest.storage_location)
         self._mark("installed")
         outcome = self._activate(manifest, target, payload)
@@ -454,6 +455,7 @@ class SuitUpdateWorker:
             uri="",
             name=slot.name,
             kind=self.expected_kind,
+            runtime=slot.runtime,
         )
         target, failure = self._resolve_target(manifest)
         if failure is not None:
@@ -480,7 +482,8 @@ class SuitUpdateWorker:
         """Turn a stored, integrity-checked payload into running state."""
         hook = target
         try:
-            program = Program.from_bytes(payload, name=manifest.name)
+            runtime = container_runtime(manifest.runtime)
+            program = runtime.decode(payload, name=manifest.name)
             if hook.containers:
                 container = self.engine.replace(hook.containers[0], program)
             else:

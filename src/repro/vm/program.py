@@ -22,6 +22,10 @@ class Program:
     ``lddwr``/``lddwd`` extension opcodes.
     """
 
+    #: Runtime tag: every ``Program`` is an rBPF image (Wasm and script
+    #: images are separate classes behind the same duck-typed surface).
+    runtime = "rbpf"
+
     slots: list[Instruction]
     rodata: bytes = b""
     data: bytes = b""

@@ -1,0 +1,214 @@
+"""Runtime-tagged SUIT image updates: Wasm and script payloads OTA.
+
+The image-manifest path (one container, one hook) learns the ``runtime``
+dimension: manifests carry the tag (map key 9 — encoded only when the
+payload is not rBPF, so every pre-existing manifest stays byte-identical
+and its signature keeps verifying), the device's update worker decodes
+the payload through the tagged runtime, the storage slot persists the
+tag to NVM, and a power-cycled device re-activates a Wasm container from
+flash exactly like an rBPF one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FC_HOOK_TIMER, HostingEngine
+from repro.net import CoapClient, CoapServer, Interface, Link, UdpStack
+from repro.rtos import Kernel, NvmStore
+from repro.suit import (
+    StorageRegistry,
+    SuitEnvelope,
+    SuitManifest,
+    SuitUpdateWorker,
+    UpdateStatus,
+    ed25519,
+    payload_digest,
+)
+from repro.suit import cbor
+from repro.suit.manifest import KEY_RUNTIME
+from repro.vm.imagecache import IMAGE_CACHE
+
+SEED = bytes(range(32))
+PUBLIC = ed25519.public_key(SEED)
+
+WASM_FORTYTWO = ("module pages=1\nfunc main params=1 locals=0\n"
+                 "    i32.const 42\n    return\nend\n")
+SCRIPT_SEVEN = "return 7;"
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    IMAGE_CACHE.clear()
+    yield
+    IMAGE_CACHE.clear()
+
+
+def wasm_payload() -> bytes:
+    from repro.runtimes.wasm.asm import assemble as wasm_assemble
+
+    return wasm_assemble(WASM_FORTYTWO).encode()
+
+
+def make_rig(kernel, engine, nvm=None, **worker_kwargs):
+    link = Link(kernel, loss=0.0, seed=17)
+    dev = link.attach(Interface("dev"))
+    host = link.attach(Interface("host"))
+    repo = CoapServer(kernel, UdpStack(host).socket(5683), threaded=False)
+    client = CoapClient(kernel, UdpStack(dev).socket(40000))
+    worker = SuitUpdateWorker(engine, client, trust_anchor=PUBLIC,
+                              repo_addr="host", nvm=nvm, **worker_kwargs)
+    return repo, worker
+
+
+def manifest_for(engine, payload, runtime, seq=1, uri="/fw/app",
+                 name="app"):
+    return SuitManifest(
+        sequence_number=seq,
+        storage_location=str(engine.hook(FC_HOOK_TIMER).uuid),
+        digest=payload_digest(payload),
+        size=len(payload),
+        uri=uri,
+        name=name,
+        runtime=runtime,
+    )
+
+
+def run_update(kernel, worker, manifest):
+    worker.trigger(SuitEnvelope.create(manifest, SEED).encode())
+    kernel.run(until_us=kernel.now_us + 400_000_000)
+    return worker.results[-1]
+
+
+class TestManifestWire:
+    def test_rbpf_manifest_bytes_unchanged(self):
+        """No KEY_RUNTIME in an rBPF manifest: seed-era wire bytes (and
+        signatures over them) are untouched."""
+        manifest = SuitManifest(sequence_number=1, storage_location="loc",
+                                digest=bytes(32), size=4, uri="/fw/a")
+        assert manifest.runtime == "rbpf"
+        assert KEY_RUNTIME not in cbor.decode(manifest.to_cbor())
+
+    def test_tagged_manifest_round_trips(self):
+        manifest = SuitManifest(sequence_number=2, storage_location="loc",
+                                digest=bytes(32), size=4, uri="/fw/a",
+                                runtime="wasm")
+        again = SuitManifest.from_cbor(manifest.to_cbor())
+        assert again == manifest
+        assert again.runtime == "wasm"
+
+    def test_tagless_cbor_decodes_as_rbpf(self):
+        doc = cbor.decode(SuitManifest(
+            sequence_number=1, storage_location="loc", digest=bytes(32),
+            size=4, uri="/fw/a").to_cbor())
+        assert SuitManifest.from_cbor(cbor.encode(doc)).runtime == "rbpf"
+
+
+class TestStorageSlots:
+    def test_slot_persists_runtime_tag(self):
+        nvm = NvmStore()
+        registry = StorageRegistry(nvm=nvm)
+        registry.install("loc", b"payload", 3, name="app", runtime="wasm")
+
+        restored = StorageRegistry(nvm=nvm)
+        restored.restore()
+        assert restored.slots["loc"].runtime == "wasm"
+
+    def test_pre_runtime_slot_record_restores_as_rbpf(self):
+        """Flash written by the seed had no 'runtime' key; restoring it
+        must yield an rBPF slot, not a KeyError."""
+        from repro.suit.storage import NVM_SLOT_PREFIX
+
+        nvm = NvmStore()
+        nvm.write(NVM_SLOT_PREFIX + "loc", cbor.encode({
+            "location": "loc", "image": b"img", "sequence": 2,
+            "installs": 1, "name": "app",
+        }))
+        registry = StorageRegistry(nvm=nvm)
+        registry.restore()
+        assert registry.slots["loc"].runtime == "rbpf"
+
+
+class TestWasmImageOta:
+    def test_wasm_update_attaches_and_runs(self, kernel, engine):
+        repo, worker = make_rig(kernel, engine)
+        payload = wasm_payload()
+        repo.register_blob("/fw/app", lambda: payload)
+        result = run_update(kernel, worker,
+                            manifest_for(engine, payload, "wasm"))
+        assert result.ok, result.message
+        container = engine.hook(FC_HOOK_TIMER).containers[0]
+        assert container.program.runtime == "wasm"
+        assert engine.execute(container).value == 42
+
+    def test_script_update_attaches_and_runs(self, kernel, engine):
+        repo, worker = make_rig(kernel, engine)
+        payload = SCRIPT_SEVEN.encode()
+        repo.register_blob("/fw/app", lambda: payload)
+        result = run_update(kernel, worker,
+                            manifest_for(engine, payload, "script"))
+        assert result.ok, result.message
+        container = engine.hook(FC_HOOK_TIMER).containers[0]
+        assert container.program.runtime == "script"
+        assert engine.execute(container).value == 7
+
+    def test_runtime_mismatch_rejected_cleanly(self):
+        """A wasm payload announced as rBPF must be refused at decode
+        (REJECTED), leaving the hook empty — never crash the worker."""
+        kernel = Kernel()
+        engine = HostingEngine(kernel)
+        repo, worker = make_rig(kernel, engine)
+        payload = wasm_payload()
+        repo.register_blob("/fw/app", lambda: payload)
+        result = run_update(kernel, worker,
+                            manifest_for(engine, payload, "rbpf"))
+        assert result.status is UpdateStatus.REJECTED
+        assert not engine.hook(FC_HOOK_TIMER).occupied
+
+    def test_unknown_runtime_rejected_cleanly(self):
+        kernel = Kernel()
+        engine = HostingEngine(kernel)
+        repo, worker = make_rig(kernel, engine)
+        payload = SCRIPT_SEVEN.encode()
+        repo.register_blob("/fw/app", lambda: payload)
+        result = run_update(kernel, worker,
+                            manifest_for(engine, payload, "lua"))
+        assert result.status is UpdateStatus.REJECTED
+        assert not engine.hook(FC_HOOK_TIMER).occupied
+
+    def test_wasm_replaces_rbpf_on_the_same_hook(self, kernel, engine):
+        from repro.vm import assemble
+
+        repo, worker = make_rig(kernel, engine)
+        v1 = assemble("mov r0, 1\n    exit").to_bytes()
+        repo.register_blob("/fw/v1", lambda: v1)
+        assert run_update(kernel, worker, manifest_for(
+            engine, v1, "rbpf", seq=1, uri="/fw/v1")).ok
+        v2 = wasm_payload()
+        repo.register_blob("/fw/v2", lambda: v2)
+        assert run_update(kernel, worker, manifest_for(
+            engine, v2, "wasm", seq=2, uri="/fw/v2")).ok
+        container = engine.hook(FC_HOOK_TIMER).containers[0]
+        assert container.program.runtime == "wasm"
+        assert engine.execute(container).value == 42
+
+    def test_reboot_reactivates_wasm_from_flash(self):
+        kernel = Kernel()
+        engine = HostingEngine(kernel)
+        nvm = kernel.board.nvm(kernel)
+        repo, worker = make_rig(kernel, engine, nvm=nvm)
+        payload = wasm_payload()
+        repo.register_blob("/fw/app", lambda: payload)
+        assert run_update(kernel, worker,
+                          manifest_for(engine, payload, "wasm")).ok
+
+        kernel.power_fail()
+        reborn = Kernel(kernel.board, clock=kernel.clock)
+        nvm.bind(reborn)
+        engine2 = HostingEngine(reborn)
+        _repo2, worker2 = make_rig(reborn, engine2, nvm=nvm)
+        recovered = worker2.recover()
+        assert [r.ok for r in recovered] == [True]
+        container = engine2.hook(FC_HOOK_TIMER).containers[0]
+        assert container.program.runtime == "wasm"
+        assert engine2.execute(container).value == 42

@@ -482,6 +482,75 @@ def check_fleet_scale(record: dict) -> list[str]:
     ]
 
 
+def check_runtime_matrix(record: dict) -> list[str]:
+    _require(
+        record,
+        [
+            "workload",
+            "unit",
+            "python",
+            "checksum",
+            "runtimes",
+            "wasm_exec_overhead_vs_rbpf",
+            "script_exec_overhead_vs_wasm",
+            "exec_overhead_bar",
+        ],
+        "BENCH_runtime_matrix",
+    )
+    runtimes = record["runtimes"]
+    for runtime in ("rbpf", "wasm", "script"):
+        if runtime not in runtimes:
+            raise BenchError(
+                f"BENCH_runtime_matrix: runtime {runtime!r} missing"
+            )
+        row = runtimes[runtime]
+        _require(
+            row,
+            ["code_bytes", "attach_cycles", "exec_cycles", "ram_bytes",
+             "checksum"],
+            f"BENCH_runtime_matrix.{runtime}",
+        )
+        for key in ("code_bytes", "attach_cycles", "exec_cycles",
+                    "ram_bytes"):
+            _positive_number(row[key], f"{runtime}.{key}")
+        if row["checksum"] != record["checksum"]:
+            raise BenchError(
+                f"BENCH_runtime_matrix: {runtime} computed "
+                f"{row['checksum']} but the reference checksum is "
+                f"{record['checksum']} — the deploy plane is no longer "
+                "semantics-preserving across runtimes"
+            )
+
+    bar = _positive_number(record["exec_overhead_bar"], "exec_overhead_bar")
+    wasm_ratio = (
+        runtimes["wasm"]["exec_cycles"] / runtimes["rbpf"]["exec_cycles"]
+    )
+    script_ratio = (
+        runtimes["script"]["exec_cycles"] / runtimes["wasm"]["exec_cycles"]
+    )
+    for key, ratio in (
+        ("wasm_exec_overhead_vs_rbpf", wasm_ratio),
+        ("script_exec_overhead_vs_wasm", script_ratio),
+    ):
+        recorded = _positive_number(record[key], key)
+        if abs(recorded - ratio) > max(0.05, 0.1 * ratio):
+            raise BenchError(
+                f"BENCH_runtime_matrix: recorded {key} {recorded} does "
+                f"not match exec_cycles ratio {ratio:.2f}"
+            )
+        if ratio <= bar:
+            raise BenchError(
+                f"BENCH_runtime_matrix: {key} is {ratio:.2f}x "
+                f"(bar > {bar}x) — the §6 cost ordering "
+                "script > wasm > rbpf no longer holds"
+            )
+    return [
+        f"all three runtimes agree on checksum {record['checksum']}",
+        f"exec cost ordering holds: wasm {wasm_ratio:.2f}x rbpf, "
+        f"script {script_ratio:.2f}x wasm (bar > {bar}x each)",
+    ]
+
+
 #: File name -> checker.  Every entry is required to exist.
 CHECKS = {
     "BENCH_throughput.json": check_throughput,
@@ -492,6 +561,7 @@ CHECKS = {
     "BENCH_chaos.json": check_chaos,
     "BENCH_supervisor.json": check_supervisor,
     "BENCH_fleet_scale.json": check_fleet_scale,
+    "BENCH_runtime_matrix.json": check_runtime_matrix,
 }
 
 
